@@ -1,0 +1,82 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables or figures and reports
+its rows through :func:`report` — collected lines are printed in the
+terminal summary (visible even without ``-s``) and written to
+``benchmarks/results/``.
+
+Traced runs are produced once per session and shared across benches.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import standard_profile
+from repro.utils.convert import convert_traces
+from repro.utils.merge import merge_interval_files
+
+_REPORT_LINES: list[str] = []
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(*lines: str) -> None:
+    """Queue lines for the end-of-run summary and the results file."""
+    _REPORT_LINES.extend(lines)
+
+
+@pytest.hookimpl
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_LINES:
+        return
+    terminalreporter.section("paper reproduction results")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "report.txt").write_text("\n".join(_REPORT_LINES) + "\n")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The standard description profile."""
+    return standard_profile()
+
+
+@pytest.fixture(scope="session")
+def workspace(tmp_path_factory):
+    """Session-wide scratch directory."""
+    return tmp_path_factory.mktemp("bench")
+
+
+@pytest.fixture(scope="session")
+def sppm_pipeline(workspace, profile):
+    """Traced, converted, merged sPPM run (Figures 8/9)."""
+    from repro.workloads import run_sppm
+    from repro.workloads.sppm import SppmConfig
+
+    out = workspace / "sppm"
+    run = run_sppm(out / "raw", SppmConfig(iterations=4))
+    conv = convert_traces(run.raw_paths, out / "ivl")
+    merged = merge_interval_files(
+        conv.interval_paths, out / "merged.ute", profile,
+        slog_path=out / "run.slog", frame_bytes=8 * 1024,
+    )
+    return {"run": run, "convert": conv, "merge": merged, "out": out}
+
+
+@pytest.fixture(scope="session")
+def flash_pipeline(workspace, profile):
+    """Traced, converted, merged FLASH run (Figures 6/7)."""
+    from repro.workloads import run_flash
+    from repro.workloads.flash import FlashConfig
+
+    out = workspace / "flash"
+    run = run_flash(out / "raw", FlashConfig(iterations=30))
+    conv = convert_traces(run.raw_paths, out / "ivl")
+    merged = merge_interval_files(
+        conv.interval_paths, out / "merged.ute", profile,
+        slog_path=out / "run.slog", frame_bytes=8 * 1024,
+    )
+    return {"run": run, "convert": conv, "merge": merged, "out": out}

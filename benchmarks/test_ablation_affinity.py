@@ -1,0 +1,84 @@
+"""Ablation: scheduler CPU affinity vs the Figure 9 migration phenomenon.
+
+Figure 9's observation — "the MPI threads ... jump from one CPU to another
+on the same node" — is a *scheduling policy* artifact: AIX placed waking
+threads on whatever processor was free.  With wake-up affinity (prefer the
+thread's previous CPU when free) the migrations vanish and the
+processor-activity view becomes static.
+
+This ablation runs the identical sPPM workload under both policies and
+compares migration counts and makespan — demonstrating that the framework
+is sharp enough to evaluate scheduler policy changes, which is exactly what
+a thread-dispatch-aware tracing tool is for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.cluster.machine import ClusterSpec
+from repro.core.reader import IntervalReader
+from repro.core.threadtable import THREAD_TYPE_MPI
+from repro.utils.convert import convert_traces
+from repro.utils.merge import merge_interval_files
+from repro.workloads.harness import run_traced_workload
+from repro.workloads.sppm import SppmConfig, sppm_body
+
+
+def run_policy(workspace, profile, affinity: bool):
+    config = SppmConfig(iterations=3)
+    out = workspace / f"affinity-{affinity}"
+    run = run_traced_workload(
+        sppm_body(config),
+        out / "raw",
+        n_tasks=config.n_tasks,
+        spec=ClusterSpec(n_nodes=4, cpus_per_node=8, affinity=affinity),
+        tasks_per_node=1,
+    )
+    conv = convert_traces(run.raw_paths, out / "ivl")
+    merged = merge_interval_files(conv.interval_paths, out / "m.ute", profile)
+    reader = IntervalReader(merged.merged_path, profile)
+    mpi_keys = {
+        (e.node, e.logical_tid)
+        for e in reader.thread_table.of_type(THREAD_TYPE_MPI)
+    }
+    cpus_of = defaultdict(set)
+    for r in reader.intervals():
+        if r.duration > 0:
+            cpus_of[(r.node, r.thread)].add(r.cpu)
+    mpi_migrations = sum(
+        1 for key in mpi_keys if len(cpus_of.get(key, set())) > 1
+    )
+    any_migrations = sum(1 for cpus in cpus_of.values() if len(cpus) > 1)
+    return {
+        "makespan_ns": run.elapsed_ns,
+        "mpi_migrations": mpi_migrations,
+        "any_migrations": any_migrations,
+    }
+
+
+def test_affinity_removes_migration(benchmark, workspace, profile):
+    free = run_policy(workspace, profile, affinity=False)
+    sticky = benchmark.pedantic(
+        lambda: run_policy(workspace, profile, affinity=True),
+        rounds=1, iterations=1,
+    )
+    report(
+        "", "ABLATION — scheduler affinity vs Figure 9's CPU migration",
+        "(same sPPM workload; only the wake-up placement policy differs)",
+        f"  lowest-free-CPU : {free['mpi_migrations']} MPI threads migrate "
+        f"({free['any_migrations']} threads total), "
+        f"makespan {free['makespan_ns'] / 1e6:.2f} ms",
+        f"  wake-up affinity: {sticky['mpi_migrations']} MPI threads migrate "
+        f"({sticky['any_migrations']} threads total), "
+        f"makespan {sticky['makespan_ns'] / 1e6:.2f} ms",
+    )
+    # The paper's phenomenon requires the free-placement policy...
+    assert free["mpi_migrations"] >= 2
+    # ...and affinity eliminates it for the MPI threads.
+    assert sticky["mpi_migrations"] == 0
+    # Identical work either way (timing may differ slightly).
+    assert sticky["makespan_ns"] == pytest.approx(free["makespan_ns"], rel=0.05)

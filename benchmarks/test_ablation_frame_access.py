@@ -1,0 +1,127 @@
+"""Ablation: frames + frame directories vs sequential scanning.
+
+The interval format's frames and doubly linked frame directories exist so
+"utilities and tools can jump into the starting point of any given frame
+without reading through records ahead of the frame" (section 2.3).  This
+bench quantifies that: locating and decoding the frame containing a
+late-trace instant via the directory index, vs decoding every record up to
+that point (what a frameless format forces), across growing trace sizes.
+
+Also checks the pseudo-interval ablation: with pseudo-intervals, a frame
+read mid-file exposes the enclosing states; without them it cannot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.core.reader import IntervalReader
+from repro.core.records import BeBits
+from repro.utils.convert import convert_traces
+from repro.utils.merge import merge_interval_files
+from repro.utils.slog import SlogFile
+
+
+def _build(workspace, profile, rounds, tag):
+    from repro.workloads import run_synthetic
+    from repro.workloads.synthetic import SyntheticConfig
+
+    out = workspace / f"fa-{tag}-{rounds}"
+    run = run_synthetic(out / "raw", SyntheticConfig(rounds=rounds))
+    conv = convert_traces(run.raw_paths, out / "ivl")
+    merged = merge_interval_files(
+        conv.interval_paths, out / "merged.ute", profile,
+        slog_path=out / "run.slog", frame_bytes=8 * 1024,
+    )
+    return merged
+
+
+def test_indexed_vs_sequential_access(benchmark, workspace, profile):
+    sizes = (200, 800, 3200)
+    rows = ["", "ABLATION — frame-directory access vs sequential scan",
+            "paper claim: jump to any frame without reading records ahead of it",
+            f"  {'rounds':>7} {'records':>9} {'indexed (ms)':>13} {'scan (ms)':>11} {'speedup':>8}"]
+    indexed_times = {}
+    for rounds in sizes:
+        merged = _build(workspace, profile, rounds, "idx")
+        reader = IntervalReader(merged.merged_path, profile)
+        _, _, t_end = reader.totals()
+        target = int(t_end * 0.9)  # an instant late in the run
+
+        t0 = time.perf_counter()
+        repeats = 30
+        for _ in range(repeats):
+            frame = reader.find_frame(target)
+            assert frame is not None
+            reader.read_frame(frame)
+        indexed = (time.perf_counter() - t0) / repeats
+
+        t0 = time.perf_counter()
+        count = 0
+        for record in reader.intervals():  # the frameless alternative
+            count += 1
+            if record.end >= target:
+                break
+        sequential = time.perf_counter() - t0
+
+        indexed_times[rounds] = indexed
+        rows.append(
+            f"  {rounds:>7} {merged.records_out:>9} {indexed * 1e3:>13.3f} "
+            f"{sequential * 1e3:>11.3f} {sequential / indexed:>7.0f}x"
+        )
+        assert indexed < sequential / 5, (rounds, indexed, sequential)
+
+    # Indexed access is ~flat in trace size (directory walk is cheap).
+    assert indexed_times[3200] < indexed_times[200] * 6
+    report(*rows)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_pseudo_intervals_expose_enclosing_states(benchmark, flash_pipeline, profile):
+    """Jumping mid-file: frames led by pseudo-intervals reveal states whose
+    begin piece is in an earlier frame (section 3.3's motivation)."""
+    slog = SlogFile(flash_pipeline["merge"].slog_path)
+    pseudo_frames = [
+        (i, f) for i, f in enumerate(slog.frames) if f.n_pseudo > 0
+    ]
+    assert pseudo_frames, "merge produced no pseudo-intervals"
+
+    def state_key(r):
+        marker = r.extra.get("markerId", 0)
+        return (r.node, r.thread, r.itype, marker)
+
+    def check():
+        """Each pseudo lead-in must describe a state whose BEGIN piece lives
+        in an *earlier* frame — the data a mid-file jump would otherwise
+        miss — and whose END piece has not happened before this frame."""
+        validated = 0
+        frames_records = [slog.read_frame(f) for f in slog.frames]
+        for fi, frame in pseudo_frames:
+            pseudo = [
+                r for r in frames_records[fi][: frame.n_pseudo + 4]
+                if r.duration == 0 and r.bebits is BeBits.CONTINUATION
+            ][: frame.n_pseudo]
+            assert pseudo, (fi, frame)
+            earlier = [r for j in range(fi) for r in frames_records[j]]
+            for p in pseudo:
+                begins = [
+                    r for r in earlier
+                    if state_key(r) == state_key(p) and r.bebits is BeBits.BEGIN
+                ]
+                ends = [
+                    r for r in earlier
+                    if state_key(r) == state_key(p) and r.bebits is BeBits.END
+                ]
+                # Open at this frame: more begins than ends so far.
+                assert len(begins) > len(ends), (fi, state_key(p))
+                validated += 1
+        return validated
+
+    validated = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert validated > 0
+    report(
+        "", "ABLATION — pseudo-intervals at frame starts",
+        f"  frames with pseudo lead-ins: {len(pseudo_frames)}; "
+        f"pseudo records validated as genuinely-open outer states: {validated}",
+    )

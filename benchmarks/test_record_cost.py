@@ -1,0 +1,79 @@
+"""Section 2.1: the cost of cutting a trace record.
+
+The paper decomposes record cost into (1) the enable test + insertion call,
+(2) the trace-buffer insertion, and (3) the MPI wrapper's own work, and
+reports the first two at "a small fraction of one microsecond" on a 2000
+PowerPC (in C).  This bench measures our Python equivalents:
+
+* the enable test alone (a disabled event — the common case when filtering);
+* a full cut (enable test + timestamping + encode + buffer insert);
+* the wrapper path through the MPI layer's event cutting.
+
+Absolute numbers are Python-scale (microseconds, not fractions of one); the
+claim that survives is *structural*: the disabled-event test is orders of
+magnitude cheaper than a full cut, so filtered tracing is nearly free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.cluster import Cluster, ClusterSpec
+from repro.tracing import TraceFacility, TraceOptions
+from repro.tracing.hooks import HookId
+
+_costs: dict[str, float] = {}
+
+
+@pytest.fixture()
+def session(tmp_path):
+    cluster = Cluster(ClusterSpec(n_nodes=1, cpus_per_node=1))
+    facility = TraceFacility(
+        cluster, tmp_path,
+        TraceOptions(enabled_hooks=frozenset({int(HookId.MARKER_BEGIN)})),
+    )
+    return facility.sessions[0]
+
+
+def test_disabled_event_cost(benchmark, session):
+    """The enable test rejecting a filtered-out event."""
+    result = benchmark(
+        session.cut, int(HookId.DISPATCH), 1000, 42, 0
+    )
+    assert result is False
+    _costs["enable test (event filtered)"] = benchmark.stats.stats.mean
+
+
+def test_enabled_cut_cost(benchmark, session):
+    """A full record cut: enable test, clock read, encode, buffer insert."""
+    result = benchmark(
+        session.cut, int(HookId.MARKER_BEGIN), 1000, 42, 0, (1, 0)
+    )
+    assert result is True
+    _costs["full record cut"] = benchmark.stats.stats.mean
+
+
+def test_cut_with_payload_cost(benchmark, session):
+    """A cut carrying an MPI-begin-sized payload (5 args)."""
+    benchmark(
+        session.cut, int(HookId.MARKER_BEGIN), 1000, 42, 0, (1, 2, 4096, 7, 0)
+    )
+    _costs["cut with 5-word payload"] = benchmark.stats.stats.mean
+
+
+def test_report_record_costs(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _costs:  # pragma: no cover - ordering guard
+        pytest.skip("earlier cost benches missing")
+    rows = ["", "SECTION 2.1 — record-cutting cost (paper: 'a small fraction",
+            "of one microsecond' for parts 1+2, in C on a 2000 PowerPC)"]
+    for label, mean in _costs.items():
+        rows.append(f"  {label:32s}: {mean * 1e6:8.3f} us")
+    report(*rows)
+    if "enable test (event filtered)" in _costs and "full record cut" in _costs:
+        # The structural claim: filtering is much cheaper than cutting.
+        assert (
+            _costs["enable test (event filtered)"]
+            < _costs["full record cut"] / 3
+        )

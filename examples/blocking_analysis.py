@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Blocking analysis: the "performance-analysis applications" of section 4.
+
+Traces the stencil workload, then uses the analysis layer (built purely on
+interval records) to answer the questions the views only show:
+
+* Which state types spend their time blocked rather than computing?
+  (the call profile — receives and waitalls block; sends don't)
+* How busy was each thread and each CPU really?
+* What did the messages cost?  (latency by size, causality check)
+
+Run:  python examples/blocking_analysis.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    call_profile,
+    cpu_utilization,
+    message_stats,
+    thread_utilization,
+)
+from repro.analysis.blocking import format_call_profile
+from repro.analysis.messages import latency_by_size
+from repro.core import IntervalReader, standard_profile
+from repro.utils.convert import convert_traces
+from repro.utils.merge import merge_interval_files
+from repro.viz.arrows import match_arrows
+from repro.workloads import run_stencil
+from repro.workloads.stencil import StencilConfig
+
+
+def main(out_dir: str = "blocking-out") -> None:
+    out = Path(out_dir)
+    profile = standard_profile()
+    run = run_stencil(out / "raw", StencilConfig(iterations=8))
+    conv = convert_traces(run.raw_paths, out / "intervals")
+    merged = merge_interval_files(conv.interval_paths, out / "merged.ute", profile)
+    reader = IntervalReader(merged.merged_path, profile)
+    records = list(reader.intervals())
+
+    print("=== call profile (worst blockers first) ===")
+    rows = call_profile(records, profile, markers=reader.markers)
+    print(format_call_profile(rows))
+
+    print("\n=== thread utilization ===")
+    for u in thread_utilization(records):
+        node, thread = u.key
+        bar = "#" * int(u.fraction * 40)
+        print(f"  node {node} thread {thread}: {u.fraction * 100:5.1f}% |{bar:<40}|")
+
+    print("\n=== CPU utilization (idle CPUs included) ===")
+    for u in cpu_utilization(records, reader.node_cpus):
+        node, cpu = u.key
+        bar = "#" * int(u.fraction * 40)
+        print(f"  node {node} cpu {cpu}:    {u.fraction * 100:5.1f}% |{bar:<40}|")
+
+    print("\n=== messages ===")
+    arrows = match_arrows(records)
+    stats = message_stats(arrows)
+    print(f"  {stats.count} messages, {stats.total_bytes >> 10} KiB total, "
+          f"latency min/median/max = {stats.min_latency_ns / 1e3:.1f} / "
+          f"{stats.median_latency_ns / 1e3:.1f} / {stats.max_latency_ns / 1e3:.1f} us, "
+          f"causality violations: {stats.causality_violations}")
+    for size, (count, median) in latency_by_size(arrows).items():
+        print(f"    {size:>8} B x {count:<3} median visible latency "
+              f"{median / 1e3:8.1f} us")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

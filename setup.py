@@ -1,0 +1,7 @@
+"""Setup shim so ``python setup.py develop`` works in environments without
+the ``wheel`` package (PEP 660 editable installs need wheel; this path does
+not).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Performance-analysis applications over interval files.
+
+Paper section 4 opens: "multiple time-space diagrams and
+performance-analysis applications may be derived from the same interval
+trace file".  This subpackage is that second half — analyses built purely
+on the interval records (no access to the simulator or raw traces):
+
+* :mod:`repro.analysis.spans` — reconstruct logical *state spans* from
+  bebits pieces: each MPI call / marker region / I/O operation as one span
+  with its wall time, on-CPU time, and blocked time.
+* :mod:`repro.analysis.blocking` — the call profile: per state type, how
+  many calls, how much wall time, and how much of it was spent blocked
+  (off-CPU) — the number that actually matters for a de-scheduled MPI_Recv.
+* :mod:`repro.analysis.utilization` — per-thread and per-CPU busy
+  fractions and the overlap timeline.
+* :mod:`repro.analysis.messages` — message latency/size statistics from
+  the sequence-number-matched arrows.
+"""
+
+from repro.analysis.spans import StateSpan, state_spans
+from repro.analysis.blocking import CallProfileRow, call_profile
+from repro.analysis.utilization import thread_utilization, cpu_utilization
+from repro.analysis.messages import MessageStats, message_stats
+
+__all__ = [
+    "StateSpan",
+    "state_spans",
+    "CallProfileRow",
+    "call_profile",
+    "thread_utilization",
+    "cpu_utilization",
+    "MessageStats",
+    "message_stats",
+]

@@ -1,0 +1,109 @@
+"""The call profile: where the time in each state type actually went.
+
+For each state type (MPI routine, marker region, I/O, page faults), the
+profile reports call counts, wall time, on-CPU time, and blocked time —
+separating "this call computed" from "this call sat de-scheduled waiting
+for a message / the disk / a processor", which is the question thread-
+dispatch-aware tracing exists to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.spans import StateSpan, state_spans
+from repro.core.profilefmt import Profile
+from repro.core.records import IntervalRecord, IntervalType
+from repro.errors import FormatError
+
+
+@dataclass(frozen=True)
+class CallProfileRow:
+    """Aggregated behaviour of one state type."""
+
+    itype: int
+    name: str
+    calls: int
+    wall_ns: int
+    on_cpu_ns: int
+    max_wall_ns: int
+    pieces: int
+
+    @property
+    def blocked_ns(self) -> int:
+        """Total off-CPU time inside this state type."""
+        return self.wall_ns - self.on_cpu_ns
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Share of the wall time spent blocked."""
+        return self.blocked_ns / self.wall_ns if self.wall_ns else 0.0
+
+    @property
+    def avg_wall_ns(self) -> float:
+        """Mean wall time per call."""
+        return self.wall_ns / self.calls if self.calls else 0.0
+
+
+def call_profile(
+    records: Iterable[IntervalRecord],
+    profile: Profile,
+    *,
+    markers: dict[int, str] | None = None,
+    include_running: bool = False,
+) -> list[CallProfileRow]:
+    """Build the call profile, rows sorted by blocked time descending.
+
+    Marker regions profile per *marker string* (one row per region name),
+    other types per interval type.
+    """
+    markers = markers or {}
+    acc: dict[tuple, dict] = {}
+    for span in state_spans(records, include_running=include_running):
+        key = (span.itype, span.marker_id)
+        row = acc.setdefault(
+            key, {"calls": 0, "wall": 0, "cpu": 0, "max": 0, "pieces": 0}
+        )
+        row["calls"] += 1
+        row["wall"] += span.wall
+        row["cpu"] += span.on_cpu
+        row["max"] = max(row["max"], span.wall)
+        row["pieces"] += span.pieces
+    out = []
+    for (itype, marker_id), row in acc.items():
+        if itype == IntervalType.MARKER:
+            name = markers.get(marker_id, f"marker-{marker_id}")
+        else:
+            try:
+                name = profile.record_name(itype)
+            except FormatError:
+                name = f"type{itype}"
+        out.append(
+            CallProfileRow(
+                itype=itype,
+                name=name,
+                calls=row["calls"],
+                wall_ns=row["wall"],
+                on_cpu_ns=row["cpu"],
+                max_wall_ns=row["max"],
+                pieces=row["pieces"],
+            )
+        )
+    out.sort(key=lambda r: r.blocked_ns, reverse=True)
+    return out
+
+
+def format_call_profile(rows: list[CallProfileRow]) -> str:
+    """Render the profile as an aligned text table."""
+    lines = [
+        f"{'state':<24} {'calls':>6} {'wall (ms)':>10} {'cpu (ms)':>10} "
+        f"{'blocked (ms)':>13} {'blocked %':>10} {'pieces':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<24} {r.calls:>6} {r.wall_ns / 1e6:>10.3f} "
+            f"{r.on_cpu_ns / 1e6:>10.3f} {r.blocked_ns / 1e6:>13.3f} "
+            f"{r.blocked_fraction * 100:>9.1f}% {r.pieces:>7}"
+        )
+    return "\n".join(lines)

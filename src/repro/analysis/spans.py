@@ -1,0 +1,128 @@
+"""Reconstructing logical state spans from interval pieces.
+
+The convert utility splits an interrupted call into begin / continuation /
+end pieces; this module inverts that: it folds the pieces of each state
+back into one :class:`StateSpan` carrying
+
+* ``begin`` / ``end`` — the state's wall-clock extent,
+* ``on_cpu`` — the summed piece durations (time actually executing),
+* ``blocked`` — the difference: time de-scheduled inside the state,
+
+which is exactly the decomposition a blocked MPI_Recv needs (its pieces
+are short; its wall span is long).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+
+
+@dataclass(frozen=True)
+class StateSpan:
+    """One logical state occurrence (a whole call / region, not a piece)."""
+
+    itype: int
+    marker_id: int  # 0 for non-marker states
+    node: int
+    thread: int
+    begin: int
+    end: int
+    on_cpu: int
+    pieces: int
+
+    @property
+    def wall(self) -> int:
+        """Wall-clock extent of the state."""
+        return self.end - self.begin
+
+    @property
+    def blocked(self) -> int:
+        """Time spent off-CPU inside the state."""
+        return self.wall - self.on_cpu
+
+
+def _key(record: IntervalRecord) -> tuple:
+    marker = (
+        record.extra.get("markerId", 0)
+        if record.itype == IntervalType.MARKER
+        else 0
+    )
+    return (record.node, record.thread, record.itype, marker)
+
+
+def state_spans(
+    records: Iterable[IntervalRecord],
+    *,
+    include_running: bool = False,
+) -> Iterator[StateSpan]:
+    """Fold bebits pieces into state spans, in span-end order per thread.
+
+    Zero-duration continuation records (the merge's pseudo-intervals) fold
+    into their span without affecting its times.  Records must be a
+    complete stream (don't window it mid-state) in end-time order, as
+    interval files guarantee.
+    """
+    open_spans: dict[tuple, dict] = {}
+    for record in records:
+        if record.itype == IntervalType.CLOCKPAIR:
+            continue
+        if record.itype == IntervalType.RUNNING and not include_running:
+            continue
+        key = _key(record)
+        if record.bebits is BeBits.COMPLETE:
+            yield StateSpan(
+                itype=record.itype,
+                marker_id=key[3],
+                node=record.node,
+                thread=record.thread,
+                begin=record.start,
+                end=record.end,
+                on_cpu=record.duration,
+                pieces=1,
+            )
+            continue
+        if record.bebits is BeBits.BEGIN:
+            open_spans[key] = {
+                "begin": record.start,
+                "end": record.end,
+                "on_cpu": record.duration,
+                "pieces": 1,
+            }
+            continue
+        state = open_spans.get(key)
+        if state is None:
+            # Continuation/end for a state whose begin is outside this
+            # stream (windowed input): open it here, best effort.
+            state = {"begin": record.start, "end": record.end, "on_cpu": 0, "pieces": 0}
+            open_spans[key] = state
+        state["end"] = max(state["end"], record.end)
+        state["on_cpu"] += record.duration
+        state["pieces"] += 1
+        if record.bebits is BeBits.END:
+            del open_spans[key]
+            yield StateSpan(
+                itype=record.itype,
+                marker_id=key[3],
+                node=record.node,
+                thread=record.thread,
+                begin=state["begin"],
+                end=state["end"],
+                on_cpu=state["on_cpu"],
+                pieces=state["pieces"],
+            )
+    # States never closed (trace cut mid-call): emit what we know.
+    for key, state in open_spans.items():
+        node, thread, itype, marker = key
+        yield StateSpan(
+            itype=itype,
+            marker_id=marker,
+            node=node,
+            thread=thread,
+            begin=state["begin"],
+            end=state["end"],
+            on_cpu=state["on_cpu"],
+            pieces=state["pieces"],
+        )

@@ -1,0 +1,386 @@
+"""Command-line entry points (the pipeline of paper Figure 2).
+
+=============  =============================================================
+command        role
+=============  =============================================================
+ute-trace      run a built-in workload under tracing -> raw trace files
+ute-convert    raw trace files -> per-node interval files (+ profile)
+ute-merge      interval files -> one merged interval file
+slogmerge      interval files -> merged interval file + SLOG
+ute-stats      interval files + table program -> TSV tables (+ SVG viewer)
+ute-preview    SLOG -> whole-run preview SVG + interesting ranges
+ute-view       SLOG -> time-space diagram SVG (or ANSI), whole run or the
+               frame containing a chosen instant
+=============  =============================================================
+
+Each ``main_*`` function doubles as a console-script entry point and a
+library helper (pass ``argv`` explicitly in tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.profilefmt import Profile, standard_profile
+from repro.core.reader import IntervalReader
+
+
+def _profile_for(args) -> Profile:
+    if getattr(args, "profile", None):
+        return Profile.read(args.profile)
+    return standard_profile()
+
+
+def main_trace(argv: list[str] | None = None) -> int:
+    """Run a built-in workload under tracing."""
+    parser = argparse.ArgumentParser(
+        "ute-trace", description="Trace a built-in workload on the simulated cluster."
+    )
+    parser.add_argument(
+        "workload",
+        choices=["pingpong", "stencil", "sppm", "flash", "synthetic", "ioheavy"],
+    )
+    parser.add_argument("-o", "--out", default="trace-out", help="output directory")
+    parser.add_argument("--rounds", type=int, default=None, help="synthetic rounds")
+    parser.add_argument("--iterations", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    from repro.workloads import (
+        run_flash,
+        run_ioheavy,
+        run_pingpong,
+        run_sppm,
+        run_stencil,
+        run_synthetic,
+    )
+    from repro.workloads.flash import FlashConfig
+    from repro.workloads.sppm import SppmConfig
+    from repro.workloads.synthetic import SyntheticConfig
+
+    out = Path(args.out)
+    if args.workload == "pingpong":
+        run = run_pingpong(out)
+    elif args.workload == "stencil":
+        run = run_stencil(out)
+    elif args.workload == "sppm":
+        config = SppmConfig(iterations=args.iterations or 4)
+        run = run_sppm(out, config)
+    elif args.workload == "flash":
+        config = FlashConfig(iterations=args.iterations or 30)
+        run = run_flash(out, config)
+    elif args.workload == "ioheavy":
+        run = run_ioheavy(out)
+    else:
+        config = SyntheticConfig(rounds=args.rounds or 50)
+        run = run_synthetic(out, config)
+    for path in run.raw_paths:
+        print(path)
+    print(f"simulated {run.elapsed_ns / 1e9:.4f}s", file=sys.stderr)
+    return 0
+
+
+def main_convert(argv: list[str] | None = None) -> int:
+    """Convert raw trace files into interval files."""
+    parser = argparse.ArgumentParser(
+        "ute-convert", description="Convert raw event traces to interval files."
+    )
+    parser.add_argument("raw", nargs="+", help="raw trace files (one per node)")
+    parser.add_argument("-o", "--out", default="intervals", help="output directory")
+    parser.add_argument("--frame-bytes", type=int, default=32 * 1024)
+    args = parser.parse_args(argv)
+
+    from repro.utils.convert import convert_traces
+
+    result = convert_traces(args.raw, args.out, frame_bytes=args.frame_bytes)
+    for path in result.interval_paths:
+        print(path)
+    print(
+        f"{result.events_processed} events -> {result.records_written} interval records",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _merge_args(prog: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog, description="Merge per-node interval files into one."
+    )
+    parser.add_argument("intervals", nargs="+", help="per-node interval files")
+    parser.add_argument("-o", "--out", default="merged.ute")
+    parser.add_argument("--profile", default=None, help="profile file (default: standard)")
+    parser.add_argument(
+        "--sync",
+        default="rms_segment",
+        choices=["rms_segment", "rms_anchored", "last_slope", "piecewise"],
+        help="clock-ratio estimator",
+    )
+    parser.add_argument("--frame-bytes", type=int, default=32 * 1024)
+    parser.add_argument(
+        "--threads",
+        default=None,
+        choices=[None, "mpi", "user", "system"],
+        help="merge only this thread category",
+    )
+    return parser
+
+
+def _run_merge(args, slog_path):
+    from repro.core.threadtable import THREAD_TYPE_MPI, THREAD_TYPE_SYSTEM, THREAD_TYPE_USER
+    from repro.utils.merge import merge_interval_files
+
+    types = None
+    if args.threads:
+        types = {
+            "mpi": {THREAD_TYPE_MPI},
+            "user": {THREAD_TYPE_USER},
+            "system": {THREAD_TYPE_SYSTEM},
+        }[args.threads]
+    return merge_interval_files(
+        args.intervals,
+        args.out,
+        _profile_for(args),
+        sync_mode=args.sync,
+        frame_bytes=args.frame_bytes,
+        slog_path=slog_path,
+        thread_types=types,
+    )
+
+
+def main_merge(argv: list[str] | None = None) -> int:
+    """Merge interval files (no SLOG)."""
+    args = _merge_args("ute-merge").parse_args(argv)
+    result = _run_merge(args, None)
+    print(result.merged_path)
+    print(
+        f"{result.files_in} files -> {result.records_out} records "
+        f"(+{result.pseudo_records} pseudo)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main_slogmerge(argv: list[str] | None = None) -> int:
+    """Merge interval files and also emit SLOG (the slogmerge of Table 1)."""
+    parser = _merge_args("slogmerge")
+    parser.add_argument("--slog", default="out.slog")
+    args = parser.parse_args(argv)
+    result = _run_merge(args, args.slog)
+    print(result.merged_path)
+    print(result.slog_path)
+    return 0
+
+
+def main_stats(argv: list[str] | None = None) -> int:
+    """Generate statistics tables from interval files."""
+    parser = argparse.ArgumentParser(
+        "ute-stats", description="Generate statistics tables from interval files."
+    )
+    parser.add_argument("intervals", nargs="+")
+    parser.add_argument("--program", default=None, help="table program file")
+    parser.add_argument("--profile", default=None)
+    parser.add_argument("-o", "--out", default="stats", help="output directory")
+    parser.add_argument("--svg", action="store_true", help="also render SVG viewers")
+    args = parser.parse_args(argv)
+
+    from repro.utils.stats import generate_tables, interval_records, predefined_tables
+
+    profile = _profile_for(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    records = list(interval_records(args.intervals, profile))
+    if args.program:
+        tables = generate_tables(records, Path(args.program).read_text())
+    else:
+        total = max((r.end for r in records), default=1) / 1e9
+        tables = predefined_tables(records, total_seconds=total)
+    for table in tables:
+        path = table.write(out / f"{table.name}.tsv")
+        print(path)
+        if args.svg:
+            _render_stats_svg(table, out, profile)
+    return 0
+
+
+def _render_stats_svg(table, out: Path, profile) -> None:
+    from repro.viz.statviewer import render_binned_table_svg, render_table_svg
+
+    try:
+        if len(table.x_labels) == 2 and table.x_labels[1] == "bin":
+            print(render_binned_table_svg(table, out / f"{table.name}.svg"))
+        elif len(table.x_labels) == 1:
+            names = None
+            if table.x_labels[0] == "type":
+                names = {t: profile.record_name(t) for t in profile.record_types()}
+            print(render_table_svg(table, out / f"{table.name}.svg", name_of=names))
+    except ValueError as exc:
+        print(f"(skipping SVG for {table.name}: {exc})", file=sys.stderr)
+
+
+def main_validate(argv: list[str] | None = None) -> int:
+    """Validate interval files' structural invariants."""
+    parser = argparse.ArgumentParser(
+        "ute-validate", description="Check interval files for format violations."
+    )
+    parser.add_argument("intervals", nargs="+")
+    parser.add_argument("--profile", default=None)
+    args = parser.parse_args(argv)
+
+    from repro.utils.validate import validate_files
+
+    reports = validate_files(args.intervals, _profile_for(args))
+    for report in reports:
+        print(report.summary())
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def main_preview(argv: list[str] | None = None) -> int:
+    """Render the whole-run preview from a SLOG file."""
+    parser = argparse.ArgumentParser(
+        "ute-preview", description="Whole-run preview and interesting time ranges."
+    )
+    parser.add_argument("slog")
+    parser.add_argument("-o", "--out", default="preview.svg")
+    parser.add_argument("--threshold", type=float, default=0.05)
+    args = parser.parse_args(argv)
+
+    from repro.viz.jumpshot import Jumpshot
+
+    viewer = Jumpshot(args.slog)
+    print(viewer.render_preview(args.out))
+    for lo, hi in viewer.interesting_ranges(args.threshold):
+        print(f"interesting: {lo:.4f}s .. {hi:.4f}s", file=sys.stderr)
+    return 0
+
+
+def main_profile(argv: list[str] | None = None) -> int:
+    """Print the blocking call profile of interval files."""
+    parser = argparse.ArgumentParser(
+        "ute-profile",
+        description="Per-state blocking analysis: wall vs on-CPU vs blocked time.",
+    )
+    parser.add_argument("intervals", nargs="+")
+    parser.add_argument("--profile", default=None)
+    parser.add_argument("--include-running", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.blocking import call_profile, format_call_profile
+    from repro.core.reader import IntervalReader
+
+    profile = _profile_for(args)
+    records = []
+    markers: dict[int, str] = {}
+    for path in args.intervals:
+        reader = IntervalReader(path, profile)
+        markers.update(reader.markers)
+        records.extend(reader.intervals())
+    rows = call_profile(
+        records, profile, markers=markers, include_running=args.include_running
+    )
+    print(format_call_profile(rows))
+    return 0
+
+
+def main_dump(argv: list[str] | None = None) -> int:
+    """Dump any trace artifact (raw/interval/SLOG) as text."""
+    parser = argparse.ArgumentParser(
+        "ute-dump", description="Print trace files as human-readable text."
+    )
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--profile", default=None)
+    parser.add_argument("-n", "--limit", type=int, default=None,
+                        help="max records per file")
+    args = parser.parse_args(argv)
+
+    from repro.utils.dump import dump_any
+
+    profile = _profile_for(args)
+    for path in args.files:
+        for line in dump_any(path, profile, limit=args.limit):
+            print(line)
+    return 0
+
+
+def main_report(argv: list[str] | None = None) -> int:
+    """Build a standalone HTML analysis report from a SLOG file."""
+    parser = argparse.ArgumentParser(
+        "ute-report", description="One-file HTML report: preview, views, statistics."
+    )
+    parser.add_argument("slog")
+    parser.add_argument("-o", "--out", default="report.html")
+    parser.add_argument("--title", default="Trace analysis report")
+    parser.add_argument(
+        "--views", default="thread,processor",
+        help="comma-separated view kinds to include",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.viz.report import build_run_report
+
+    path = build_run_report(
+        args.slog, args.out, title=args.title,
+        view_kinds=tuple(k for k in args.views.split(",") if k),
+    )
+    print(path)
+    return 0
+
+
+def main_view(argv: list[str] | None = None) -> int:
+    """Render a time-space diagram from a SLOG file."""
+    parser = argparse.ArgumentParser(
+        "ute-view", description="Render a time-space diagram from a SLOG file."
+    )
+    parser.add_argument("slog")
+    parser.add_argument(
+        "--kind",
+        default="thread",
+        choices=[
+            "thread", "thread-connected", "processor",
+            "thread-processor", "processor-thread", "type",
+        ],
+    )
+    parser.add_argument("-o", "--out", default="view.svg")
+    parser.add_argument(
+        "--at", type=float, default=None,
+        help="instant (seconds): display the frame containing it; default whole run",
+    )
+    parser.add_argument("--ansi", action="store_true", help="print an ANSI view instead")
+    parser.add_argument(
+        "--interactive", action="store_true",
+        help="write an interactive HTML viewer (zoom/pan/tooltips) instead of SVG",
+    )
+    parser.add_argument("--columns", type=int, default=100)
+    args = parser.parse_args(argv)
+
+    from repro.viz.ansi import render_view_ansi
+    from repro.viz.jumpshot import Jumpshot
+
+    viewer = Jumpshot(args.slog)
+    if args.interactive:
+        from repro.viz.interactive import render_interactive_html
+
+        view = viewer.build_view(viewer.slog.records(), args.kind)
+        out = args.out if args.out.endswith(".html") else args.out + ".html"
+        print(
+            render_interactive_html(
+                view, out, ticks_per_sec=viewer.slog.ticks_per_sec
+            )
+        )
+        return 0
+    if args.ansi:
+        if args.at is not None:
+            frame = viewer.locate(args.at)
+            records = viewer.frame_records(frame)
+            window = (frame.start_time, frame.end_time)
+        else:
+            records = viewer.slog.records()
+            window = None
+        view = viewer.build_view(records, args.kind)
+        print(render_view_ansi(view, columns=args.columns, window=window))
+        return 0
+    if args.at is not None:
+        print(viewer.render_frame_at(args.at, args.out, kind=args.kind))
+    else:
+        print(viewer.render_whole_run(args.out, kind=args.kind))
+    return 0

@@ -1,0 +1,52 @@
+"""Clock synchronization (paper section 2.2).
+
+Each node's trace holds a sequence of (global, local) timestamp pairs from
+the periodic global-clock sampler.  The merge utility uses the *first* pair
+to align each file's starting point and the whole sequence to estimate the
+global-to-local clock ratio **R**, then rewrites every local timestamp ``S``
+and duration ``D`` as global values.
+
+The paper's estimator is the root mean square of the slopes of *adjacent*
+pair segments::
+
+    R = sqrt( (1/n) * sum_i ((G_i - G_{i-1}) / (L_i - L_{i-1}))^2 )
+
+It also discusses (and we implement, for the ablation bench):
+
+* the rejected first-point-anchored RMS, which over-weights the first pair;
+* the last-pair slope ``(G_n - G_0) / (L_n - L_0)``;
+* piecewise adjustment with one slope per segment, for clocks whose rate
+  changes during the run.
+
+Section 5 notes the sampler thread may be de-scheduled between its two clock
+reads, producing an occasional wild pair "easily filtered out by utilities"
+— :func:`filter_outliers` is that filter.
+"""
+
+from repro.clocksync.ratio import (
+    ClockPair,
+    segment_slopes,
+    rms_segment_ratio,
+    rms_anchored_ratio,
+    last_slope_ratio,
+    filter_outliers,
+)
+from repro.clocksync.adjust import (
+    ClockAdjustment,
+    PiecewiseAdjustment,
+    adjustment_from_pairs,
+    pairs_from_events,
+)
+
+__all__ = [
+    "ClockPair",
+    "segment_slopes",
+    "rms_segment_ratio",
+    "rms_anchored_ratio",
+    "last_slope_ratio",
+    "filter_outliers",
+    "ClockAdjustment",
+    "PiecewiseAdjustment",
+    "adjustment_from_pairs",
+    "pairs_from_events",
+]

@@ -1,0 +1,110 @@
+"""Global-to-local clock ratio estimators.
+
+All estimators take a sequence of :class:`ClockPair` — (global, local)
+timestamp pairs in sampling order — and return the dimensionless ratio of
+global time per unit of local time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MergeError
+
+
+@dataclass(frozen=True, slots=True)
+class ClockPair:
+    """One global-clock record: simultaneous (global, local) readings."""
+
+    global_ts: int
+    local_ts: int
+
+
+def _check(pairs: Sequence[ClockPair], minimum: int) -> None:
+    if len(pairs) < minimum:
+        raise MergeError(
+            f"need at least {minimum} global-clock records, got {len(pairs)}"
+        )
+    for prev, cur in zip(pairs, pairs[1:]):
+        if cur.local_ts <= prev.local_ts:
+            raise MergeError(
+                "global-clock records not strictly increasing in local time "
+                f"({prev.local_ts} -> {cur.local_ts})"
+            )
+
+
+def segment_slopes(pairs: Sequence[ClockPair]) -> list[float]:
+    """Slopes of adjacent pair segments: (Gi - Gi-1) / (Li - Li-1)."""
+    _check(pairs, 2)
+    return [
+        (cur.global_ts - prev.global_ts) / (cur.local_ts - prev.local_ts)
+        for prev, cur in zip(pairs, pairs[1:])
+    ]
+
+
+def rms_segment_ratio(pairs: Sequence[ClockPair]) -> float:
+    """The paper's estimator: root mean square of adjacent-segment slopes.
+
+    Segments with bigger slopes are compensated by segments with smaller
+    slopes, and — unlike the anchored variant — no single point dominates.
+    """
+    slopes = segment_slopes(pairs)
+    return math.sqrt(sum(s * s for s in slopes) / len(slopes))
+
+
+def rms_anchored_ratio(pairs: Sequence[ClockPair]) -> float:
+    """The variant the paper rejects: RMS of slopes all anchored at the
+    first pair, ``(Gi - G0) / (Li - L0)``.
+
+    Gives "too much weight to the first point in the sequence": an error in
+    (G0, L0) contaminates every slope instead of just one segment.
+    """
+    _check(pairs, 2)
+    g0, l0 = pairs[0].global_ts, pairs[0].local_ts
+    slopes = [
+        (p.global_ts - g0) / (p.local_ts - l0) for p in pairs[1:]
+    ]
+    return math.sqrt(sum(s * s for s in slopes) / len(slopes))
+
+
+def last_slope_ratio(pairs: Sequence[ClockPair]) -> float:
+    """The end-to-end slope ``(Gn - G0) / (Ln - L0)`` — the paper's
+    suggested alternative when the trace is reasonably long."""
+    _check(pairs, 2)
+    first, last = pairs[0], pairs[-1]
+    return (last.global_ts - first.global_ts) / (last.local_ts - first.local_ts)
+
+
+def filter_outliers(
+    pairs: Sequence[ClockPair], *, tolerance_ppm: float = 200.0
+) -> list[ClockPair]:
+    """Drop samples whose presence creates wildly deviant segment slopes.
+
+    A sample whose local read was delayed (sampler de-scheduled between its
+    two clock reads) shifts its local timestamp late, bending the two
+    adjacent segments in opposite directions.  We compare each interior
+    sample's two adjacent slopes against the robust end-to-end slope and
+    drop samples where *both* deviate beyond ``tolerance_ppm``.
+
+    The first and last pairs are never dropped when they can be checked
+    against only one segment unless that segment alone deviates.
+    """
+    if len(pairs) < 3:
+        return list(pairs)
+    _check(pairs, 3)
+    reference = last_slope_ratio(pairs)
+    tol = tolerance_ppm * 1e-6
+
+    def deviates(a: ClockPair, b: ClockPair) -> bool:
+        slope = (b.global_ts - a.global_ts) / (b.local_ts - a.local_ts)
+        return abs(slope - reference) > tol * reference
+
+    kept: list[ClockPair] = [pairs[0]]
+    for i in range(1, len(pairs) - 1):
+        if deviates(pairs[i - 1], pairs[i]) and deviates(pairs[i], pairs[i + 1]):
+            continue
+        kept.append(pairs[i])
+    kept.append(pairs[-1])
+    return kept

@@ -1,0 +1,54 @@
+"""Discrete-event simulation of a cluster of SMP nodes.
+
+This subpackage is the hardware substrate of the reproduction.  The paper ran
+on IBM RS/6000 SP systems — clusters of SMP nodes connected by the SP switch,
+whose adapter exposes a globally synchronized clock, with the AIX kernel
+providing thread dispatch events.  None of that hardware is available here, so
+this package simulates the pieces the tracing framework actually observes:
+
+* :class:`~repro.cluster.engine.Engine` — a deterministic discrete-event
+  scheduler; simulation time is integer nanoseconds of *true* (switch) time.
+* :class:`~repro.cluster.clocks.LocalClock` — a per-node clock with offset,
+  drift, and optional slow wobble, producing the local timestamps that create
+  the clock-synchronization problem of paper section 1.1 / Figure 1.
+* :class:`~repro.cluster.machine.Node` / :class:`~repro.cluster.machine.Cluster`
+  — SMP nodes with a configurable number of processors.
+* :class:`~repro.cluster.scheduler.NodeScheduler` — a preemptive round-robin
+  thread scheduler with a time quantum.  Threads migrate between processors,
+  and every dispatch/undispatch is announced to listeners (the trace facility
+  records them, which is what makes processor-activity views possible).
+* :class:`~repro.cluster.network.SwitchNetwork` — latency + bandwidth message
+  delivery between nodes.
+* :mod:`~repro.cluster.program` — the workload-authoring API: simulated
+  threads are generator coroutines yielding :class:`Compute`, :class:`Wait`,
+  :class:`Sleep`, and :class:`Spawn` requests.
+"""
+
+from repro.cluster.engine import Engine, EventHandle, Future
+from repro.cluster.clocks import LocalClock, GlobalClock, ClockSpec
+from repro.cluster.machine import Node, Cluster, ClusterSpec
+from repro.cluster.scheduler import NodeScheduler, SimThread, ThreadCategory
+from repro.cluster.network import SwitchNetwork, NetworkSpec
+from repro.cluster.program import Compute, Wait, Sleep, Spawn, YieldCPU
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Future",
+    "LocalClock",
+    "GlobalClock",
+    "ClockSpec",
+    "Node",
+    "Cluster",
+    "ClusterSpec",
+    "NodeScheduler",
+    "SimThread",
+    "ThreadCategory",
+    "SwitchNetwork",
+    "NetworkSpec",
+    "Compute",
+    "Wait",
+    "Sleep",
+    "Spawn",
+    "YieldCPU",
+]

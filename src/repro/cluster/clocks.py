@@ -1,0 +1,105 @@
+"""Clock models: drifting per-node local clocks and the global switch clock.
+
+The paper's Figure 1 shows accumulated timestamp discrepancies among four
+local clocks growing roughly linearly with elapsed time, because each crystal
+runs at a slightly different frequency (a function of its temperature).  The
+models here reproduce that:
+
+* :class:`LocalClock` maps true time ``t`` to local ticks
+  ``offset + rate * t`` with ``rate = 1 + drift_ppm * 1e-6``, optionally
+  modulated by a slow sinusoidal *wobble* standing in for temperature change.
+* :class:`GlobalClock` is the SP switch adapter clock — drift free, globally
+  synchronized, but (in the paper) expensive to read; the tracing layer only
+  samples it periodically (see :mod:`repro.tracing.globalclock`).
+
+All clocks read integer nanosecond ticks so the simulation stays exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.engine import NS_PER_SEC
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """Specification of one node's local clock.
+
+    Parameters
+    ----------
+    offset_ns:
+        Local clock reading at true time zero (clocks are not aligned).
+    drift_ppm:
+        Constant frequency error in parts per million.  +20 ppm means the
+        local clock gains 20 microseconds per second of true time.
+    wobble_ppm:
+        Amplitude of a slow sinusoidal rate modulation (temperature drift).
+        Zero disables the wobble.
+    wobble_period_s:
+        Period of the wobble in seconds of true time.
+    """
+
+    offset_ns: int = 0
+    drift_ppm: float = 0.0
+    wobble_ppm: float = 0.0
+    wobble_period_s: float = 600.0
+
+
+class LocalClock:
+    """A per-node free-running clock with offset, drift, and optional wobble.
+
+    The mapping from true time (ns) to local ticks is::
+
+        local(t) = offset + (1 + drift) * t + wobble_integral(t)
+
+    where ``wobble_integral`` is the exact integral of the sinusoidal rate
+    modulation, so the clock is smooth and strictly monotonic for any
+    realistic drift magnitude.
+    """
+
+    __slots__ = ("spec", "_rate", "_wobble_amp", "_wobble_omega")
+
+    def __init__(self, spec: ClockSpec | None = None) -> None:
+        self.spec = spec or ClockSpec()
+        self._rate = 1.0 + self.spec.drift_ppm * 1e-6
+        self._wobble_amp = self.spec.wobble_ppm * 1e-6
+        period_ns = self.spec.wobble_period_s * NS_PER_SEC
+        self._wobble_omega = (2.0 * math.pi / period_ns) if period_ns > 0 else 0.0
+
+    def read(self, true_ns: int) -> int:
+        """Local clock reading (integer local ticks) at true time ``true_ns``."""
+        value = self.spec.offset_ns + self._rate * true_ns
+        if self._wobble_amp and self._wobble_omega:
+            # integral of amp*sin(omega*t) dt = amp/omega * (1 - cos(omega*t))
+            value += (self._wobble_amp / self._wobble_omega) * (
+                1.0 - math.cos(self._wobble_omega * true_ns)
+            )
+        return int(round(value))
+
+    def rate_at(self, true_ns: int) -> float:
+        """Instantaneous local-ticks-per-true-ns rate at ``true_ns``."""
+        rate = self._rate
+        if self._wobble_amp and self._wobble_omega:
+            rate += self._wobble_amp * math.sin(self._wobble_omega * true_ns)
+        return rate
+
+    def discrepancy_ns(self, true_ns: int, reference: "LocalClock") -> int:
+        """Accumulated discrepancy against another local clock (Figure 1)."""
+        return self.read(true_ns) - reference.read(true_ns)
+
+
+class GlobalClock:
+    """The switch adapter clock: globally synchronized true time.
+
+    In the real system every node reads the *same* register over the switch
+    adapter; in the simulation that register simply holds engine time.
+    """
+
+    __slots__ = ()
+
+    def read(self, true_ns: int) -> int:
+        """Global clock reading at true time ``true_ns`` (the identity)."""
+        return true_ns

@@ -1,0 +1,59 @@
+"""Per-node disk model with a serialized request queue.
+
+Supports the paper's future-work extension ("additional system activities,
+such as I/O, page miss") with a real substrate: each node owns one disk;
+requests are serviced FIFO, one at a time, with seek latency plus a
+size-proportional transfer time — so concurrent writers on one node queue
+behind each other, which is visible in the traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.engine import Engine, Future
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Timing of one node-local disk (late-90s SCSI-ish defaults)."""
+
+    seek_ns: int = 5_000_000  # 5 ms average positioning
+    bytes_per_ns: float = 0.02  # 20 MB/s sustained
+
+    def service_ns(self, size_bytes: int) -> int:
+        """Service time for one request."""
+        return self.seek_ns + int(size_bytes / self.bytes_per_ns)
+
+
+class Disk:
+    """FIFO single-server disk queue for one node."""
+
+    def __init__(self, engine: Engine, node_id: int, spec: DiskSpec | None = None) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.spec = spec or DiskSpec()
+        #: Engine time at which the disk becomes free.
+        self._free_at = 0
+        self.requests = 0
+        self.bytes_moved = 0
+        self.busy_ns = 0
+
+    def submit(self, size_bytes: int) -> Future:
+        """Enqueue a request; the returned future resolves at completion."""
+        if size_bytes < 0:
+            raise ValueError(f"negative I/O size {size_bytes}")
+        service = self.spec.service_ns(size_bytes)
+        start = max(self.engine.now, self._free_at)
+        done_at = start + service
+        self._free_at = done_at
+        self.requests += 1
+        self.bytes_moved += size_bytes
+        self.busy_ns += service
+        future = Future()
+        self.engine.schedule_at(done_at, future.set_result, None)
+        return future
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the disk spent servicing requests."""
+        return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0

@@ -1,0 +1,106 @@
+"""Cluster and node models.
+
+A :class:`Cluster` bundles the simulation engine, a set of SMP
+:class:`Node` s (each with its own local clock and thread scheduler), and the
+switch network — everything a traced workload runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.clocks import ClockSpec, GlobalClock, LocalClock
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.engine import Engine
+from repro.cluster.network import NetworkSpec, SwitchNetwork
+from repro.cluster.scheduler import DEFAULT_QUANTUM_NS, NodeScheduler, ThreadState
+from repro.errors import SimulationError
+
+#: Clock specs used when the caller does not supply any: distinct offsets and
+#: drift rates in the tens-of-ppm range, matching the spread in Figure 1.
+DEFAULT_DRIFTS_PPM = (0.0, 18.0, -32.0, 44.0, -11.0, 27.0, -48.0, 8.0)
+
+
+def default_clock_spec(node_id: int) -> ClockSpec:
+    """A reasonable, deterministic clock spec for node ``node_id``."""
+    drift = DEFAULT_DRIFTS_PPM[node_id % len(DEFAULT_DRIFTS_PPM)]
+    # Give later repeats a little extra drift so no two nodes are identical.
+    drift += 3.5 * (node_id // len(DEFAULT_DRIFTS_PPM))
+    return ClockSpec(offset_ns=node_id * 1_000_000, drift_ppm=drift)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and timing of a simulated cluster."""
+
+    n_nodes: int = 4
+    cpus_per_node: int = 8
+    quantum_ns: int = DEFAULT_QUANTUM_NS
+    #: CPU affinity on wake-up (see NodeScheduler); off by default, matching
+    #: the migration-prone scheduling the paper's traces show.
+    affinity: bool = False
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    clocks: tuple[ClockSpec, ...] = ()
+
+    def clock_spec(self, node_id: int) -> ClockSpec:
+        """The clock spec for ``node_id`` (explicit, or the default family)."""
+        if node_id < len(self.clocks):
+            return self.clocks[node_id]
+        return default_clock_spec(node_id)
+
+
+class Node:
+    """One SMP node: processors, a scheduler, and a local clock."""
+
+    def __init__(self, engine: Engine, node_id: int, spec: ClusterSpec) -> None:
+        self.node_id = node_id
+        self.n_cpus = spec.cpus_per_node
+        self.clock = LocalClock(spec.clock_spec(node_id))
+        self.scheduler = NodeScheduler(
+            engine, node_id, spec.cpus_per_node, spec.quantum_ns,
+            affinity=spec.affinity,
+        )
+        self.disk = Disk(engine, node_id, spec.disk)
+
+    def local_time(self, true_ns: int) -> int:
+        """This node's local clock reading at true time ``true_ns``."""
+        return self.clock.read(true_ns)
+
+
+class Cluster:
+    """A complete simulated machine: engine + nodes + network + global clock."""
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+        if self.spec.n_nodes < 1:
+            raise SimulationError("cluster needs at least one node")
+        self.engine = Engine()
+        self.global_clock = GlobalClock()
+        self.nodes = [Node(self.engine, i, self.spec) for i in range(self.spec.n_nodes)]
+        self.network = SwitchNetwork(self.engine, self.spec.network)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    def run(self, until_ns: int | None = None) -> None:
+        """Run the simulation to completion (or ``until_ns``).
+
+        Raises :class:`~repro.errors.SimulationError` on deadlock — the event
+        queue drained while some thread is still blocked.
+        """
+        self.engine.run(until_ns=until_ns)
+        if until_ns is None:
+            stuck = [
+                t
+                for node in self.nodes
+                for t in node.scheduler.live_threads()
+                if t.state is ThreadState.BLOCKED
+            ]
+            if stuck:
+                names = ", ".join(f"{t.name}@node{t.node_id}" for t in stuck[:8])
+                raise SimulationError(
+                    f"deadlock: {len(stuck)} thread(s) still blocked ({names})"
+                )

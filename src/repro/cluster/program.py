@@ -1,0 +1,105 @@
+"""Workload-authoring primitives for simulated threads.
+
+A simulated thread is a Python generator.  It *yields* request objects; the
+node scheduler services each request and resumes the generator with the
+request's result.  The vocabulary:
+
+* :class:`Compute` — consume CPU time.  The thread may be preempted at
+  quantum boundaries and migrate between processors while computing.
+* :class:`Wait` — block until a :class:`~repro.cluster.engine.Future`
+  resolves (message arrival, another thread's signal, …).  The thread leaves
+  its processor while blocked, which is exactly the de-scheduling inside MPI
+  calls that the paper's interval pieces capture.
+* :class:`Sleep` — block for a fixed amount of true time.
+* :class:`Spawn` — create a sibling thread on the same node; resumes with the
+  new :class:`~repro.cluster.scheduler.SimThread`.
+* :class:`YieldCPU` — voluntarily go to the back of the ready queue.
+
+Sub-operations compose with ``yield from``; the MPI layer is written as
+generator functions over these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator
+
+from repro.cluster.engine import Future, seconds_to_ns
+
+# The type of a simulated-thread body.
+ThreadBody = Generator[Any, Any, Any]
+
+
+@dataclass
+class Compute:
+    """Consume ``ns`` nanoseconds of CPU time (preemptible)."""
+
+    ns: int
+
+    @classmethod
+    def seconds(cls, seconds: float) -> "Compute":
+        """Build a Compute request from float seconds."""
+        return cls(seconds_to_ns(seconds))
+
+    def __post_init__(self) -> None:
+        self.ns = int(self.ns)
+        if self.ns < 0:
+            raise ValueError(f"negative compute time: {self.ns}")
+
+
+@dataclass
+class Wait:
+    """Block until ``future`` resolves; resumes with ``future.value``."""
+
+    future: Future
+
+
+@dataclass
+class Sleep:
+    """Block for ``ns`` nanoseconds of true time (off-CPU)."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        self.ns = int(self.ns)
+        if self.ns < 0:
+            raise ValueError(f"negative sleep time: {self.ns}")
+
+
+@dataclass
+class Spawn:
+    """Create a new thread on the same node running ``body(*args)``.
+
+    ``category`` and ``name`` become attributes of the spawned thread;
+    resumes with the new :class:`~repro.cluster.scheduler.SimThread`.
+    """
+
+    body: Callable[..., ThreadBody]
+    args: tuple = ()
+    name: str = ""
+    category: str = "user"
+
+
+@dataclass
+class YieldCPU:
+    """Voluntarily relinquish the processor (round-robin yield)."""
+
+
+def compute_seconds(seconds: float) -> Iterator[Any]:
+    """``yield from compute_seconds(x)`` — convenience compute generator."""
+    yield Compute.seconds(seconds)
+
+
+def busy_loop(iterations: int, ns_per_iteration: int) -> Iterator[Any]:
+    """A compute loop that yields between iterations, allowing preemption
+    checks at a finer grain than one large Compute request."""
+    for _ in range(iterations):
+        yield Compute(ns_per_iteration)
+
+
+@dataclass
+class ThreadExit:
+    """Internal marker carrying a finished thread's return value."""
+
+    value: Any = None
+    futures: list[Future] = field(default_factory=list)

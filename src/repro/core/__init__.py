@@ -1,0 +1,58 @@
+"""The self-defining interval file format (paper section 2.3).
+
+This is the paper's primary contribution: a trace format designed around
+*intervals* (visualization-friendly records with a duration) rather than
+point events, with
+
+* a **description profile** — a separate file describing every record type
+  field-by-field (the "self-defining" part: once a utility reads the
+  profile, it knows all field names, sizes and types);
+* **interval records** with *bebits* (begin/continuation/end/complete) so a
+  call interrupted by thread de-scheduling becomes multiple associated
+  pieces;
+* a **thread table** mapping compact logical thread IDs to full thread
+  identity (MPI task, pid, system tid, category);
+* **frames and frame directories** — a doubly linked index structure that
+  lets tools jump to any time range without reading the records before it;
+* a **simple API** (:mod:`repro.core.reader`) mirroring the paper's
+  Figure 5 (``readHeader`` / ``readFrameDir`` / ``readProfile`` /
+  ``getInterval`` / ``getItemByName``).
+"""
+
+from repro.core.fields import DataType, FieldSpec, ATTRS
+from repro.core.profilefmt import Profile, RecordSpec, standard_profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.core.frames import FrameEntry, FrameDirectory
+from repro.core.writer import IntervalFileWriter
+from repro.core.reader import (
+    IntervalReader,
+    read_header,
+    read_frame_dir,
+    read_profile,
+    get_interval,
+    get_item_by_name,
+)
+
+__all__ = [
+    "DataType",
+    "FieldSpec",
+    "ATTRS",
+    "Profile",
+    "RecordSpec",
+    "standard_profile",
+    "BeBits",
+    "IntervalRecord",
+    "IntervalType",
+    "ThreadEntry",
+    "ThreadTable",
+    "FrameEntry",
+    "FrameDirectory",
+    "IntervalFileWriter",
+    "IntervalReader",
+    "read_header",
+    "read_frame_dir",
+    "read_profile",
+    "get_interval",
+    "get_item_by_name",
+]

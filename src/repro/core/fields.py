@@ -1,0 +1,171 @@
+"""Field description words (paper section 2.3.1, Figure 3).
+
+Each field of a record type is described by one 32-bit *field description
+word*::
+
+    bit  31      vector flag
+    bits 28..30  counter length in bytes (vector count prefix, 0..4)
+    bits 24..27  data type code
+    bits 18..23  element length in bytes (1..63)
+    bits 12..17  field selection attribute (bit index into a file's mask)
+    bits  0..11  field name index (into the profile's field-name array)
+
+The *field selection attribute* is matched against the field selection mask
+in an interval file's header to decide whether the field is present in that
+particular file — the mechanism that lets "a given record type have a
+different number of fields in individual and merged interval files".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from repro.errors import FormatError
+
+
+class DataType(IntEnum):
+    """Element data types a field can hold."""
+
+    UINT = 0
+    INT = 1
+    FLOAT = 2
+    CHAR = 3
+
+
+#: Field-selection attribute bits.  CORE fields are present in every file;
+#: the others can be masked out per file (and LOCAL exists only in merged
+#: files, preserving pre-adjustment local start times).
+ATTRS = {
+    "core": 0,
+    "addr": 1,
+    "msg": 2,
+    "seq": 3,
+    "marker": 4,
+    "local": 5,
+}
+
+#: Convenience masks.
+MASK_CORE = 1 << ATTRS["core"]
+MASK_ALL_PER_NODE = (
+    MASK_CORE | 1 << ATTRS["addr"] | 1 << ATTRS["msg"] | 1 << ATTRS["seq"] | 1 << ATTRS["marker"]
+)
+MASK_ALL_MERGED = MASK_ALL_PER_NODE | 1 << ATTRS["local"]
+
+_FLOAT_SIZES = {4: "<f", 8: "<d"}
+_INT_SIZES = {1: ("<b", "<B"), 2: ("<h", "<H"), 4: ("<i", "<I"), 8: ("<q", "<Q")}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a record type, as described by its description word."""
+
+    name_index: int
+    dtype: DataType
+    elem_len: int
+    attr: int = ATTRS["core"]
+    vector: bool = False
+    counter_len: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.name_index < 4096:
+            raise FormatError(f"field name index out of range: {self.name_index}")
+        if not 1 <= self.elem_len <= 63:
+            raise FormatError(f"element length out of range: {self.elem_len}")
+        if not 0 <= self.attr < 64:
+            raise FormatError(f"selection attribute out of range: {self.attr}")
+        if self.vector and not 1 <= self.counter_len <= 4:
+            raise FormatError(
+                f"vector field needs a 1..4 byte counter, got {self.counter_len}"
+            )
+        if not self.vector and self.counter_len:
+            raise FormatError("scalar field must not have a counter")
+        if self.dtype == DataType.FLOAT and self.elem_len not in _FLOAT_SIZES:
+            raise FormatError(f"float fields must be 4 or 8 bytes, got {self.elem_len}")
+        if self.dtype in (DataType.UINT, DataType.INT) and self.elem_len not in _INT_SIZES:
+            raise FormatError(f"integer fields must be 1/2/4/8 bytes, got {self.elem_len}")
+        if self.dtype == DataType.CHAR and self.elem_len != 1:
+            raise FormatError("char fields must have 1-byte elements")
+
+    # -------------------------------------------------------------- encoding
+
+    def encode_word(self) -> int:
+        """Pack into the 32-bit field description word."""
+        return (
+            (1 << 31 if self.vector else 0)
+            | (self.counter_len << 28)
+            | (int(self.dtype) << 24)
+            | (self.elem_len << 18)
+            | (self.attr << 12)
+            | self.name_index
+        )
+
+    @classmethod
+    def decode_word(cls, word: int) -> "FieldSpec":
+        """Unpack a field description word."""
+        return cls(
+            name_index=word & 0xFFF,
+            dtype=DataType((word >> 24) & 0xF),
+            elem_len=(word >> 18) & 0x3F,
+            attr=(word >> 12) & 0x3F,
+            vector=bool(word >> 31),
+            counter_len=(word >> 28) & 0x7,
+        )
+
+    # --------------------------------------------------------- value packing
+
+    def _scalar_format(self) -> str:
+        if self.dtype == DataType.FLOAT:
+            return _FLOAT_SIZES[self.elem_len]
+        if self.dtype == DataType.INT:
+            return _INT_SIZES[self.elem_len][0]
+        if self.dtype == DataType.UINT:
+            return _INT_SIZES[self.elem_len][1]
+        return "<B"  # single char byte
+
+    def pack_value(self, value: Any) -> bytes:
+        """Serialize one field value (scalar, vector, or string)."""
+        if self.vector:
+            if self.dtype == DataType.CHAR:
+                blob = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+            else:
+                fmt = self._scalar_format()
+                blob = b"".join(struct.pack(fmt, v) for v in value)
+            count = len(blob) // self.elem_len
+            limit = 1 << (8 * self.counter_len)
+            if count >= limit:
+                raise FormatError(
+                    f"vector too long for {self.counter_len}-byte counter: {count}"
+                )
+            counter = count.to_bytes(self.counter_len, "little")
+            return counter + blob
+        if self.dtype == DataType.CHAR:
+            raise FormatError("scalar char fields are not supported; use a vector")
+        return struct.pack(self._scalar_format(), value)
+
+    def unpack_value(self, data: bytes, offset: int) -> tuple[Any, int]:
+        """Deserialize one field value at ``offset``; returns (value, next)."""
+        if self.vector:
+            count = int.from_bytes(data[offset : offset + self.counter_len], "little")
+            offset += self.counter_len
+            nbytes = count * self.elem_len
+            blob = data[offset : offset + nbytes]
+            if len(blob) != nbytes:
+                raise FormatError("truncated vector field")
+            offset += nbytes
+            if self.dtype == DataType.CHAR:
+                return blob.decode("utf-8"), offset
+            fmt = self._scalar_format()
+            values = [
+                struct.unpack_from(fmt, blob, i * self.elem_len)[0] for i in range(count)
+            ]
+            return values, offset
+        fmt = self._scalar_format()
+        (value,) = struct.unpack_from(fmt, data, offset)
+        return value, offset + self.elem_len
+
+    def present_in(self, mask: int) -> bool:
+        """Whether this field exists in a file with selection ``mask``."""
+        return bool(mask & (1 << self.attr))

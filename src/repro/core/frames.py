@@ -1,0 +1,123 @@
+"""Frames and frame directories (paper section 2.3.3, Figure 4).
+
+Interval records are partitioned into *frames*; groups of frames are indexed
+by *frame directories* forming a doubly linked list through the file::
+
+    header | thread table | Dir | Frame Frame Frame | Dir | Frame Frame ...
+
+A directory header holds its own size, the number of frames it indexes, and
+the offsets of the previous and next directories; each frame entry holds the
+frame's offset, size, record count, and start/end times — everything a tool
+needs to jump straight to the frame containing a chosen instant.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import FormatError
+
+_DIR_HEADER = struct.Struct("<IIqq")  # dir_size, n_frames, prev_offset, next_offset
+_FRAME_ENTRY = struct.Struct("<QQIxxxxQQ")  # offset, size, n_records, start, end
+
+#: Sentinel for "no previous/next directory".
+NO_DIRECTORY = -1
+
+
+@dataclass(frozen=True)
+class FrameEntry:
+    """Index entry for one frame of interval records."""
+
+    offset: int
+    size: int
+    n_records: int
+    start_time: int
+    end_time: int
+
+    def encode(self) -> bytes:
+        return _FRAME_ENTRY.pack(
+            self.offset, self.size, self.n_records, self.start_time, self.end_time
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple["FrameEntry", int]:
+        vals = _FRAME_ENTRY.unpack_from(data, offset)
+        return cls(*vals), offset + _FRAME_ENTRY.size
+
+    def contains_time(self, t: int) -> bool:
+        """Whether instant ``t`` falls inside this frame's time range."""
+        return self.start_time <= t <= self.end_time
+
+
+@dataclass
+class FrameDirectory:
+    """One directory: its file offset, linkage, and frame entries."""
+
+    offset: int
+    prev_offset: int
+    next_offset: int
+    frames: list[FrameEntry]
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames this directory indexes."""
+        return len(self.frames)
+
+    def encode(self) -> bytes:
+        body = b"".join(f.encode() for f in self.frames)
+        header = _DIR_HEADER.pack(
+            _DIR_HEADER.size + len(body),
+            len(self.frames),
+            self.prev_offset,
+            self.next_offset,
+        )
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "FrameDirectory":
+        dir_size, n_frames, prev_off, next_off = _DIR_HEADER.unpack_from(data, offset)
+        expected = _DIR_HEADER.size + n_frames * _FRAME_ENTRY.size
+        if dir_size != expected:
+            raise FormatError(
+                f"frame directory at {offset}: size {dir_size} != expected {expected}"
+            )
+        pos = offset + _DIR_HEADER.size
+        frames = []
+        for _ in range(n_frames):
+            entry, pos = FrameEntry.decode(data, pos)
+            frames.append(entry)
+        return cls(offset, prev_off, next_off, frames)
+
+    @classmethod
+    def encoded_size(cls, n_frames: int) -> int:
+        """On-disk size of a directory indexing ``n_frames`` frames."""
+        return _DIR_HEADER.size + n_frames * _FRAME_ENTRY.size
+
+    @classmethod
+    def next_offset_position(cls, dir_offset: int) -> int:
+        """File position of the ``next_offset`` field (for backpatching)."""
+        return dir_offset + 4 + 4 + 8
+
+    def time_span(self) -> tuple[int, int]:
+        """(earliest frame start, latest frame end) in this directory."""
+        if not self.frames:
+            raise FormatError("empty frame directory")
+        return self.frames[0].start_time, max(f.end_time for f in self.frames)
+
+
+def aggregate_totals(directories: Iterable[FrameDirectory]) -> tuple[int, int, int]:
+    """Aggregate (total records, first start, last end) across directories —
+    the paper's 'total elapsed time and total number of records' helpers."""
+    total = 0
+    first: int | None = None
+    last: int | None = None
+    for directory in directories:
+        for frame in directory.frames:
+            total += frame.n_records
+            first = frame.start_time if first is None else min(first, frame.start_time)
+            last = frame.end_time if last is None else max(last, frame.end_time)
+    if first is None or last is None:
+        return 0, 0, 0
+    return total, first, last

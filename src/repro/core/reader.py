@@ -1,0 +1,293 @@
+"""Reading interval files: the object API and the Figure-5-style simple API.
+
+:class:`IntervalReader` is the convenient object interface (iterate
+intervals, jump to frames by time, read the thread and marker tables).  The
+module-level functions — :func:`read_header`, :func:`read_frame_dir`,
+:func:`read_profile`, :func:`get_interval`, :func:`get_item_by_name` —
+mirror the paper's utility-library API so the Figure 5 program translates
+line for line::
+
+    handle, header = read_header("input_file")
+    framedir = read_frame_dir(handle)
+    table = read_profile("profile.ute", header.field_mask)
+    total = 0
+    while (raw := get_interval(handle)) is not None:
+        value = get_item_by_name(table, raw, "msgSizeSent")
+        if value is not None:
+            total += value
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.frames import NO_DIRECTORY, FrameDirectory, FrameEntry, aggregate_totals
+from repro.core.profilefmt import Profile
+from repro.core.records import IntervalRecord, skip_record, unpack_type_word, decode_length
+from repro.core.threadtable import ThreadTable
+from repro.core.writer import IntervalFileHeader, decode_marker_table, decode_node_table
+from repro.errors import FormatError
+
+#: Low-level exceptions a corrupted byte stream can surface; readers
+#: translate them into FormatError so callers see one failure type.
+_DECODE_ERRORS = (struct.error, IndexError, ValueError, OverflowError, UnicodeDecodeError)
+
+
+class IntervalReader:
+    """Random- and sequential-access reader for one interval file."""
+
+    def __init__(self, path: str | Path, profile: Profile | None = None) -> None:
+        self.path = Path(path)
+        self._data = self.path.read_bytes()
+        if len(self._data) < IntervalFileHeader.size():
+            raise FormatError(f"{self.path}: truncated interval file")
+        try:
+            self.header = IntervalFileHeader.decode(self._data)
+            offset = IntervalFileHeader.size()
+            self.thread_table, offset = ThreadTable.decode(
+                self._data, offset, self.header.n_threads
+            )
+            self.markers, offset = decode_marker_table(
+                self._data, offset, self.header.n_markers
+            )
+            self.node_cpus, offset = decode_node_table(
+                self._data, offset, self.header.n_nodes
+            )
+        except _DECODE_ERRORS as exc:
+            raise FormatError(f"{self.path}: corrupt header section ({exc})") from exc
+        self.profile = profile
+        if profile is not None:
+            profile.check_version(self.header.profile_version, str(self.path))
+
+    def _require_profile(self) -> Profile:
+        if self.profile is None:
+            raise FormatError(
+                f"{self.path}: decoding records requires a profile "
+                "(pass one to IntervalReader or use read_profile)"
+            )
+        return self.profile
+
+    # ------------------------------------------------------------ directories
+
+    def first_directory(self) -> FrameDirectory:
+        """The first frame directory (head of the doubly linked list)."""
+        return FrameDirectory.decode(self._data, self.header.first_dir_offset)
+
+    def directories(self) -> Iterator[FrameDirectory]:
+        """All directories, following next pointers."""
+        offset = self.header.first_dir_offset
+        seen: set[int] = set()
+        while offset != NO_DIRECTORY:
+            if offset in seen:
+                raise FormatError(
+                    f"{self.path}: frame-directory cycle at offset {offset}"
+                )
+            seen.add(offset)
+            try:
+                directory = FrameDirectory.decode(self._data, offset)
+            except _DECODE_ERRORS as exc:
+                raise FormatError(
+                    f"{self.path}: corrupt frame directory at {offset} ({exc})"
+                ) from exc
+            yield directory
+            offset = directory.next_offset
+
+    def frames(self) -> Iterator[FrameEntry]:
+        """All frame entries, in file order."""
+        for directory in self.directories():
+            yield from directory.frames
+
+    def find_frame(self, t: int) -> FrameEntry | None:
+        """The first frame whose [start, end] range contains instant ``t`` —
+        located through the directory index alone, without touching any
+        record bytes before the frame."""
+        for directory in self.directories():
+            dir_start, dir_end = (
+                directory.time_span() if directory.frames else (0, -1)
+            )
+            if t > dir_end:
+                continue
+            for frame in directory.frames:
+                if frame.contains_time(t):
+                    return frame
+            if t < dir_start:
+                return None
+        return None
+
+    # ---------------------------------------------------------------- records
+
+    def read_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
+        """Decode every record of one frame."""
+        profile = self._require_profile()
+        records = []
+        pos = frame.offset
+        end = frame.offset + frame.size
+        while pos < end:
+            try:
+                record, pos = IntervalRecord.decode(
+                    self._data, pos, profile, self.header.field_mask
+                )
+            except _DECODE_ERRORS as exc:
+                raise FormatError(
+                    f"{self.path}: corrupt record at offset {pos} ({exc})"
+                ) from exc
+            records.append(record)
+        if len(records) != frame.n_records:
+            raise FormatError(
+                f"frame at {frame.offset}: decoded {len(records)} records, "
+                f"entry says {frame.n_records}"
+            )
+        return records
+
+    def intervals(self) -> Iterator[IntervalRecord]:
+        """All records in file order (ascending end time)."""
+        for frame in self.frames():
+            yield from self.read_frame(frame)
+
+    def intervals_between(self, t0: int, t1: int) -> Iterator[IntervalRecord]:
+        """Records overlapping the window [t0, t1], using the frame index to
+        skip frames entirely outside it."""
+        for frame in self.frames():
+            if frame.end_time < t0 or frame.start_time > t1:
+                continue
+            for record in self.read_frame(frame):
+                if record.end >= t0 and record.start <= t1:
+                    yield record
+
+    def totals(self) -> tuple[int, int, int]:
+        """(record count, first start, last end) aggregated from directories
+        only — no record bytes are read."""
+        return aggregate_totals(self.directories())
+
+    def __iter__(self) -> Iterator[IntervalRecord]:
+        return self.intervals()
+
+
+# ---------------------------------------------------------------------------
+# The Figure-5-style simple API.
+
+
+@dataclass
+class IntervalFileHandle:
+    """Sequential-read cursor over an interval file (the simple API)."""
+
+    reader: IntervalReader
+    _frames: list[FrameEntry]
+    _frame_idx: int = 0
+    _pos: int = -1
+    _frame_end: int = -1
+
+    @property
+    def header(self) -> IntervalFileHeader:
+        """The file header."""
+        return self.reader.header
+
+
+@dataclass
+class ProfileTable:
+    """A profile narrowed by a file's field-selection mask (the ``table``
+    argument of the simple API)."""
+
+    profile: Profile
+    mask: int
+
+
+def read_header(path: str | Path) -> tuple[IntervalFileHandle, IntervalFileHeader]:
+    """Open an interval file; returns (handle, header)."""
+    reader = IntervalReader(path)
+    handle = IntervalFileHandle(reader, list(reader.frames()))
+    return handle, reader.header
+
+
+def read_frame_dir(handle: IntervalFileHandle) -> FrameDirectory:
+    """The first frame directory — "a user need not read any frame
+    directories except the first one"; sequential access follows links
+    internally."""
+    return handle.reader.first_directory()
+
+
+def read_profile(path: str | Path, mask: int) -> ProfileTable:
+    """Read a profile file, remembering the field-selection mask used to
+    pick the fields present in the interval file."""
+    return ProfileTable(Profile.read(path), mask)
+
+
+def get_interval(handle: IntervalFileHandle) -> bytes | None:
+    """The next raw interval record, hiding all frame and directory
+    boundaries; None at end of file."""
+    reader = handle.reader
+    while True:
+        if handle._pos < 0 or handle._pos >= handle._frame_end:
+            if handle._frame_idx >= len(handle._frames):
+                return None
+            frame = handle._frames[handle._frame_idx]
+            handle._frame_idx += 1
+            handle._pos = frame.offset
+            handle._frame_end = frame.offset + frame.size
+            continue
+        start = handle._pos
+        handle._pos = skip_record(reader._data, start)
+        return reader._data[start : handle._pos]
+
+
+def get_item_by_name(table: ProfileTable, raw: bytes, name: str) -> Any | None:
+    """Extract one field by name from a raw record; None if the record's
+    type has no such field under the table's mask."""
+    body_len, pos = decode_length(raw, 0)
+    (type_word,) = struct.unpack_from("<I", raw, pos)
+    itype, _bebits = unpack_type_word(type_word)
+    try:
+        spec = table.profile.spec_for(itype)
+    except FormatError:
+        return None
+    for fs in spec.fields:
+        if not fs.present_in(table.mask):
+            continue
+        value, next_pos = fs.unpack_value(raw, pos)
+        if table.profile.field_name(fs) == name:
+            return value
+        pos = next_pos
+    return None
+
+
+def get_marker_string(handle: IntervalFileHandle, marker_id: int) -> str:
+    """Retrieve a marker string by identifier (the paper's marker helpers)."""
+    try:
+        return handle.reader.markers[marker_id]
+    except KeyError:
+        raise FormatError(f"no marker with id {marker_id}") from None
+
+
+def get_interval_at(handle: IntervalFileHandle, offset: int) -> bytes:
+    """Retrieve the raw interval record at a specific file location — the
+    paper's "retrieve an interval at a specific location" helper.  The
+    offset must point at a record's length prefix (e.g. a frame entry's
+    offset, or a position previously advanced with the length prefixes)."""
+    data = handle.reader._data
+    if not 0 <= offset < len(data):
+        raise FormatError(f"offset {offset} outside file")
+    end = skip_record(data, offset)
+    if end > len(data):
+        raise FormatError(f"record at {offset} runs past end of file")
+    return data[offset:end]
+
+
+def is_vector_field(table: ProfileTable, itype: int, name: str) -> bool:
+    """Whether field ``name`` of record type ``itype`` is a vector field —
+    the paper's "determine if a field is a vector field" helper."""
+    spec = table.profile.spec_for(itype)
+    for fs in spec.fields:
+        if table.profile.field_name(fs) == name:
+            return fs.vector
+    raise FormatError(f"record type {itype} has no field {name!r}")
+
+
+def total_elapsed_and_records(handle: IntervalFileHandle) -> tuple[int, int]:
+    """(total elapsed ticks, total record count), aggregated from the frame
+    directory structures only — the paper's frame-directory aggregation
+    helpers."""
+    count, first, last = handle.reader.totals()
+    return last - first, count

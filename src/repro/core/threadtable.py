@@ -1,0 +1,134 @@
+"""The thread table (paper section 2.3.3).
+
+Each interval record carries only a compact logical thread ID; the thread
+table ahead of all interval records maps it to full identity: MPI task ID,
+process ID, system thread ID, node ID, and a thread type partitioning
+threads into MPI / user-defined / system categories ("a way to choose
+specific threads for merging").  A human-readable thread name is kept as
+well (used by the views' timeline labels).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FormatError
+
+#: Thread type codes, matching repro.tracing.facility.CATEGORY_CODES.
+THREAD_TYPE_MPI = 0
+THREAD_TYPE_USER = 1
+THREAD_TYPE_SYSTEM = 2
+
+THREAD_TYPE_NAMES = {
+    THREAD_TYPE_MPI: "mpi",
+    THREAD_TYPE_USER: "user",
+    THREAD_TYPE_SYSTEM: "system",
+}
+
+#: The paper allows up to 512 relevant threads per node.
+MAX_THREADS_PER_NODE = 512
+
+_ENTRY = struct.Struct("<iIIHHBx")  # task, pid, system_tid, node, logical, type, pad
+
+
+@dataclass(frozen=True)
+class ThreadEntry:
+    """One thread-table entry."""
+
+    mpi_task: int  # -1 for threads of non-MPI processes
+    pid: int
+    system_tid: int
+    node: int
+    logical_tid: int
+    thread_type: int
+    name: str = ""
+
+    def encode(self) -> bytes:
+        blob = self.name.encode("utf-8")
+        return (
+            _ENTRY.pack(
+                self.mpi_task,
+                self.pid,
+                self.system_tid,
+                self.node,
+                self.logical_tid,
+                self.thread_type,
+            )
+            + struct.pack("<H", len(blob))
+            + blob
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple["ThreadEntry", int]:
+        task, pid, stid, node, logical, ttype = _ENTRY.unpack_from(data, offset)
+        offset += _ENTRY.size
+        (name_len,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        name = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        return cls(task, pid, stid, node, logical, ttype, name), offset
+
+
+class ThreadTable:
+    """The per-file (or merged) table of thread entries.
+
+    Lookup is by (node, logical_tid) — the key interval records carry.
+    """
+
+    def __init__(self, entries: Iterable[ThreadEntry] = ()) -> None:
+        self.entries: list[ThreadEntry] = []
+        self._by_key: dict[tuple[int, int], ThreadEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: ThreadEntry) -> None:
+        """Append an entry, enforcing per-node uniqueness and the 512-thread
+        per-node limit."""
+        key = (entry.node, entry.logical_tid)
+        if key in self._by_key:
+            raise FormatError(f"duplicate thread entry for node/ltid {key}")
+        if entry.logical_tid >= MAX_THREADS_PER_NODE:
+            raise FormatError(
+                f"logical tid {entry.logical_tid} exceeds the "
+                f"{MAX_THREADS_PER_NODE}-thread per-node limit"
+            )
+        self.entries.append(entry)
+        self._by_key[key] = entry
+
+    def lookup(self, node: int, logical_tid: int) -> ThreadEntry:
+        """The entry for a record's (node, logical thread) pair."""
+        try:
+            return self._by_key[(node, logical_tid)]
+        except KeyError:
+            raise FormatError(f"no thread entry for node {node} ltid {logical_tid}") from None
+
+    def of_type(self, thread_type: int) -> list[ThreadEntry]:
+        """All entries of one category (MPI / user / system)."""
+        return [e for e in self.entries if e.thread_type == thread_type]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ThreadEntry]:
+        return iter(self.entries)
+
+    def encode(self) -> bytes:
+        """Serialize all entries (count is stored in the file header)."""
+        return b"".join(e.encode() for e in self.entries)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, count: int) -> tuple["ThreadTable", int]:
+        table = cls()
+        for _ in range(count):
+            entry, offset = ThreadEntry.decode(data, offset)
+            table.add(entry)
+        return table, offset
+
+    def merged_with(self, other: "ThreadTable") -> "ThreadTable":
+        """A new table with both sets of entries (for the merge utility)."""
+        merged = ThreadTable(self.entries)
+        for entry in other.entries:
+            merged.add(entry)
+        return merged

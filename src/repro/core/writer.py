@@ -1,0 +1,276 @@
+"""Interval file writer.
+
+Produces the structure of paper Figure 4: header, thread table, marker
+table, then interval records partitioned into frames with doubly linked
+frame directories.  Directories are written *before* the frames they index
+(so a sequential reader meets the index first), which requires knowing a
+directory's frames before emitting it — the writer therefore buffers one
+directory's worth of frames at a time, keeping memory bounded regardless of
+trace size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.frames import NO_DIRECTORY, FrameDirectory, FrameEntry
+from repro.core.profilefmt import Profile
+from repro.core.records import IntervalRecord
+from repro.core.threadtable import ThreadTable
+from repro.errors import FormatError
+
+MAGIC = b"UTEIVL1\x00"
+HEADER_VERSION = 1
+_HEADER = struct.Struct("<8sIHHIIIQQd")
+# magic, profile_version, header_version, pad, n_threads, n_markers,
+# n_nodes, field_mask, first_dir_offset, ticks_per_sec
+
+
+@dataclass(frozen=True)
+class IntervalFileHeader:
+    """Header of an interval file (paper section 2.3.3)."""
+
+    profile_version: int
+    n_threads: int
+    n_markers: int
+    field_mask: int
+    first_dir_offset: int
+    ticks_per_sec: float = 1e9
+    n_nodes: int = 0
+    header_version: int = HEADER_VERSION
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(
+            MAGIC,
+            self.profile_version,
+            self.header_version,
+            0,
+            self.n_threads,
+            self.n_markers,
+            self.n_nodes,
+            self.field_mask,
+            self.first_dir_offset,
+            self.ticks_per_sec,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IntervalFileHeader":
+        magic, pv, hv, _pad, nt, nm, nn, mask, first_dir, tps = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        if magic != MAGIC:
+            raise FormatError("not an interval file (bad magic)")
+        if hv != HEADER_VERSION:
+            raise FormatError(f"unsupported interval header version {hv}")
+        return cls(pv, nt, nm, mask, first_dir, tps, nn, hv)
+
+    @classmethod
+    def size(cls) -> int:
+        return _HEADER.size
+
+
+_NODE_ENTRY = struct.Struct("<HH")
+
+
+def encode_node_table(node_cpus: dict[int, int]) -> bytes:
+    """Serialize the node table: (node id, processor count) pairs."""
+    return b"".join(
+        _NODE_ENTRY.pack(node, cpus) for node, cpus in sorted(node_cpus.items())
+    )
+
+
+def decode_node_table(data: bytes, offset: int, count: int) -> tuple[dict[int, int], int]:
+    """Deserialize ``count`` node-table entries."""
+    node_cpus: dict[int, int] = {}
+    for _ in range(count):
+        node, cpus = _NODE_ENTRY.unpack_from(data, offset)
+        offset += _NODE_ENTRY.size
+        node_cpus[node] = cpus
+    return node_cpus, offset
+
+
+def encode_marker_table(markers: dict[int, str]) -> bytes:
+    """Serialize the marker string/identifier table."""
+    out = bytearray()
+    for marker_id in sorted(markers):
+        blob = markers[marker_id].encode("utf-8")
+        out += struct.pack("<IH", marker_id, len(blob)) + blob
+    return bytes(out)
+
+
+def decode_marker_table(data: bytes, offset: int, count: int) -> tuple[dict[int, str], int]:
+    """Deserialize ``count`` marker entries."""
+    markers: dict[int, str] = {}
+    for _ in range(count):
+        marker_id, length = struct.unpack_from("<IH", data, offset)
+        offset += 6
+        markers[marker_id] = data[offset : offset + length].decode("utf-8")
+        offset += length
+    return markers, offset
+
+
+class IntervalFileWriter:
+    """Streams interval records into a framed, directory-indexed file.
+
+    Records must be appended in ascending **end time** order (start +
+    duration), the invariant paper section 3.1 states for interval files;
+    the writer enforces it.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        profile: Profile,
+        thread_table: ThreadTable,
+        *,
+        markers: dict[int, str] | None = None,
+        node_cpus: dict[int, int] | None = None,
+        field_mask: int,
+        frame_bytes: int = 32 * 1024,
+        frames_per_dir: int = 8,
+        ticks_per_sec: float = 1e9,
+    ) -> None:
+        if frame_bytes < 256:
+            raise FormatError(f"frame size too small: {frame_bytes}")
+        if frames_per_dir < 1:
+            raise FormatError("need at least one frame per directory")
+        self.path = Path(path)
+        self.profile = profile
+        self.thread_table = thread_table
+        self.markers = dict(markers or {})
+        self.node_cpus = dict(node_cpus or {})
+        self.field_mask = field_mask
+        self.frame_bytes = frame_bytes
+        self.frames_per_dir = frames_per_dir
+        self.records_written = 0
+        self._last_end: int | None = None
+
+        self._fh = open(self.path, "wb")
+        table_blob = thread_table.encode()
+        marker_blob = encode_marker_table(self.markers)
+        node_blob = encode_node_table(self.node_cpus)
+        first_dir = (
+            IntervalFileHeader.size() + len(table_blob) + len(marker_blob) + len(node_blob)
+        )
+        self.header = IntervalFileHeader(
+            profile_version=profile.version_id,
+            n_threads=len(thread_table),
+            n_markers=len(self.markers),
+            n_nodes=len(self.node_cpus),
+            field_mask=field_mask,
+            first_dir_offset=first_dir,
+            ticks_per_sec=ticks_per_sec,
+        )
+        self._fh.write(self.header.encode())
+        self._fh.write(table_blob)
+        self._fh.write(marker_blob)
+        self._fh.write(node_blob)
+        self._next_write_offset = first_dir
+        self._prev_dir_offset = NO_DIRECTORY
+        # Current frame accumulation.
+        self._frame_buf = bytearray()
+        self._frame_records = 0
+        self._frame_start: int | None = None
+        self._frame_end: int | None = None
+        # Finished frames awaiting their directory: (blob, n, start, end).
+        self._pending: list[tuple[bytes, int, int, int]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ API
+
+    def write(self, record: IntervalRecord) -> None:
+        """Append one record (ascending end-time order enforced)."""
+        if self._closed:
+            raise FormatError("interval writer already closed")
+        end = record.end
+        if self._last_end is not None and end < self._last_end:
+            raise FormatError(
+                f"records out of end-time order: {end} after {self._last_end}"
+            )
+        self._last_end = end
+        blob = record.encode(self.profile, self.field_mask)
+        self._frame_buf += blob
+        self._frame_records += 1
+        self._frame_start = (
+            record.start if self._frame_start is None else min(self._frame_start, record.start)
+        )
+        self._frame_end = end if self._frame_end is None else max(self._frame_end, end)
+        self.records_written += 1
+        if len(self._frame_buf) >= self.frame_bytes:
+            self._finish_frame()
+
+    @property
+    def frame_fill(self) -> int:
+        """Bytes accumulated in the current (unfinished) frame.  Zero means
+        the next write starts a fresh frame — the merge utility uses this to
+        lead new frames with pseudo-interval records."""
+        return len(self._frame_buf)
+
+    def frame_boundary(self) -> None:
+        """Force the current frame to close (used by the merge utility when
+        it wants to lead the next frame with pseudo-intervals)."""
+        if self._frame_records:
+            self._finish_frame()
+
+    def close(self) -> Path:
+        """Flush everything and finalize the directory chain."""
+        if self._closed:
+            return self.path
+        self._finish_frame()
+        if self._pending or self._prev_dir_offset == NO_DIRECTORY:
+            # Final (possibly partial or empty) directory.
+            self._flush_directory()
+        self._fh.close()
+        self._closed = True
+        return self.path
+
+    def __enter__(self) -> "IntervalFileWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _finish_frame(self) -> None:
+        if not self._frame_records:
+            return
+        assert self._frame_start is not None and self._frame_end is not None
+        self._pending.append(
+            (bytes(self._frame_buf), self._frame_records, self._frame_start, self._frame_end)
+        )
+        self._frame_buf = bytearray()
+        self._frame_records = 0
+        self._frame_start = None
+        self._frame_end = None
+        if len(self._pending) >= self.frames_per_dir:
+            self._flush_directory()
+
+    def _flush_directory(self) -> None:
+        dir_offset = self._next_write_offset
+        dir_size = FrameDirectory.encoded_size(len(self._pending))
+        entries = []
+        frame_offset = dir_offset + dir_size
+        for blob, n, start, end in self._pending:
+            entries.append(FrameEntry(frame_offset, len(blob), n, start, end))
+            frame_offset += len(blob)
+        directory = FrameDirectory(
+            offset=dir_offset,
+            prev_offset=self._prev_dir_offset,
+            next_offset=NO_DIRECTORY,
+            frames=entries,
+        )
+        self._fh.seek(dir_offset)
+        self._fh.write(directory.encode())
+        for blob, _, _, _ in self._pending:
+            self._fh.write(blob)
+        self._next_write_offset = frame_offset
+        # Backpatch the previous directory's next pointer.
+        if self._prev_dir_offset != NO_DIRECTORY:
+            self._fh.seek(FrameDirectory.next_offset_position(self._prev_dir_offset))
+            self._fh.write(struct.pack("<q", dir_offset))
+            self._fh.seek(self._next_write_offset)
+        self._prev_dir_offset = dir_offset
+        self._pending = []

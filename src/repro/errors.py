@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro framework.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch framework errors without masking
+programming errors (``TypeError``, ``ValueError`` from user code, …).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the cluster simulator.
+
+    Raised for deadlocks (all threads blocked with no pending events),
+    invalid scheduler transitions, or misuse of the workload-authoring API.
+    """
+
+
+class TraceError(ReproError):
+    """An error in trace generation or raw trace file handling."""
+
+
+class FormatError(ReproError):
+    """A malformed interval file, profile file, or SLOG file."""
+
+
+class ProfileMismatchError(FormatError):
+    """The profile version recorded in an interval file does not match the
+    profile file used to read it (paper section 2.3)."""
+
+
+class MergeError(ReproError):
+    """An error while merging interval files (unsorted input, clock
+    adjustment failure, or incompatible thread tables)."""
+
+
+class StatsError(ReproError):
+    """An error parsing or evaluating a statistics table program."""

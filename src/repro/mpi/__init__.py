@@ -1,0 +1,29 @@
+"""A simulated MPI layer over the cluster substrate.
+
+Implements the message-passing semantics the traced applications exercise:
+point-to-point operations with tag/source matching and wildcards,
+nonblocking requests, and tree/ring-based collectives — all written as
+generator coroutines over the :mod:`repro.cluster.program` primitives, so a
+blocking receive really de-schedules the calling thread (creating the
+interval *pieces* the paper's format exists to represent).
+
+Every public call goes through a PMPI-style wrapper
+(:mod:`repro.mpi.pmpi`) that cuts begin/end trace events, including the
+unique per-message sequence numbers the utilities use to match sends with
+receives.
+"""
+
+from repro.mpi.message import Message, Mailbox, ANY_SOURCE, ANY_TAG
+from repro.mpi.timing import MpiTiming
+from repro.mpi.runtime import MpiRuntime, TaskContext, Request
+
+__all__ = [
+    "Message",
+    "Mailbox",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiTiming",
+    "MpiRuntime",
+    "TaskContext",
+    "Request",
+]

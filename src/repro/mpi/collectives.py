@@ -1,0 +1,169 @@
+"""Collective algorithms over internal point-to-point fragments.
+
+Each algorithm is a generator ``algo(ctx, root, size, op_seq)`` run inside
+the calling task's thread.  Fragments travel in the collective context
+(never matching user receives) and are tagged ``op_seq * TAG_STRIDE +
+round`` — collectives are called in the same order by every rank of a
+communicator, so per-task operation counters agree and rounds can never
+cross-match.
+
+Algorithms follow the classic MPICH choices of the paper's era: dissemination
+barrier, binomial broadcast/reduce, reduce+bcast allreduce, linear
+gather/scatter, ring allgather, shifted pairwise alltoall, and linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import TaskContext
+
+ThreadBody = Generator[Any, Any, Any]
+
+#: Tag space per collective operation instance.  Ring/pairwise algorithms
+#: use one round per peer, so this bounds the supported communicator size.
+TAG_STRIDE = 4096
+
+#: Round-number bases separating the phases of composite collectives
+#: (reduce+bcast, reduce+scatter).  Tree algorithms use at most a handful of
+#: rounds per phase, so small fixed bases suffice and every tag stays well
+#: inside TAG_STRIDE.
+PHASE1 = 0
+PHASE2 = 2048
+
+
+def _tag(op_seq: int, round_no: int) -> int:
+    if not 0 <= round_no < TAG_STRIDE:
+        raise ValueError(
+            f"collective round {round_no} exceeds TAG_STRIDE {TAG_STRIDE} "
+            "(communicator too large for the ring/pairwise algorithms)"
+        )
+    return op_seq * TAG_STRIDE + round_no
+
+
+def barrier(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Dissemination barrier: ceil(log2 p) rounds of shifted exchanges."""
+    p = ctx.size
+    k = 0
+    dist = 1
+    while dist < p:
+        dest = (ctx.rank + dist) % p
+        src = (ctx.rank - dist) % p
+        yield from ctx._send_internal(dest, 0, _tag(op_seq, k))
+        yield from ctx._recv_internal(src, _tag(op_seq, k))
+        dist <<= 1
+        k += 1
+
+
+def bcast(
+    ctx: "TaskContext", root: int, size: int, op_seq: int, round_base: int = PHASE1
+) -> ThreadBody:
+    """Binomial-tree broadcast rooted at ``root``."""
+    p = ctx.size
+    rel = (ctx.rank - root) % p
+    # Receive phase: find the round in which this rank's parent sends to it.
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = (ctx.rank - mask) % p
+            yield from ctx._recv_internal(parent, _tag(op_seq, round_base))
+            break
+        mask <<= 1
+    # Send phase: forward to children in decreasing-mask order.
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < p:
+            child = (ctx.rank + mask) % p
+            yield from ctx._send_internal(child, size, _tag(op_seq, round_base))
+        mask >>= 1
+
+
+def reduce(
+    ctx: "TaskContext", root: int, size: int, op_seq: int, round_base: int = PHASE1
+) -> ThreadBody:
+    """Binomial-tree reduction toward ``root`` (mirror of bcast)."""
+    p = ctx.size
+    rel = (ctx.rank - root) % p
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = (ctx.rank - mask) % p
+            yield from ctx._send_internal(parent, size, _tag(op_seq, round_base))
+            return
+        partner = rel + mask
+        if partner < p:
+            child = (ctx.rank + mask) % p
+            yield from ctx._recv_internal(child, _tag(op_seq, round_base))
+            # Combining cost: one pass over the partial result.
+            from repro.cluster.program import Compute
+
+            yield Compute(ctx.timing.copy_ns(size))
+        mask <<= 1
+
+
+def allreduce(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Reduce to rank 0 followed by broadcast from rank 0."""
+    yield from reduce(ctx, 0, size, op_seq, PHASE1)
+    yield from bcast(ctx, 0, size, op_seq, PHASE2)
+
+
+def gather(
+    ctx: "TaskContext", root: int, size: int, op_seq: int, round_base: int = PHASE1
+) -> ThreadBody:
+    """Linear gather: every non-root sends its block to root."""
+    if ctx.rank == root:
+        for _ in range(ctx.size - 1):
+            yield from ctx._recv_internal(-1, _tag(op_seq, round_base))
+    else:
+        yield from ctx._send_internal(root, size, _tag(op_seq, round_base))
+
+
+def scatter(
+    ctx: "TaskContext", root: int, size: int, op_seq: int, round_base: int = PHASE1
+) -> ThreadBody:
+    """Linear scatter: root sends one block to every other rank."""
+    if ctx.rank == root:
+        for dest in range(ctx.size):
+            if dest != root:
+                yield from ctx._send_internal(dest, size, _tag(op_seq, round_base))
+    else:
+        yield from ctx._recv_internal(root, _tag(op_seq, round_base))
+
+
+def allgather(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Ring allgather: p-1 steps, each passing one block to the right."""
+    p = ctx.size
+    right = (ctx.rank + 1) % p
+    left = (ctx.rank - 1) % p
+    for step in range(p - 1):
+        yield from ctx._send_internal(right, size, _tag(op_seq, step))
+        yield from ctx._recv_internal(left, _tag(op_seq, step))
+
+
+def alltoall(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Shifted pairwise exchange: step i swaps with rank±i."""
+    p = ctx.size
+    for step in range(1, p):
+        dest = (ctx.rank + step) % p
+        src = (ctx.rank - step) % p
+        yield from ctx._send_internal(dest, size, _tag(op_seq, step))
+        yield from ctx._recv_internal(src, _tag(op_seq, step))
+
+
+def reduce_scatter(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Reduce to rank 0, then scatter the blocks back out."""
+    yield from reduce(ctx, 0, size, op_seq, PHASE1)
+    block = size // max(ctx.size, 1)
+    yield from scatter(ctx, 0, block, op_seq, PHASE2)
+
+
+def scan(ctx: "TaskContext", root: int, size: int, op_seq: int) -> ThreadBody:
+    """Linear prefix chain: receive from rank-1, combine, send to rank+1."""
+    from repro.cluster.program import Compute
+
+    if ctx.rank > 0:
+        yield from ctx._recv_internal(ctx.rank - 1, _tag(op_seq, 0))
+        yield Compute(ctx.timing.copy_ns(size))
+    if ctx.rank < ctx.size - 1:
+        yield from ctx._send_internal(ctx.rank + 1, size, _tag(op_seq, 0))

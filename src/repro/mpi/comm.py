@@ -1,0 +1,103 @@
+"""Communicators: process subgroups with their own rank space.
+
+``MPI_Comm_split``-style subgroups so workloads can run collectives over a
+subset of tasks (row/column communicators in 2-D decompositions, I/O
+aggregator groups, …).  Each communicator gets a cluster-unique *context
+stride* folded into its collective tags, so traffic in different
+communicators can never cross-match even when the same algorithm rounds
+run concurrently.
+
+A :class:`CommView` adapts a member task's :class:`TaskContext` to the
+sub-communicator's rank space; the collective algorithms in
+:mod:`repro.mpi.collectives` run on it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import TaskContext
+
+#: Tag-space stride separating communicators.  Internal collective tags are
+#: ``context_id * CONTEXT_STRIDE + op_seq * TAG_STRIDE + round``; this
+#: stride leaves room for 2^32 collective operations per communicator
+#: before any overlap (tags are plain Python ints, never truncated).
+CONTEXT_STRIDE = 1 << 44
+
+
+class Communicator:
+    """A subgroup of world ranks with its own rank numbering.
+
+    Created collectively via :meth:`TaskContext.comm_split`; every member
+    holds an equal :class:`Communicator` (same context id, same member
+    list) and addresses peers by *communicator rank*.
+    """
+
+    def __init__(self, context_id: int, members: tuple[int, ...], my_world_rank: int) -> None:
+        if my_world_rank not in members:
+            raise SimulationError(
+                f"world rank {my_world_rank} is not a member of {members}"
+            )
+        self.context_id = context_id
+        self.members = members
+        self.rank = members.index(my_world_rank)
+        # Per-communicator collective-operation counter: members call this
+        # communicator's collectives in the same order, so counters agree
+        # within the group regardless of what other groups are doing.
+        self._op_seq = 0
+
+    @property
+    def size(self) -> int:
+        """Number of member tasks."""
+        return len(self.members)
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to a world rank."""
+        if not 0 <= comm_rank < self.size:
+            raise SimulationError(
+                f"rank {comm_rank} out of range for size-{self.size} communicator"
+            )
+        return self.members[comm_rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Communicator ctx={self.context_id} rank={self.rank}/{self.size} "
+            f"members={self.members}>"
+        )
+
+
+class CommView:
+    """Adapter giving the collective algorithms a sub-communicator's view of
+    a task context: translated ``rank``/``size`` and tag-spaced internal
+    sends/receives; everything else delegates to the real context."""
+
+    def __init__(self, ctx: "TaskContext", comm: Communicator) -> None:
+        self._ctx = ctx
+        self._comm = comm
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    @property
+    def timing(self):
+        return self._ctx.timing
+
+    def _send_internal(self, dest: int, size: int, tag: int) -> Generator[Any, Any, Any]:
+        yield from self._ctx._send_internal(
+            self._comm.world_rank(dest), size, self._offset(tag)
+        )
+
+    def _recv_internal(self, source: int, tag: int) -> Generator[Any, Any, Any]:
+        src = source if source < 0 else self._comm.world_rank(source)
+        return (yield from self._ctx._recv_internal(src, self._offset(tag)))
+
+    def _offset(self, tag: int) -> int:
+        return self._comm.context_id * CONTEXT_STRIDE + tag

@@ -1,0 +1,99 @@
+"""Messages and per-task mailboxes with MPI matching semantics.
+
+A :class:`Mailbox` holds a task's *unexpected message queue* and *posted
+receive queue*; matching follows MPI rules — (source, tag) with wildcards,
+FIFO per (source, tag) pair, separate *contexts* so collective traffic can
+never match user point-to-point receives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.engine import Future
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Context IDs: user point-to-point vs internal collective traffic.
+CTX_POINT_TO_POINT = 0
+CTX_COLLECTIVE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message in flight or delivered.
+
+    ``seqno`` is the unique point-to-point sequence number the tracing
+    library attaches so utilities can match sends with receives (paper
+    section 2.1); internal collective fragments carry ``seqno = 0``.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    size: int
+    seqno: int
+    context: int = CTX_POINT_TO_POINT
+    payload: Any = None
+
+
+@dataclass(slots=True)
+class _PostedRecv:
+    source: int
+    tag: int
+    context: int
+    future: Future
+
+    def matches(self, msg: Message) -> bool:
+        if self.context != msg.context:
+            return False
+        if self.source != ANY_SOURCE and self.source != msg.src:
+            return False
+        if self.tag != ANY_TAG and self.tag != msg.tag:
+            return False
+        return True
+
+
+class Mailbox:
+    """Unexpected-message and posted-receive queues for one task."""
+
+    def __init__(self, task_id: int) -> None:
+        self.task_id = task_id
+        self._unexpected: deque[Message] = deque()
+        self._posted: deque[_PostedRecv] = deque()
+        self.delivered = 0
+
+    def deliver(self, msg: Message) -> None:
+        """A message arrived from the network: complete a matching posted
+        receive, or queue it as unexpected."""
+        self.delivered += 1
+        for i, posted in enumerate(self._posted):
+            if posted.matches(msg):
+                del self._posted[i]
+                posted.future.set_result(msg)
+                return
+        self._unexpected.append(msg)
+
+    def post_recv(self, source: int, tag: int, context: int) -> Future:
+        """Post a receive; the returned future resolves with the matched
+        :class:`Message` (immediately, if one is already queued)."""
+        future = Future()
+        posted = _PostedRecv(source, tag, context, future)
+        for i, msg in enumerate(self._unexpected):
+            if posted.matches(msg):
+                del self._unexpected[i]
+                future.set_result(msg)
+                return future
+        self._posted.append(posted)
+        return future
+
+    def pending_unexpected(self) -> int:
+        """Number of queued unexpected messages."""
+        return len(self._unexpected)
+
+    def pending_posted(self) -> int:
+        """Number of posted-but-unmatched receives."""
+        return len(self._posted)

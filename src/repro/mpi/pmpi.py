@@ -1,0 +1,77 @@
+"""PMPI-style tracing wrappers.
+
+The paper generates event records "at the start and end of each MPI call
+using the standard PMPI interface".  Here the equivalent: every public MPI
+call in :mod:`repro.mpi.runtime` funnels through :func:`cut_mpi_event`, which
+cuts a begin or end record into the calling node's trace session, attributed
+to the *currently running thread* (obtained from the node scheduler, the way
+a real wrapper implicitly runs on the calling thread).
+
+Argument encodings
+------------------
+Event payloads are unsigned 64-bit words; negative values (``MPI_ANY_SOURCE``
+= -1, ``MPI_ANY_TAG`` = -1) are stored two's-complement and decoded with
+:func:`as_signed`.
+
+Per-function payload layouts (consumed by the convert utility):
+
+=====================  ==========================================
+event                  args
+=====================  ==========================================
+p2p begin              (peer, tag, bytes, seqno, addr)
+recv-like end          (src, tag, bytes, seqno)
+send-like end          ()
+collective begin       (root, bytes, coll_seq, addr)
+collective end         ()
+MPI_Wait end           (src, tag, bytes, seqno) if a recv completed
+MPI_Waitall end        (seqno, seqno, ...) of every completed recv
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tracing.hooks import MPI_FN_IDS, hook_for_mpi_begin, hook_for_mpi_end
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import TaskContext
+
+_MASK64 = (1 << 64) - 1
+
+
+def enc_signed(value: int) -> int:
+    """Encode a (possibly negative) int as an unsigned 64-bit word."""
+    return value & _MASK64
+
+
+def as_signed(word: int) -> int:
+    """Decode an unsigned 64-bit word back to a signed int."""
+    return word - (1 << 64) if word >= (1 << 63) else word
+
+
+def cut_mpi_event(
+    ctx: "TaskContext", fn_name: str, *, begin: bool, args: tuple[int, ...]
+) -> None:
+    """Cut an MPI begin/end event for the current thread of ``ctx``'s node.
+
+    A no-op when no trace facility is attached, mirroring an untraced run
+    (the wrapper's enable test still happens inside the session).
+    """
+    facility = ctx.runtime.facility
+    if facility is None:
+        return
+    session = facility.session_for(ctx.node.node_id)
+    thread = ctx.node.scheduler.current
+    if thread is None:  # pragma: no cover - MPI outside a simulated thread
+        return
+    session.note_thread(ctx.runtime.cluster.engine.now, thread)
+    fn_id = MPI_FN_IDS[fn_name]
+    hook = hook_for_mpi_begin(fn_id) if begin else hook_for_mpi_end(fn_id)
+    session.cut(
+        hook,
+        ctx.runtime.cluster.engine.now,
+        thread.system_tid,
+        thread.cpu if thread.cpu is not None else 0,
+        tuple(enc_signed(a) for a in args),
+    )

@@ -1,0 +1,587 @@
+"""The MPI runtime: task placement, the per-task context, and the public
+(traced) MPI operations.
+
+A *task* is one MPI process.  :meth:`MpiRuntime.launch` places tasks on the
+cluster's nodes and spawns each task's main thread (category MPI — the
+thread that makes MPI calls, as in the paper's sPPM runs).  Workload code is
+written as generator coroutines receiving a :class:`TaskContext`::
+
+    def rank_main(ctx):
+        yield from ctx.compute(0.01)
+        if ctx.rank == 0:
+            yield from ctx.send(1, 4096)
+        elif ctx.rank == 1:
+            msg = yield from ctx.recv()
+        yield from ctx.barrier()
+
+Every public operation is wrapped PMPI-style (begin/end trace events); the
+internal transfers collectives are built from are *not* individually traced,
+matching real profiling libraries where only the user-visible call is.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.cluster.engine import Future
+from repro.cluster.machine import Cluster, Node
+from repro.cluster.program import Compute, Spawn, ThreadBody, Wait
+from repro.cluster.scheduler import SimThread, ThreadCategory
+from repro.errors import SimulationError
+from repro.mpi import collectives as _coll
+from repro.mpi.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CTX_COLLECTIVE,
+    CTX_POINT_TO_POINT,
+    Mailbox,
+    Message,
+)
+from repro.mpi.pmpi import cut_mpi_event, enc_signed
+from repro.mpi.timing import MpiTiming
+from repro.tracing.facility import TraceFacility
+from repro.tracing.hooks import HookId
+
+
+@dataclass
+class Request:
+    """A nonblocking-operation handle (MPI_Request).
+
+    Eager sends complete immediately (``future is None``); receives complete
+    when their future resolves with the matched :class:`Message`.
+    """
+
+    kind: str  # "send" | "recv"
+    future: Future | None = None
+    message: Message | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the operation has completed."""
+        if self.future is None:
+            return True
+        return self.future.done
+
+
+class TaskContext:
+    """Everything one MPI task sees: its rank, node, mailbox, markers, and
+    the full traced MPI API (all operations are generators — invoke with
+    ``yield from``)."""
+
+    def __init__(self, runtime: "MpiRuntime", rank: int, node: Node, pid: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.node = node
+        self.pid = pid
+        self.mailbox = Mailbox(rank)
+        self._coll_seq = 0
+        self._markers = runtime.make_marker_registry(rank)
+
+    # ------------------------------------------------------------- basics
+
+    @property
+    def size(self) -> int:
+        """Number of tasks in the job (MPI_COMM_WORLD size)."""
+        return len(self.runtime.tasks)
+
+    @property
+    def timing(self) -> MpiTiming:
+        """The MPI timing model in effect."""
+        return self.runtime.timing
+
+    def compute(self, seconds: float) -> ThreadBody:
+        """Consume CPU for ``seconds`` (application work, preemptible)."""
+        yield Compute.seconds(seconds)
+
+    def compute_ns(self, ns: int) -> ThreadBody:
+        """Consume CPU for ``ns`` nanoseconds."""
+        yield Compute(int(ns))
+
+    def spawn_thread(
+        self,
+        body: Callable[..., ThreadBody],
+        *args: Any,
+        name: str = "",
+        category: str = "user",
+    ) -> Spawn:
+        """Build a Spawn request for a sibling thread (``t = yield ctx.spawn_thread(...)``)."""
+        return Spawn(body, args, name=name, category=category)
+
+    # ------------------------------------------------------------- markers
+
+    def marker_define(self, text: str) -> int:
+        """Define a user marker; returns the task-local identifier and cuts
+        a MARKER_DEFINE event carrying the string."""
+        marker_id = self._markers.define(text)
+        self._cut_marker(HookId.MARKER_DEFINE, (marker_id,), text)
+        return marker_id
+
+    def marker_begin(self, marker_id: int, addr: int = 0) -> None:
+        """Cut a begin event for a previously defined marker."""
+        self._markers.lookup(marker_id)
+        self._cut_marker(HookId.MARKER_BEGIN, (marker_id, addr))
+
+    def marker_end(self, marker_id: int, addr: int = 0) -> None:
+        """Cut an end event for a previously defined marker."""
+        self._markers.lookup(marker_id)
+        self._cut_marker(HookId.MARKER_END, (marker_id, addr))
+
+    def _cut_marker(self, hook: HookId, args: tuple[int, ...], text: str = "") -> None:
+        facility = self.runtime.facility
+        if facility is None:
+            return
+        thread = self.node.scheduler.current
+        session = facility.session_for(self.node.node_id)
+        if thread is not None:
+            session.note_thread(self.runtime.cluster.engine.now, thread)
+        session.cut(
+            hook,
+            self.runtime.cluster.engine.now,
+            thread.system_tid if thread else 0,
+            (thread.cpu if thread and thread.cpu is not None else 0),
+            args,
+            text,
+        )
+
+    # ----------------------------------------------- system activity (§5)
+
+    def io_read(self, size: int, addr: int = 0) -> ThreadBody:
+        """Read ``size`` bytes from the node-local disk (traced FileIO)."""
+        yield from self._io(size, write=False, addr=addr)
+
+    def io_write(self, size: int, addr: int = 0) -> ThreadBody:
+        """Write ``size`` bytes to the node-local disk (traced FileIO)."""
+        yield from self._io(size, write=True, addr=addr)
+
+    def _io(self, size: int, *, write: bool, addr: int) -> ThreadBody:
+        self._cut_marker(HookId.IO_BEGIN, (size, int(write), addr))
+        yield Compute(self.timing.copy_ns(size))  # buffer copy
+        done = self.node.disk.submit(size)
+        yield Wait(done)  # blocked (off-CPU) while the disk services it
+        yield Compute(self.timing.call_overhead_ns)
+        self._cut_marker(HookId.IO_END, (size, int(write), addr))
+
+    def compute_with_faults(
+        self,
+        seconds: float,
+        *,
+        faults: int = 0,
+        fault_service_ns: int = 250_000,
+        addr: int = 0,
+    ) -> ThreadBody:
+        """Compute that takes ``faults`` evenly spaced page misses.
+
+        Each miss is traced as a PageFault state (begin/end around the
+        fault-service time), so the system activity shows up in every view
+        and statistic without any viewer changes — the self-defining
+        format's extension story.
+        """
+        from repro.cluster.engine import seconds_to_ns
+
+        total = seconds_to_ns(seconds)
+        if faults <= 0:
+            yield Compute(total)
+            return
+        chunk = total // (faults + 1)
+        for i in range(faults):
+            yield Compute(chunk)
+            self._cut_marker(HookId.PAGEFAULT_BEGIN, (addr + i,))
+            yield Compute(fault_service_ns)
+            self._cut_marker(HookId.PAGEFAULT_END, (addr + i,))
+        yield Compute(total - chunk * faults)
+
+    # ------------------------------------------------------ point-to-point
+
+    def send(
+        self, dest: int, size: int, tag: int = 0, payload: Any = None, addr: int = 0
+    ) -> ThreadBody:
+        """Blocking (eager) standard send."""
+        seq = self.runtime.next_seqno()
+        cut_mpi_event(self, "MPI_Send", begin=True, args=(dest, tag, size, seq, addr))
+        yield from self._enter_overhead()
+        yield from self._core_send(dest, size, tag, seq, CTX_POINT_TO_POINT, payload)
+        yield from self._exit_overhead()
+        cut_mpi_event(self, "MPI_Send", begin=False, args=())
+
+    def ssend(
+        self, dest: int, size: int, tag: int = 0, payload: Any = None, addr: int = 0
+    ) -> ThreadBody:
+        """Synchronous send: does not complete until the receiver matches."""
+        seq = self.runtime.next_seqno()
+        cut_mpi_event(self, "MPI_Ssend", begin=True, args=(dest, tag, size, seq, addr))
+        yield from self._enter_overhead()
+        ack = Future()
+        yield from self._core_send(
+            dest, size, tag, seq, CTX_POINT_TO_POINT, payload, ack=ack
+        )
+        yield Wait(ack)
+        yield from self._exit_overhead()
+        cut_mpi_event(self, "MPI_Ssend", begin=False, args=())
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, addr: int = 0
+    ) -> Generator[Any, Any, Message]:
+        """Blocking receive; returns the matched :class:`Message`."""
+        cut_mpi_event(self, "MPI_Recv", begin=True, args=(source, tag, 0, 0, addr))
+        yield from self._enter_overhead()
+        msg = yield from self._core_recv(source, tag, CTX_POINT_TO_POINT)
+        yield from self._exit_overhead()
+        cut_mpi_event(
+            self, "MPI_Recv", begin=False, args=(msg.src, msg.tag, msg.size, msg.seqno)
+        )
+        return msg
+
+    def isend(
+        self, dest: int, size: int, tag: int = 0, payload: Any = None, addr: int = 0
+    ) -> Generator[Any, Any, Request]:
+        """Nonblocking send; eager, so the request is complete on return."""
+        seq = self.runtime.next_seqno()
+        cut_mpi_event(self, "MPI_Isend", begin=True, args=(dest, tag, size, seq, addr))
+        yield from self._enter_overhead()
+        yield from self._core_send(dest, size, tag, seq, CTX_POINT_TO_POINT, payload)
+        yield from self._exit_overhead()
+        cut_mpi_event(self, "MPI_Isend", begin=False, args=())
+        return Request(kind="send")
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, addr: int = 0
+    ) -> Generator[Any, Any, Request]:
+        """Nonblocking receive; complete the request with :meth:`wait`."""
+        cut_mpi_event(self, "MPI_Irecv", begin=True, args=(source, tag, 0, 0, addr))
+        yield from self._enter_overhead()
+        yield Compute(self.timing.recv_post_overhead_ns)
+        future = self.mailbox.post_recv(source, tag, CTX_POINT_TO_POINT)
+        yield from self._exit_overhead()
+        cut_mpi_event(self, "MPI_Irecv", begin=False, args=())
+        return Request(kind="recv", future=future)
+
+    def wait(self, request: Request, addr: int = 0) -> Generator[Any, Any, Message | None]:
+        """MPI_Wait: block until ``request`` completes.
+
+        Returns the received :class:`Message` for receive requests, None for
+        send requests.
+        """
+        cut_mpi_event(self, "MPI_Wait", begin=True, args=(addr,))
+        yield from self._enter_overhead()
+        msg = yield from self._complete(request)
+        yield from self._exit_overhead()
+        end_args = (msg.src, msg.tag, msg.size, msg.seqno) if msg else ()
+        cut_mpi_event(self, "MPI_Wait", begin=False, args=end_args)
+        return msg
+
+    def waitall(
+        self, requests: Iterable[Request], addr: int = 0
+    ) -> Generator[Any, Any, list[Message | None]]:
+        """MPI_Waitall: complete every request, in order."""
+        requests = list(requests)
+        cut_mpi_event(self, "MPI_Waitall", begin=True, args=(len(requests), addr))
+        yield from self._enter_overhead()
+        results: list[Message | None] = []
+        for request in requests:
+            results.append((yield from self._complete(request)))
+        yield from self._exit_overhead()
+        # The end event carries the sequence numbers of every receive this
+        # waitall completed, so utilities can still match sends to receives
+        # (they become a vector field in the interval record).
+        seqnos = tuple(m.seqno for m in results if m is not None)
+        cut_mpi_event(self, "MPI_Waitall", begin=False, args=seqnos)
+        return results
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_size: int,
+        source: int = ANY_SOURCE,
+        recv_tag: int = ANY_TAG,
+        send_tag: int = 0,
+        addr: int = 0,
+    ) -> Generator[Any, Any, Message]:
+        """MPI_Sendrecv: simultaneous send and receive (deadlock-free)."""
+        seq = self.runtime.next_seqno()
+        cut_mpi_event(
+            self, "MPI_Sendrecv", begin=True, args=(dest, send_tag, send_size, seq, addr)
+        )
+        yield from self._enter_overhead()
+        yield from self._core_send(dest, send_size, send_tag, seq, CTX_POINT_TO_POINT, None)
+        msg = yield from self._core_recv(source, recv_tag, CTX_POINT_TO_POINT)
+        yield from self._exit_overhead()
+        cut_mpi_event(
+            self, "MPI_Sendrecv", begin=False, args=(msg.src, msg.tag, msg.size, msg.seqno)
+        )
+        return msg
+
+    # --------------------------------------------------------- collectives
+
+    def barrier(self, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Barrier (dissemination algorithm)."""
+        yield from self._collective("MPI_Barrier", 0, 0, addr, _coll.barrier, comm)
+
+    def bcast(self, root: int, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Bcast (binomial tree)."""
+        yield from self._collective("MPI_Bcast", root, size, addr, _coll.bcast, comm)
+
+    def reduce(self, root: int, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Reduce (binomial tree toward root)."""
+        yield from self._collective("MPI_Reduce", root, size, addr, _coll.reduce, comm)
+
+    def allreduce(self, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Allreduce (reduce to 0, then broadcast)."""
+        yield from self._collective("MPI_Allreduce", 0, size, addr, _coll.allreduce, comm)
+
+    def gather(self, root: int, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Gather (linear to root)."""
+        yield from self._collective("MPI_Gather", root, size, addr, _coll.gather, comm)
+
+    def scatter(self, root: int, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Scatter (linear from root)."""
+        yield from self._collective("MPI_Scatter", root, size, addr, _coll.scatter, comm)
+
+    def allgather(self, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Allgather (ring)."""
+        yield from self._collective("MPI_Allgather", 0, size, addr, _coll.allgather, comm)
+
+    def alltoall(self, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Alltoall (shifted pairwise exchange)."""
+        yield from self._collective("MPI_Alltoall", 0, size, addr, _coll.alltoall, comm)
+
+    def reduce_scatter(self, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Reduce_scatter (reduce then scatter)."""
+        yield from self._collective(
+            "MPI_Reduce_scatter", 0, size, addr, _coll.reduce_scatter, comm
+        )
+
+    def scan(self, size: int, addr: int = 0, comm=None) -> ThreadBody:
+        """MPI_Scan (linear prefix chain)."""
+        yield from self._collective("MPI_Scan", 0, size, addr, _coll.scan, comm)
+
+    def comm_split(self, color: int, key: int | None = None, addr: int = 0):
+        """MPI_Comm_split: collectively partition the world into
+        communicators by ``color``; ranks within a group order by
+        ``(key, world rank)``.  Returns this task's new
+        :class:`~repro.mpi.comm.Communicator`.
+
+        Collectives then run inside the group: ``yield from
+        ctx.allreduce(1024, comm=sub)``.
+        """
+        from repro.mpi.comm import Communicator
+
+        self._coll_seq += 1
+        op_seq = self._coll_seq
+        cut_mpi_event(self, "MPI_Comm_split", begin=True, args=(color, 0, op_seq, addr))
+        yield from self._enter_overhead()
+        sort_key = key if key is not None else self.rank
+        tag_gather = _coll.TAG_STRIDE * op_seq + 40
+        tag_reply = _coll.TAG_STRIDE * op_seq + 41
+        if self.rank == 0:
+            triples = [(color, sort_key, 0)]
+            for _ in range(self.size - 1):
+                msg = yield from self._core_recv(-1, tag_gather, CTX_COLLECTIVE)
+                c, k = msg.payload
+                triples.append((c, k, msg.src))
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for c, k, world in triples:
+                groups.setdefault(c, []).append((k, world))
+            assignments: dict[int, tuple[int, tuple[int, ...]]] = {}
+            for c in sorted(groups):
+                members = tuple(w for _k, w in sorted(groups[c]))
+                context_id = self.runtime.next_context_id()
+                for world in members:
+                    assignments[world] = (context_id, members)
+            for world in range(1, self.size):
+                yield from self._core_send(
+                    world, 64, tag_reply, 0, CTX_COLLECTIVE, assignments[world]
+                )
+            context_id, members = assignments[0]
+        else:
+            yield from self._core_send(
+                0, 64, tag_gather, 0, CTX_COLLECTIVE, (color, sort_key)
+            )
+            msg = yield from self._core_recv(0, tag_reply, CTX_COLLECTIVE)
+            context_id, members = msg.payload
+        yield from self._exit_overhead()
+        cut_mpi_event(self, "MPI_Comm_split", begin=False, args=())
+        return Communicator(context_id, members, self.rank)
+
+    def _collective(
+        self, fn: str, root: int, size: int, addr: int, algo, comm=None
+    ) -> ThreadBody:
+        from repro.mpi.comm import CommView
+
+        if comm is None:
+            self._coll_seq += 1
+            op_seq = self._coll_seq
+            target = self
+        else:
+            comm._op_seq += 1
+            op_seq = comm._op_seq
+            target = CommView(self, comm)
+        cut_mpi_event(self, fn, begin=True, args=(root, size, op_seq, addr))
+        yield from self._enter_overhead()
+        yield from algo(target, root, size, op_seq)
+        yield from self._exit_overhead()
+        cut_mpi_event(self, fn, begin=False, args=())
+
+    # ----------------------------------------------------------- internals
+
+    def _enter_overhead(self) -> ThreadBody:
+        yield Compute(self.timing.wrapper_overhead_ns + self.timing.call_overhead_ns)
+
+    def _exit_overhead(self) -> ThreadBody:
+        yield Compute(self.timing.wrapper_overhead_ns)
+
+    def _complete(self, request: Request) -> Generator[Any, Any, Message | None]:
+        if request.kind == "send" or request.future is None:
+            return request.message
+        msg: Message = yield Wait(request.future)
+        request.message = msg
+        yield Compute(self.timing.copy_ns(msg.size))
+        return msg
+
+    def _core_send(
+        self,
+        dest: int,
+        size: int,
+        tag: int,
+        seq: int,
+        context: int,
+        payload: Any,
+        ack: Future | None = None,
+    ) -> ThreadBody:
+        """Untraced eager send: copy cost on the sender, then hand to the
+        network.  Used directly by collectives (internal fragments)."""
+        if not 0 <= dest < self.size:
+            raise SimulationError(f"rank {self.rank}: send to invalid rank {dest}")
+        yield Compute(self.timing.copy_ns(size))
+        msg = Message(self.rank, dest, tag, size, seq, context, payload)
+        self.runtime.route(msg, ack)
+
+    def _core_recv(
+        self, source: int, tag: int, context: int
+    ) -> Generator[Any, Any, Message]:
+        """Untraced blocking receive with unpack cost."""
+        yield Compute(self.timing.recv_post_overhead_ns)
+        future = self.mailbox.post_recv(source, tag, context)
+        msg: Message = yield Wait(future)
+        yield Compute(self.timing.copy_ns(msg.size))
+        return msg
+
+    # Internal (collective-context) operations used by the algorithms.
+    def _send_internal(self, dest: int, size: int, tag: int) -> ThreadBody:
+        yield from self._core_send(dest, size, tag, 0, CTX_COLLECTIVE, None)
+
+    def _recv_internal(self, source: int, tag: int) -> Generator[Any, Any, Message]:
+        return (yield from self._core_recv(source, tag, CTX_COLLECTIVE))
+
+
+class MpiRuntime:
+    """Places MPI tasks on a cluster and routes their messages.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated machine.
+    facility:
+        Optional :class:`~repro.tracing.TraceFacility`; when present, every
+        MPI call is traced PMPI-style.  Create the facility *before* calling
+        :meth:`launch` so thread dispatch events are captured from the start.
+    timing:
+        MPI cost model.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        facility: TraceFacility | None = None,
+        timing: MpiTiming | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.facility = facility
+        self.timing = timing or MpiTiming()
+        self.tasks: list[TaskContext] = []
+        self.main_threads: list[SimThread] = []
+        self._seqno = itertools.count(1)
+        # Communicator context ids: 0 is the world; splits allocate from 1.
+        self._context_counter = itertools.count(1)
+        #: Stride used to make marker IDs collide across tasks (see
+        #: MarkerRegistry); tests override to exercise specific collisions.
+        self.marker_id_stride = 3
+
+    def make_marker_registry(self, rank: int):
+        """Per-task marker registry with deliberately task-dependent IDs."""
+        from repro.tracing.markers import MarkerRegistry
+
+        return MarkerRegistry(task_id=rank, id_stride=self.marker_id_stride)
+
+    def next_seqno(self) -> int:
+        """The unique point-to-point message sequence number."""
+        return next(self._seqno)
+
+    def next_context_id(self) -> int:
+        """Allocate a cluster-unique communicator context id (called by the
+        comm_split root, whose allocation all members adopt)."""
+        return next(self._context_counter)
+
+    def launch(
+        self,
+        n_tasks: int,
+        body: Callable[[TaskContext], ThreadBody],
+        *,
+        tasks_per_node: int | None = None,
+        name: str = "rank",
+    ) -> list[SimThread]:
+        """Create ``n_tasks`` MPI tasks and spawn their main threads.
+
+        Placement is block-style: task ``t`` lands on node
+        ``t // tasks_per_node`` (default: tasks spread evenly over nodes).
+        The main thread has category MPI; workloads spawn additional user
+        threads themselves.
+        """
+        if self.tasks:
+            raise SimulationError("MpiRuntime.launch called twice")
+        if n_tasks < 1:
+            raise SimulationError("need at least one MPI task")
+        n_nodes = self.cluster.n_nodes
+        if tasks_per_node is None:
+            tasks_per_node = (n_tasks + n_nodes - 1) // n_nodes
+        for rank in range(n_tasks):
+            node_id = rank // tasks_per_node
+            if node_id >= n_nodes:
+                raise SimulationError(
+                    f"placement overflow: task {rank} -> node {node_id} "
+                    f"but cluster has {n_nodes} nodes"
+                )
+            node = self.cluster.nodes[node_id]
+            ctx = TaskContext(self, rank, node, pid=1000 + rank)
+            self.tasks.append(ctx)
+        # Spawn after all contexts exist so rank 0 can immediately talk to
+        # the highest rank.
+        for ctx in self.tasks:
+            thread = ctx.node.scheduler.spawn(
+                body,
+                ctx,
+                name=f"{name}-{ctx.rank}",
+                category=ThreadCategory.MPI,
+                pid=ctx.pid,
+                mpi_task=ctx.rank,
+            )
+            self.main_threads.append(thread)
+        return self.main_threads
+
+    def route(self, msg: Message, ack: Future | None = None) -> None:
+        """Hand a message to the network for delivery to its destination."""
+        src_node = self.tasks[msg.src].node.node_id
+        dst_node = self.tasks[msg.dst].node.node_id
+        mailbox = self.tasks[msg.dst].mailbox
+
+        def arrive(message: Message) -> None:
+            mailbox.deliver(message)
+            if ack is not None:
+                ack.set_result(None)
+
+        self.cluster.network.deliver(src_node, dst_node, msg.size, msg, arrive)
+
+    def run(self, until_ns: int | None = None) -> None:
+        """Run the simulation (delegates to :meth:`Cluster.run`)."""
+        self.cluster.run(until_ns)

@@ -1,0 +1,39 @@
+"""Timing parameters of the simulated MPI library.
+
+Values are loosely calibrated to late-1990s SP numbers; what matters for the
+reproduction is the *structure* of the costs (fixed per-call software
+overhead, copy costs proportional to message size, and a separate wrapper
+overhead for the tracing library — the third cost component of paper
+section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MpiTiming:
+    """Per-call CPU costs of the MPI layer, in nanoseconds.
+
+    Attributes
+    ----------
+    call_overhead_ns:
+        Fixed software overhead of entering any MPI routine.
+    copy_bytes_per_ns:
+        Memory-copy rate for packing/unpacking message buffers.
+    recv_post_overhead_ns:
+        Extra cost of posting a receive descriptor.
+    wrapper_overhead_ns:
+        Cost of the tracing library's PMPI wrapper around the call — paid
+        once at begin and once at end when tracing is active.
+    """
+
+    call_overhead_ns: int = 2_000
+    copy_bytes_per_ns: float = 2.0
+    recv_post_overhead_ns: int = 1_000
+    wrapper_overhead_ns: int = 300
+
+    def copy_ns(self, size_bytes: int) -> int:
+        """CPU time to copy ``size_bytes`` through the library."""
+        return int(size_bytes / self.copy_bytes_per_ns)

@@ -1,0 +1,57 @@
+"""The unified tracing facility (paper section 2).
+
+Mirrors the AIX trace facility the paper builds on: a single time-stamped
+event stream per node combining *system* activity (thread dispatch) with
+*user* activity (MPI calls via PMPI-style wrappers, user markers), plus the
+periodic global-clock records used later for clock synchronization.
+
+Components
+----------
+* :mod:`repro.tracing.hooks` — hookword encoding and the event-ID registry.
+* :mod:`repro.tracing.rawfile` — the per-node binary raw trace file format.
+* :mod:`repro.tracing.facility` — trace sessions and options (buffer size,
+  event enabling, delayed start), and the cluster-wide facility that hooks
+  scheduler dispatch events.
+* :mod:`repro.tracing.markers` — user markers with per-task local IDs.
+* :mod:`repro.tracing.globalclock` — the per-node sampler that periodically
+  reads the switch adapter's global clock and cuts (global, local)
+  timestamp-pair records.
+"""
+
+from repro.tracing.hooks import (
+    HookId,
+    MPI_FN_NAMES,
+    MPI_FN_IDS,
+    hook_for_mpi_begin,
+    hook_for_mpi_end,
+    hook_name,
+    is_mpi_begin,
+    is_mpi_end,
+    mpi_fn_of_hook,
+)
+from repro.tracing.events import RawEvent
+from repro.tracing.rawfile import RawTraceWriter, RawTraceReader, RawFileHeader
+from repro.tracing.facility import TraceOptions, NodeTraceSession, TraceFacility
+from repro.tracing.markers import MarkerRegistry
+from repro.tracing.globalclock import GlobalClockSampler
+
+__all__ = [
+    "HookId",
+    "MPI_FN_NAMES",
+    "MPI_FN_IDS",
+    "hook_for_mpi_begin",
+    "hook_for_mpi_end",
+    "hook_name",
+    "is_mpi_begin",
+    "is_mpi_end",
+    "mpi_fn_of_hook",
+    "RawEvent",
+    "RawTraceWriter",
+    "RawTraceReader",
+    "RawFileHeader",
+    "TraceOptions",
+    "NodeTraceSession",
+    "TraceFacility",
+    "MarkerRegistry",
+    "GlobalClockSampler",
+]

@@ -1,0 +1,106 @@
+"""Decoded raw trace events.
+
+A :class:`RawEvent` is the in-memory form of one raw trace record: the
+hookword fields, the local timestamp, the cutting thread/CPU, and the
+hook-specific payload already unpacked into Python values.  The raw file
+layer (:mod:`repro.tracing.rawfile`) converts between this and bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.tracing import hooks
+from repro.tracing.hooks import HookId
+
+# Header after the hookword: local timestamp, system tid, cpu, pad.
+_HEADER = struct.Struct("<QIHH")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True, slots=True)
+class RawEvent:
+    """One decoded raw trace record.
+
+    Attributes
+    ----------
+    hook_id:
+        Event type (see :mod:`repro.tracing.hooks`).
+    local_ts:
+        Local-clock timestamp in local ticks (nanoseconds of local time).
+    system_tid:
+        System thread ID of the thread the event belongs to.
+    cpu:
+        Processor the thread was on when the event was cut.
+    args:
+        Hook-specific numeric payload (peer, tag, bytes, seqno, … for MPI
+        events; the global timestamp for GLOBAL_CLOCK; IDs for markers).
+    text:
+        Hook-specific string payload (marker-definition strings).
+    """
+
+    hook_id: int
+    local_ts: int
+    system_tid: int
+    cpu: int
+    args: tuple[int, ...] = ()
+    text: str = ""
+
+    @property
+    def name(self) -> str:
+        """Human-readable event name."""
+        return hooks.hook_name(self.hook_id)
+
+    def encode(self) -> bytes:
+        """Serialize to the on-disk record layout (including hookword)."""
+        text_bytes = self.text.encode("utf-8")
+        payload = b"".join(_U64.pack(a & 0xFFFFFFFFFFFFFFFF) for a in self.args)
+        body = _HEADER.pack(self.local_ts, self.system_tid, self.cpu, len(self.args))
+        record_len = 4 + len(body) + len(payload) + 2 + len(text_bytes)
+        word = hooks.encode_hookword(self.hook_id, record_len)
+        return (
+            struct.pack("<I", word)
+            + body
+            + payload
+            + struct.pack("<H", len(text_bytes))
+            + text_bytes
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["RawEvent", int]:
+        """Deserialize one record at ``offset``; returns (event, next_offset)."""
+        (word,) = struct.unpack_from("<I", data, offset)
+        hook_id, record_len = hooks.decode_hookword(word)
+        local_ts, system_tid, cpu, n_args = _HEADER.unpack_from(data, offset + 4)
+        pos = offset + 4 + _HEADER.size
+        args = struct.unpack_from(f"<{n_args}Q", data, pos) if n_args else ()
+        pos += 8 * n_args
+        (text_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        text = data[pos : pos + text_len].decode("utf-8") if text_len else ""
+        pos += text_len
+        if pos - offset != record_len:
+            from repro.errors import TraceError
+
+            raise TraceError(
+                f"record length mismatch at offset {offset}: "
+                f"hookword says {record_len}, decoded {pos - offset}"
+            )
+        return cls(hook_id, local_ts, system_tid, cpu, tuple(args), text), pos
+
+
+def dispatch_event(local_ts: int, system_tid: int, cpu: int) -> RawEvent:
+    """Build a thread-dispatch event."""
+    return RawEvent(HookId.DISPATCH, local_ts, system_tid, cpu)
+
+
+def undispatch_event(local_ts: int, system_tid: int, cpu: int) -> RawEvent:
+    """Build a thread-undispatch event."""
+    return RawEvent(HookId.UNDISPATCH, local_ts, system_tid, cpu)
+
+
+def global_clock_event(local_ts: int, global_ts: int) -> RawEvent:
+    """Build a global-clock record: payload carries the global timestamp,
+    the record header carries the simultaneous local timestamp."""
+    return RawEvent(HookId.GLOBAL_CLOCK, local_ts, 0, 0, (global_ts,))

@@ -1,0 +1,226 @@
+"""Trace sessions and the cluster-wide trace facility.
+
+A :class:`NodeTraceSession` owns one node's raw trace file and implements the
+three-part record cost structure of paper section 2.1: an enable test, the
+buffer insertion (delegated to :class:`~repro.tracing.rawfile.RawTraceWriter`),
+and whatever the caller's wrapper adds.  A :class:`TraceFacility` wires
+sessions to every node: scheduler dispatch listeners, global-clock samplers,
+and helpers the MPI layer and workloads use to cut events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.machine import Cluster, Node
+from repro.cluster.scheduler import SimThread, ThreadCategory
+from repro.errors import TraceError
+from repro.tracing.events import RawEvent
+from repro.tracing.globalclock import GlobalClockSampler
+from repro.tracing.hooks import HookId
+from repro.tracing.rawfile import RawFileHeader, RawTraceWriter
+
+#: Thread-category codes stored in THREAD_INFO events and thread tables.
+CATEGORY_CODES = {
+    ThreadCategory.MPI: 0,
+    ThreadCategory.USER: 1,
+    ThreadCategory.SYSTEM: 2,
+}
+
+
+@dataclass(frozen=True)
+class TraceOptions:
+    """User-selectable trace options (paper section 2.1).
+
+    Attributes
+    ----------
+    prefix:
+        Name prefix of the per-node trace files (``<prefix>.<node>.raw``).
+    buffer_bytes:
+        Trace buffer size per node.
+    wrap:
+        Circular-buffer mode: keep only the most recent window of records.
+    enabled_hooks:
+        If not None, only these hook IDs are traced (events to be traced).
+    start_enabled:
+        If False, tracing is delayed until :meth:`TraceFacility.enable` is
+        called — "trace only a portion of the code".
+    global_clock_period_ns:
+        Period of the per-node global-clock sampler.
+    clock_sample_jitter_ns / jitter_probability:
+        With this probability a sample's *local* timestamp is perturbed by
+        up to ``clock_sample_jitter_ns`` — modeling the sampler thread being
+        de-scheduled between its two clock reads (paper section 5), which
+        produces the outliers the sync utilities must filter.
+    seed:
+        Seed for the jitter stream (determinism).
+    """
+
+    prefix: str = "trace"
+    buffer_bytes: int = 1 << 20
+    wrap: bool = False
+    enabled_hooks: frozenset[int] | None = None
+    start_enabled: bool = True
+    global_clock_period_ns: int = 1_000_000_000
+    clock_sample_jitter_ns: int = 0
+    jitter_probability: float = 0.0
+    seed: int = 12345
+
+
+class NodeTraceSession:
+    """One node's trace stream: enable tests, local timestamping, buffering."""
+
+    def __init__(self, node: Node, options: TraceOptions, path: Path) -> None:
+        self.node = node
+        self.options = options
+        self.enabled = options.start_enabled
+        self.writer = RawTraceWriter(
+            path,
+            RawFileHeader(
+                node_id=node.node_id,
+                n_cpus=node.n_cpus,
+                base_local_ts=node.clock.read(0),
+            ),
+            buffer_bytes=options.buffer_bytes,
+            wrap=options.wrap,
+        )
+        self._known_tids: set[int] = set()
+        self.events_cut = 0
+
+    def hook_enabled(self, hook_id: int) -> bool:
+        """The enable test — the first part of the record cost."""
+        if not self.enabled:
+            return False
+        allowed = self.options.enabled_hooks
+        return allowed is None or hook_id in allowed
+
+    def cut(
+        self,
+        hook_id: int,
+        true_ns: int,
+        system_tid: int,
+        cpu: int,
+        args: tuple[int, ...] = (),
+        text: str = "",
+    ) -> bool:
+        """Cut one record, timestamped with this node's *local* clock.
+
+        Returns True if the record was actually traced (enabled).
+        """
+        if not self.hook_enabled(hook_id):
+            return False
+        local_ts = self.node.clock.read(true_ns)
+        self.writer.write(RawEvent(hook_id, local_ts, system_tid, cpu, args, text))
+        self.events_cut += 1
+        return True
+
+    def cut_raw(self, event: RawEvent) -> bool:
+        """Cut a pre-timestamped record (used by the global-clock sampler)."""
+        if not self.hook_enabled(event.hook_id):
+            return False
+        self.writer.write(event)
+        self.events_cut += 1
+        return True
+
+    def note_thread(self, true_ns: int, thread: SimThread) -> None:
+        """Emit a THREAD_INFO record the first time a thread is seen."""
+        if thread.system_tid in self._known_tids:
+            return
+        self._known_tids.add(thread.system_tid)
+        mpi_task = thread.mpi_task if thread.mpi_task is not None else 0xFFFFFFFF
+        self.cut(
+            HookId.THREAD_INFO,
+            true_ns,
+            thread.system_tid,
+            thread.cpu or 0,
+            (
+                thread.pid,
+                mpi_task,
+                CATEGORY_CODES[thread.category],
+                thread.logical_tid,
+            ),
+            text=thread.name,
+        )
+
+    def close(self) -> Path:
+        """Flush and close the raw trace file."""
+        return self.writer.close()
+
+
+class TraceFacility:
+    """Cluster-wide tracing: one session per node, plus system-event hooks.
+
+    Creating the facility registers dispatch listeners on every node's
+    scheduler and starts the per-node global-clock samplers; closing it
+    produces the set of raw trace files, one per node.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        out_dir: str | Path,
+        options: TraceOptions | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.options = options or TraceOptions()
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.sessions: list[NodeTraceSession] = []
+        self.samplers: list[GlobalClockSampler] = []
+        self._closed = False
+        for node in cluster.nodes:
+            path = self.out_dir / f"{self.options.prefix}.{node.node_id}.raw"
+            session = NodeTraceSession(node, self.options, path)
+            self.sessions.append(session)
+            node.scheduler.add_listener(self._make_listener(session))
+            sampler = GlobalClockSampler(
+                cluster.engine,
+                node,
+                session,
+                period_ns=self.options.global_clock_period_ns,
+                jitter_ns=self.options.clock_sample_jitter_ns,
+                jitter_probability=self.options.jitter_probability,
+                seed=self.options.seed + node.node_id,
+            )
+            sampler.start()
+            self.samplers.append(sampler)
+            if self.options.start_enabled:
+                session.cut(HookId.TRACE_ON, cluster.engine.now, 0, 0)
+
+    def _make_listener(self, session: NodeTraceSession):
+        def listener(kind: str, time_ns: int, node_id: int, cpu: int, thread: SimThread):
+            session.note_thread(time_ns, thread)
+            hook = HookId.DISPATCH if kind == "dispatch" else HookId.UNDISPATCH
+            session.cut(hook, time_ns, thread.system_tid, cpu)
+
+        return listener
+
+    def session_for(self, node_id: int) -> NodeTraceSession:
+        """The trace session of node ``node_id``."""
+        return self.sessions[node_id]
+
+    def enable(self) -> None:
+        """Start (or resume) tracing on every node — delayed tracing."""
+        now = self.cluster.engine.now
+        for session in self.sessions:
+            if not session.enabled:
+                session.enabled = True
+                session.cut(HookId.TRACE_ON, now, 0, 0)
+
+    def disable(self) -> None:
+        """Stop tracing on every node."""
+        now = self.cluster.engine.now
+        for session in self.sessions:
+            if session.enabled:
+                session.cut(HookId.TRACE_OFF, now, 0, 0)
+                session.enabled = False
+
+    def close(self) -> list[Path]:
+        """Stop samplers, flush all sessions; returns the raw file paths."""
+        if self._closed:
+            raise TraceError("trace facility already closed")
+        self._closed = True
+        for sampler in self.samplers:
+            sampler.stop()
+        return [session.close() for session in self.sessions]

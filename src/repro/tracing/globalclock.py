@@ -1,0 +1,85 @@
+"""Periodic global-clock sampling (paper section 2.2).
+
+Accessing the switch adapter's global clock is expensive, so each node only
+samples it periodically, recording a (global timestamp, local timestamp)
+pair.  The merge utility later uses the first pair to align files and the
+pair sequence to estimate the global-to-local clock ratio.
+
+The paper notes (section 5) that the sampling thread may be de-scheduled
+between its two clock reads, producing an occasional large discrepancy that
+sync utilities must filter out.  :class:`GlobalClockSampler` can inject that
+failure mode deterministically via ``jitter_probability``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.cluster.engine import Engine, EventHandle
+from repro.tracing.events import global_clock_event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.machine import Node
+    from repro.tracing.facility import NodeTraceSession
+
+
+class GlobalClockSampler:
+    """Samples (global, local) timestamp pairs on one node at a fixed period."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: "Node",
+        session: "NodeTraceSession",
+        *,
+        period_ns: int = 1_000_000_000,
+        jitter_ns: int = 0,
+        jitter_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"sampler period must be positive, got {period_ns}")
+        self.engine = engine
+        self.node = node
+        self.session = session
+        self.period_ns = period_ns
+        self.jitter_ns = jitter_ns
+        self.jitter_probability = jitter_probability
+        self._rng = random.Random(seed)
+        self._handle: EventHandle | None = None
+        self.samples = 0
+        self.jittered_samples = 0
+
+    def start(self) -> None:
+        """Take the first sample immediately and begin the periodic schedule."""
+        self._sample()
+
+    def stop(self) -> None:
+        """Take one final sample and cancel the periodic schedule.
+
+        The final sample ensures the (G, L) sequence spans the whole trace,
+        which maximizes the accuracy of the ratio estimate.
+        """
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._cut_sample()
+
+    def _sample(self) -> None:
+        self._cut_sample()
+        # Daemon: the periodic sampler must never keep the simulation alive
+        # after the traced program finishes.
+        self._handle = self.engine.schedule(self.period_ns, self._sample, daemon=True)
+
+    def _cut_sample(self) -> None:
+        now = self.engine.now
+        global_ts = now  # the switch adapter clock is true time
+        local_ts = self.node.clock.read(now)
+        if self.jitter_ns and self._rng.random() < self.jitter_probability:
+            # The sampler was de-scheduled between reading the global clock
+            # and reading the local clock: the local read happens late.
+            local_ts += self._rng.randint(self.jitter_ns // 2, self.jitter_ns)
+            self.jittered_samples += 1
+        self.session.cut_raw(global_clock_event(local_ts, global_ts))
+        self.samples += 1

@@ -1,0 +1,133 @@
+"""Hookword encoding and the event-ID registry.
+
+Every raw trace record starts with a one-word *hookword* identifying the
+event type and the record length (paper section 2.1).  The layout here is::
+
+    hookword (u32) = hook_id << 16 | record_length_bytes
+
+``record_length_bytes`` covers the whole record: hookword, timestamp, header
+fields, and payload.  Hook IDs are partitioned:
+
+* ``0x001 - 0x0FF`` — trace-control and system events
+* ``0x100 - 0x1FF`` — MPI *begin* events (``0x100 + fn``)
+* ``0x200 - 0x2FF`` — MPI *end* events (``0x200 + fn``)
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class HookId(IntEnum):
+    """Non-MPI hook IDs."""
+
+    TRACE_ON = 0x001
+    TRACE_OFF = 0x002
+    DISPATCH = 0x010
+    UNDISPATCH = 0x011
+    GLOBAL_CLOCK = 0x020
+    MARKER_DEFINE = 0x030
+    MARKER_BEGIN = 0x031
+    MARKER_END = 0x032
+    THREAD_INFO = 0x040
+    # System-activity extension (the paper's section 5 future work):
+    # file I/O and page-miss handling as first-class traced states.
+    IO_BEGIN = 0x050
+    IO_END = 0x051
+    PAGEFAULT_BEGIN = 0x052
+    PAGEFAULT_END = 0x053
+
+
+#: Base hook IDs for the MPI event ranges.
+MPI_BEGIN_BASE = 0x100
+MPI_END_BASE = 0x200
+
+#: Registry of traced MPI functions.  Function IDs are stable across runs;
+#: new functions must be appended, never renumbered, because interval files
+#: and profiles persist them.
+MPI_FN_NAMES: tuple[str, ...] = (
+    "MPI_Send",        # 0
+    "MPI_Recv",        # 1
+    "MPI_Isend",       # 2
+    "MPI_Irecv",       # 3
+    "MPI_Wait",        # 4
+    "MPI_Waitall",     # 5
+    "MPI_Barrier",     # 6
+    "MPI_Bcast",       # 7
+    "MPI_Reduce",      # 8
+    "MPI_Allreduce",   # 9
+    "MPI_Gather",      # 10
+    "MPI_Scatter",     # 11
+    "MPI_Allgather",   # 12
+    "MPI_Alltoall",    # 13
+    "MPI_Sendrecv",    # 14
+    "MPI_Ssend",       # 15
+    "MPI_Reduce_scatter",  # 16
+    "MPI_Scan",        # 17
+    "MPI_Comm_split",  # 18
+)
+
+#: Reverse lookup: function name -> function ID.
+MPI_FN_IDS: dict[str, int] = {name: i for i, name in enumerate(MPI_FN_NAMES)}
+
+
+def hook_for_mpi_begin(fn_id: int) -> int:
+    """Hook ID of the *begin* event for MPI function ``fn_id``."""
+    _check_fn(fn_id)
+    return MPI_BEGIN_BASE + fn_id
+
+
+def hook_for_mpi_end(fn_id: int) -> int:
+    """Hook ID of the *end* event for MPI function ``fn_id``."""
+    _check_fn(fn_id)
+    return MPI_END_BASE + fn_id
+
+
+def is_mpi_begin(hook_id: int) -> bool:
+    """Whether ``hook_id`` is an MPI begin event."""
+    return MPI_BEGIN_BASE <= hook_id < MPI_BEGIN_BASE + len(MPI_FN_NAMES)
+
+
+def is_mpi_end(hook_id: int) -> bool:
+    """Whether ``hook_id`` is an MPI end event."""
+    return MPI_END_BASE <= hook_id < MPI_END_BASE + len(MPI_FN_NAMES)
+
+
+def mpi_fn_of_hook(hook_id: int) -> int:
+    """The MPI function ID encoded in an MPI begin/end hook ID."""
+    if is_mpi_begin(hook_id):
+        return hook_id - MPI_BEGIN_BASE
+    if is_mpi_end(hook_id):
+        return hook_id - MPI_END_BASE
+    raise ValueError(f"hook 0x{hook_id:x} is not an MPI event")
+
+
+def hook_name(hook_id: int) -> str:
+    """Human-readable name of any hook ID."""
+    if is_mpi_begin(hook_id):
+        return MPI_FN_NAMES[hook_id - MPI_BEGIN_BASE] + ":begin"
+    if is_mpi_end(hook_id):
+        return MPI_FN_NAMES[hook_id - MPI_END_BASE] + ":end"
+    try:
+        return HookId(hook_id).name
+    except ValueError:
+        return f"hook_0x{hook_id:x}"
+
+
+def encode_hookword(hook_id: int, record_len: int) -> int:
+    """Pack a hook ID and total record length into one hookword."""
+    if not 0 < hook_id <= 0xFFFF:
+        raise ValueError(f"hook id out of range: {hook_id}")
+    if not 0 < record_len <= 0xFFFF:
+        raise ValueError(f"record length out of range: {record_len}")
+    return (hook_id << 16) | record_len
+
+
+def decode_hookword(word: int) -> tuple[int, int]:
+    """Unpack ``(hook_id, record_len)`` from a hookword."""
+    return (word >> 16) & 0xFFFF, word & 0xFFFF
+
+
+def _check_fn(fn_id: int) -> None:
+    if not 0 <= fn_id < len(MPI_FN_NAMES):
+        raise ValueError(f"unknown MPI function id {fn_id}")

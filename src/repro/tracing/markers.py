@@ -1,0 +1,59 @@
+"""User markers (paper sections 2.1, 3.1).
+
+A task defines a marker with a string; the tracing library hands back an
+integer identifier *without any cross-task communication*, so the same
+string may map to different identifiers in different tasks (the convert
+utility later re-assigns globally unique IDs).  Marker begin/end events then
+carry only the small identifier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+
+
+class MarkerRegistry:
+    """Per-task marker table: string -> local identifier.
+
+    To reproduce the paper's "no guarantee that the same identifier is
+    returned for the same marker string" across tasks, each registry starts
+    its identifier space at a per-task offset, so two tasks that define the
+    same markers in a different order (or define different subsets) get
+    conflicting numbers — exactly the situation the convert utility's
+    re-assignment step fixes.
+    """
+
+    def __init__(self, task_id: int = 0, id_stride: int = 1) -> None:
+        self._by_string: dict[str, int] = {}
+        self._by_id: dict[int, str] = {}
+        self._next = 1 + task_id * id_stride
+
+    def define(self, text: str) -> int:
+        """Define (or look up) a marker string; returns its local identifier."""
+        if not text:
+            raise TraceError("marker string must be non-empty")
+        existing = self._by_string.get(text)
+        if existing is not None:
+            return existing
+        marker_id = self._next
+        self._next += 1
+        self._by_string[text] = marker_id
+        self._by_id[marker_id] = text
+        return marker_id
+
+    def lookup(self, marker_id: int) -> str:
+        """The string for a local identifier."""
+        try:
+            return self._by_id[marker_id]
+        except KeyError:
+            raise TraceError(f"unknown marker id {marker_id}") from None
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._by_string
+
+    def __len__(self) -> int:
+        return len(self._by_string)
+
+    def items(self) -> list[tuple[int, str]]:
+        """All (identifier, string) pairs, in definition order."""
+        return sorted(self._by_id.items())

@@ -1,0 +1,161 @@
+"""Per-node raw trace file reading and writing.
+
+The raw trace file is the simulated analogue of an AIX trace log: a fixed
+header followed by a single stream of variable-length records, each led by a
+hookword.  One file per node (paper abstract: "one for each SMP node").
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import TraceError
+from repro.tracing.events import RawEvent
+
+MAGIC = b"UTERAW1\x00"
+_HEADER = struct.Struct("<8sHHHHQd")  # magic, version, node, n_cpus, pad, base_local_ts, tick_ns
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RawFileHeader:
+    """Header of a raw trace file."""
+
+    node_id: int
+    n_cpus: int
+    base_local_ts: int
+    tick_ns: float = 1.0
+    version: int = FORMAT_VERSION
+
+    def encode(self) -> bytes:
+        """Serialize the header."""
+        return _HEADER.pack(
+            MAGIC, self.version, self.node_id, self.n_cpus, 0, self.base_local_ts, self.tick_ns
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RawFileHeader":
+        """Deserialize a header, validating magic and version."""
+        magic, version, node_id, n_cpus, _pad, base, tick_ns = _HEADER.unpack(data)
+        if magic != MAGIC:
+            raise TraceError(f"not a raw trace file (magic {magic!r})")
+        if version != FORMAT_VERSION:
+            raise TraceError(f"unsupported raw trace version {version}")
+        return cls(node_id, n_cpus, base, tick_ns, version)
+
+    @classmethod
+    def size(cls) -> int:
+        """On-disk header size in bytes."""
+        return _HEADER.size
+
+
+class RawTraceWriter:
+    """Streams raw events for one node to disk.
+
+    The writer models the facility's trace buffer: records accumulate in an
+    in-memory buffer of ``buffer_bytes`` and are flushed to the file when the
+    buffer fills ("log" mode).  In "wrap" mode the buffer is circular — when
+    it fills, the oldest *whole records* are discarded and only the most
+    recent window survives, as with AIX trace's default mode.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        header: RawFileHeader,
+        *,
+        buffer_bytes: int = 1 << 20,
+        wrap: bool = False,
+    ) -> None:
+        if buffer_bytes < 256:
+            raise TraceError(f"trace buffer too small: {buffer_bytes}")
+        self.path = Path(path)
+        self.header = header
+        self.buffer_bytes = buffer_bytes
+        self.wrap = wrap
+        self.records_written = 0
+        self.records_dropped = 0
+        self._buffer: list[bytes] = []
+        self._buffered = 0
+        self._fh: io.BufferedWriter | None = open(self.path, "wb")
+        self._fh.write(header.encode())
+
+    def write(self, event: RawEvent) -> None:
+        """Buffer one event, flushing or wrapping as configured."""
+        if self._fh is None:
+            raise TraceError(f"writer for {self.path} already closed")
+        blob = event.encode()
+        self._buffer.append(blob)
+        self._buffered += len(blob)
+        if self._buffered >= self.buffer_bytes:
+            if self.wrap:
+                self._drop_oldest()
+            else:
+                self._flush()
+
+    def _drop_oldest(self) -> None:
+        while self._buffer and self._buffered >= self.buffer_bytes:
+            dropped = self._buffer.pop(0)
+            self._buffered -= len(dropped)
+            self.records_dropped += 1
+
+    def _flush(self) -> None:
+        assert self._fh is not None
+        for blob in self._buffer:
+            self._fh.write(blob)
+            self.records_written += 1
+        self._buffer.clear()
+        self._buffered = 0
+
+    def close(self) -> Path:
+        """Flush remaining records and close; returns the file path."""
+        if self._fh is not None:
+            self._flush()
+            self._fh.close()
+            self._fh = None
+        return self.path
+
+    def __enter__(self) -> "RawTraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class RawTraceReader:
+    """Reads a raw trace file back into :class:`RawEvent` objects."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        data = self.path.read_bytes()
+        if len(data) < RawFileHeader.size():
+            raise TraceError(f"{self.path}: truncated raw trace file")
+        self.header = RawFileHeader.decode(data[: RawFileHeader.size()])
+        self._data = data
+        self._start = RawFileHeader.size()
+
+    def __iter__(self) -> Iterator[RawEvent]:
+        offset = self._start
+        data = self._data
+        end = len(data)
+        while offset < end:
+            try:
+                event, offset = RawEvent.decode(data, offset)
+            except TraceError:
+                raise
+            except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+                raise TraceError(
+                    f"{self.path}: corrupt event at offset {offset} ({exc})"
+                ) from exc
+            yield event
+
+    def events(self) -> list[RawEvent]:
+        """All events in file order."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)

@@ -1,0 +1,493 @@
+"""The convert utility: raw event trace files → per-node interval files.
+
+Implements paper section 3.1:
+
+* **Event matching** — a begin event is matched with its end event to create
+  an interval; if other events intervene (thread dispatch, markers, nested
+  MPI), the interval is divided into multiple *pieces* typed by bebits
+  (begin / continuation / end; a single uninterrupted span is *complete*).
+* **State nesting** — at any instant a thread's time belongs to the top of
+  its state stack: an MPI routine, a user-marker region, or the default
+  Running state when the stack is empty.  Entering an inner state suspends
+  the outer one (its pieces stop until the inner state pops), exactly the
+  semantics of section 3.3's nested-marker example.
+* **Marker unification** — per-task local marker identifiers are re-assigned
+  so the same string gets the same identifier in every file.
+* **Clock pairs** — global-clock records become zero-duration
+  ``GlobalClock`` interval records so the merge utility can align files and
+  estimate drift without any side channel.
+
+Output records are written in ascending end-time order, the interval-file
+invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.fields import MASK_ALL_PER_NODE
+from repro.core.profilefmt import Profile, standard_profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import MAX_THREADS_PER_NODE, ThreadEntry, ThreadTable
+from repro.core.writer import IntervalFileWriter
+from repro.errors import TraceError
+from repro.mpi.pmpi import as_signed
+from repro.tracing.hooks import (
+    HookId,
+    MPI_FN_NAMES,
+    is_mpi_begin,
+    is_mpi_end,
+    mpi_fn_of_hook,
+)
+from repro.tracing.rawfile import RawTraceReader
+
+#: MPI functions whose end events carry (src, tag, bytes, seqno).
+_RECV_LIKE = {
+    MPI_FN_NAMES.index(n) for n in ("MPI_Recv", "MPI_Irecv", "MPI_Wait", "MPI_Sendrecv")
+}
+#: Waitall ends carry a *vector* of completed sequence numbers instead.
+_WAITALL_FN = MPI_FN_NAMES.index("MPI_Waitall")
+
+
+class MarkerUnifier:
+    """Assigns one global identifier per marker *string* across all files."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def unify(self, text: str) -> int:
+        """Global identifier for ``text`` (allocating on first sight)."""
+        if text not in self._ids:
+            self._ids[text] = len(self._ids) + 1
+        return self._ids[text]
+
+    def table(self) -> dict[int, str]:
+        """The id -> string table for interval-file marker sections."""
+        return {i: s for s, i in self._ids.items()}
+
+
+@dataclass
+class _OpenState:
+    """One entry of a thread's state stack."""
+
+    itype: int
+    opened_at: int
+    extra: dict = field(default_factory=dict)
+    pieces: list[tuple[int, int, int]] = field(default_factory=list)  # (start, end, cpu)
+    piece_start: int | None = None  # None while suspended / off-CPU
+    piece_cpu: int = 0
+
+    def resume(self, t: int, cpu: int) -> None:
+        if self.piece_start is None:
+            self.piece_start = t
+            self.piece_cpu = cpu
+
+    def suspend(self, t: int) -> None:
+        if self.piece_start is not None:
+            if t > self.piece_start:
+                self.pieces.append((self.piece_start, t, self.piece_cpu))
+            self.piece_start = None
+
+
+class _ThreadState:
+    """Conversion state machine for one thread."""
+
+    def __init__(self, system_tid: int) -> None:
+        self.system_tid = system_tid
+        self.stack: list[_OpenState] = []
+        self.on_cpu: int | None = None
+        self.last_seen = 0
+
+    def top(self) -> _OpenState | None:
+        return self.stack[-1] if self.stack else None
+
+
+@dataclass
+class ConvertResult:
+    """What one conversion produced."""
+
+    interval_paths: list[Path]
+    profile_path: Path
+    events_processed: int
+    records_written: int
+    marker_table: dict[int, str]
+
+
+def convert_traces(
+    raw_paths: Iterable[str | Path],
+    out_dir: str | Path,
+    *,
+    profile: Profile | None = None,
+    frame_bytes: int = 32 * 1024,
+    frames_per_dir: int = 8,
+    strict: bool = True,
+) -> ConvertResult:
+    """Convert a set of per-node raw trace files into interval files.
+
+    All files share one marker unification pass, so "the same identifier is
+    used for the same marker string for all subsequent performance
+    analysis".  Returns paths and counters.
+
+    ``strict=False`` tolerates traces whose opening events were lost — the
+    facility's circular-buffer ("wrap") mode keeps only the most recent
+    window, so end events may arrive with no matching begin; lenient mode
+    drops those instead of failing.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profile = profile or standard_profile()
+    profile_path = profile.write(out_dir / "profile.ute")
+    unifier = MarkerUnifier()
+    paths: list[Path] = []
+    events = 0
+    records = 0
+    for raw_path in raw_paths:
+        reader = RawTraceReader(raw_path)
+        out_path = out_dir / (Path(raw_path).stem + ".ute")
+        n_events, n_records = convert_one(
+            reader,
+            out_path,
+            profile,
+            unifier,
+            frame_bytes=frame_bytes,
+            frames_per_dir=frames_per_dir,
+            strict=strict,
+        )
+        events += n_events
+        records += n_records
+        paths.append(out_path)
+    return ConvertResult(paths, profile_path, events, records, unifier.table())
+
+
+def convert_one(
+    reader: RawTraceReader,
+    out_path: str | Path,
+    profile: Profile,
+    unifier: MarkerUnifier,
+    *,
+    frame_bytes: int = 32 * 1024,
+    frames_per_dir: int = 8,
+    strict: bool = True,
+) -> tuple[int, int]:
+    """Convert one node's raw trace; returns (events in, records out)."""
+
+    def mismatch(message: str) -> bool:
+        """Handle an unmatched end/undefined reference.  In strict mode the
+        trace is corrupt and we fail; lenient mode (wrap-mode traces whose
+        head was overwritten) drops the event and carries on."""
+        if strict:
+            raise TraceError(message)
+        return True
+    node_id = reader.header.node_id
+    threads: dict[int, _ThreadState] = {}
+    table = ThreadTable()
+    tid_to_logical: dict[int, int] = {}
+    local_markers: dict[int, int] = {}  # this file's local id -> global id
+    used_markers: dict[int, str] = {}
+    out: list[IntervalRecord] = []
+    events = 0
+    last_ts = 0
+
+    # Synthetic logical ids (for wrap-mode traces whose THREAD_INFO was
+    # overwritten) are allocated from the top of the 512-per-node space so
+    # they cannot collide with real, low-numbered logical ids.
+    synthetic_ltid = [MAX_THREADS_PER_NODE - 1]
+
+    def logical_of(system_tid: int) -> int:
+        logical = tid_to_logical.get(system_tid)
+        if logical is None:
+            logical = synthetic_ltid[0]
+            synthetic_ltid[0] -= 1
+            tid_to_logical[system_tid] = logical
+            table.add(
+                ThreadEntry(
+                    -1, 0, system_tid, node_id, logical, 2,
+                    f"<lost thread {system_tid}>",
+                )
+            )
+        return logical
+
+    def state_of(system_tid: int) -> _ThreadState:
+        if system_tid not in threads:
+            threads[system_tid] = _ThreadState(system_tid)
+        return threads[system_tid]
+
+    def close_state(ts: _ThreadState, st: _OpenState, t: int) -> None:
+        """Pop a finished state and emit its pieces with bebits."""
+        st.suspend(t)
+        if not st.pieces:
+            # A state with no on-CPU time still gets a zero-duration record
+            # so counting by type stays correct.
+            st.pieces.append((st.opened_at, st.opened_at, st.piece_cpu))
+        emit_pieces(ts, st)
+
+    def emit_pieces(ts: _ThreadState, st: _OpenState) -> None:
+        n = len(st.pieces)
+        for i, (start, end, cpu) in enumerate(st.pieces):
+            if n == 1:
+                bebits = BeBits.COMPLETE
+            elif i == 0:
+                bebits = BeBits.BEGIN
+            elif i == n - 1:
+                bebits = BeBits.END
+            else:
+                bebits = BeBits.CONTINUATION
+            out.append(
+                IntervalRecord(
+                    st.itype,
+                    bebits,
+                    start,
+                    end - start,
+                    node_id,
+                    cpu,
+                    logical_of(ts.system_tid),
+                    dict(st.extra),
+                )
+            )
+
+    for event in reader:
+        events += 1
+        t = event.local_ts
+        last_ts = max(last_ts, t)
+        hook = event.hook_id
+
+        if hook == HookId.GLOBAL_CLOCK:
+            out.append(
+                IntervalRecord(
+                    IntervalType.CLOCKPAIR, BeBits.COMPLETE, t, 0, node_id, 0, 0,
+                    {"globalTs": event.args[0]},
+                )
+            )
+            continue
+        if hook == HookId.THREAD_INFO:
+            pid, task_raw, category, logical_tid = event.args[:4]
+            mpi_task = -1 if task_raw == 0xFFFFFFFF else int(task_raw)
+            tid_to_logical[event.system_tid] = int(logical_tid)
+            table.add(
+                ThreadEntry(
+                    mpi_task,
+                    int(pid),
+                    event.system_tid,
+                    node_id,
+                    int(logical_tid),
+                    int(category),
+                    event.text,
+                )
+            )
+            continue
+        if hook in (HookId.TRACE_ON, HookId.TRACE_OFF):
+            continue
+        if hook == HookId.MARKER_DEFINE:
+            local_id = int(event.args[0])
+            global_id = unifier.unify(event.text)
+            local_markers[local_id] = global_id
+            used_markers[global_id] = event.text
+            continue
+
+        ts = state_of(event.system_tid)
+
+        if hook == HookId.DISPATCH:
+            ts.on_cpu = event.cpu
+            if ts.stack:
+                ts.top().resume(t, event.cpu)
+            else:
+                # Dispatch with no open state: a Running state begins.
+                st = _OpenState(IntervalType.RUNNING, t)
+                st.resume(t, event.cpu)
+                ts.stack.append(st)
+            continue
+        if hook == HookId.UNDISPATCH:
+            top = ts.top()
+            if top is not None:
+                top.suspend(t)
+                if top.itype == IntervalType.RUNNING and len(ts.stack) == 1:
+                    # Keep Running open across de-schedules; it closes when a
+                    # new state pushes or the trace ends.
+                    pass
+            ts.on_cpu = None
+            continue
+
+        cpu = event.cpu
+        if is_mpi_begin(hook):
+            _push_state(
+                ts, t, cpu,
+                IntervalType.for_mpi_fn(mpi_fn_of_hook(hook)),
+                _mpi_begin_extra(mpi_fn_of_hook(hook), event.args),
+                close_state,
+            )
+            continue
+        if is_mpi_end(hook):
+            fn = mpi_fn_of_hook(hook)
+            itype = IntervalType.for_mpi_fn(fn)
+            top = ts.top()
+            if top is None or top.itype != itype:
+                if mismatch(
+                    f"node {node_id} tid {event.system_tid}: "
+                    f"MPI end for type {itype} does not match open state"
+                ):
+                    continue
+            if fn == _WAITALL_FN:
+                # Waitall ends carry the completed receives' sequence
+                # numbers; they become a vector field on the interval.
+                if event.args:
+                    top.extra["seqnos"] = [int(s) for s in event.args]
+            elif fn in _RECV_LIKE and len(event.args) >= 4:
+                src, tag, size, seqno = event.args[:4]
+                top.extra["peer"] = as_signed(src)
+                top.extra["tag"] = as_signed(tag)
+                top.extra["msgSizeRecv"] = int(size)
+                top.extra["seqno"] = int(seqno)
+            ts.stack.pop()
+            close_state(ts, top, t)
+            _reopen_below(ts, t)
+            continue
+        if hook == HookId.MARKER_BEGIN:
+            local_id = int(event.args[0])
+            global_id = local_markers.get(local_id)
+            if global_id is None:
+                if strict:
+                    raise TraceError(
+                        f"node {node_id}: marker begin for undefined local id {local_id}"
+                    )
+                # Wrap mode overwrote the MARKER_DEFINE: synthesize a name so
+                # the region is still visible.
+                global_id = unifier.unify(f"<lost marker {node_id}/{local_id}>")
+                local_markers[local_id] = global_id
+                used_markers[global_id] = f"<lost marker {node_id}/{local_id}>"
+            extra = {"markerId": global_id}
+            if len(event.args) > 1:
+                extra["beginAddr"] = int(event.args[1])
+            _push_state(ts, t, cpu, IntervalType.MARKER, extra, close_state)
+            continue
+        if hook == HookId.IO_BEGIN:
+            size, write, addr = (list(event.args) + [0, 0, 0])[:3]
+            _push_state(
+                ts, t, cpu, IntervalType.IO,
+                {"ioBytes": int(size), "ioWrite": int(write), "addr": int(addr)},
+                close_state,
+            )
+            continue
+        if hook == HookId.IO_END:
+            top = ts.top()
+            if top is None or top.itype != IntervalType.IO:
+                if mismatch(
+                    f"node {node_id}: I/O end does not match an open I/O state"
+                ):
+                    continue
+            ts.stack.pop()
+            close_state(ts, top, t)
+            _reopen_below(ts, t)
+            continue
+        if hook == HookId.PAGEFAULT_BEGIN:
+            _push_state(
+                ts, t, cpu, IntervalType.PAGEFAULT,
+                {"addr": int(event.args[0]) if event.args else 0},
+                close_state,
+            )
+            continue
+        if hook == HookId.PAGEFAULT_END:
+            top = ts.top()
+            if top is None or top.itype != IntervalType.PAGEFAULT:
+                if mismatch(
+                    f"node {node_id}: page-fault end does not match an open fault"
+                ):
+                    continue
+            ts.stack.pop()
+            close_state(ts, top, t)
+            _reopen_below(ts, t)
+            continue
+        if hook == HookId.MARKER_END:
+            local_id = int(event.args[0])
+            global_id = local_markers.get(local_id)
+            top = ts.top()
+            if top is None or top.itype != IntervalType.MARKER or (
+                global_id is not None and top.extra.get("markerId") != global_id
+            ):
+                if mismatch(
+                    f"node {node_id}: marker end (local id {local_id}) does not "
+                    "match the innermost open marker"
+                ):
+                    continue
+            if len(event.args) > 1:
+                top.extra["endAddr"] = int(event.args[1])
+            ts.stack.pop()
+            close_state(ts, top, t)
+            _reopen_below(ts, t)
+            continue
+        raise TraceError(f"unhandled hook 0x{hook:x} in conversion")
+
+    # Trace over: close anything still open (trace stopped mid-state).
+    for ts in threads.values():
+        while ts.stack:
+            st = ts.stack.pop()
+            close_state(ts, st, last_ts)
+
+    out.sort(key=lambda r: (r.end, r.start, r.thread, r.itype))
+    with IntervalFileWriter(
+        out_path,
+        profile,
+        table,
+        markers=used_markers,
+        node_cpus={node_id: reader.header.n_cpus},
+        field_mask=MASK_ALL_PER_NODE,
+        frame_bytes=frame_bytes,
+        frames_per_dir=frames_per_dir,
+    ) as writer:
+        for record in out:
+            writer.write(record)
+    return events, len(out)
+
+
+def _push_state(ts: _ThreadState, t: int, cpu: int, itype: int, extra: dict, close_state) -> None:
+    """Enter a new state: suspend (or finish, for Running) the current top."""
+    top = ts.top()
+    if top is not None:
+        if top.itype == IntervalType.RUNNING:
+            # Running is the default filler — a real state replaces it.
+            ts.stack.pop()
+            close_state(ts, top, t)
+        else:
+            top.suspend(t)
+    st = _OpenState(itype, t, extra)
+    if ts.on_cpu is not None:
+        st.resume(t, cpu)
+    ts.stack.append(st)
+
+
+def _reopen_below(ts: _ThreadState, t: int) -> None:
+    """After a pop, the newly exposed state resumes (or Running restarts)."""
+    if ts.on_cpu is None:
+        return
+    top = ts.top()
+    if top is not None:
+        top.resume(t, ts.on_cpu)
+    else:
+        st = _OpenState(IntervalType.RUNNING, t)
+        st.resume(t, ts.on_cpu)
+        ts.stack.append(st)
+
+
+def _mpi_begin_extra(fn_id: int, args: tuple[int, ...]) -> dict:
+    """Decode an MPI begin event's payload into interval extra fields."""
+    name = MPI_FN_NAMES[fn_id]
+    extra: dict = {}
+    if name in ("MPI_Send", "MPI_Isend", "MPI_Ssend", "MPI_Sendrecv"):
+        peer, tag, size, seqno, addr = (list(args) + [0] * 5)[:5]
+        extra = {
+            "peer": as_signed(peer),
+            "tag": as_signed(tag),
+            "msgSizeSent": int(size),
+            "seqno": int(seqno),
+            "addr": int(addr),
+        }
+    elif name in ("MPI_Recv", "MPI_Irecv"):
+        src, tag, _size, _seqno, addr = (list(args) + [0] * 5)[:5]
+        extra = {"peer": as_signed(src), "tag": as_signed(tag), "addr": int(addr)}
+    elif name in ("MPI_Wait", "MPI_Waitall"):
+        extra = {"addr": int(args[0]) if args else 0}
+    else:  # collectives: (root, bytes, coll_seq, addr)
+        root, size, _seq, addr = (list(args) + [0] * 4)[:4]
+        extra = {"root": as_signed(root), "msgSize": int(size), "addr": int(addr)}
+    return extra

@@ -1,0 +1,127 @@
+"""Textual dumps of trace artifacts (the debugging workhorse).
+
+``ute-dump`` prints raw trace files, interval files, or SLOG files as
+human-readable text — one line per record, with all fields named through
+the description profile.  The interval-file path demonstrates the
+self-defining format's promise: the dumper has no per-type code at all; it
+learns every record layout from the profile.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.profilefmt import Profile
+from repro.core.reader import IntervalReader
+from repro.core.records import IntervalRecord
+from repro.errors import FormatError
+from repro.tracing.rawfile import RawTraceReader
+
+
+def dump_raw(path: str | Path, *, limit: int | None = None) -> Iterator[str]:
+    """Lines describing a raw trace file."""
+    reader = RawTraceReader(path)
+    header = reader.header
+    yield (
+        f"# raw trace node={header.node_id} cpus={header.n_cpus} "
+        f"base_local_ts={header.base_local_ts}"
+    )
+    for i, event in enumerate(reader):
+        if limit is not None and i >= limit:
+            yield f"# ... truncated at {limit} events"
+            return
+        args = " ".join(str(a) for a in event.args)
+        text = f" {event.text!r}" if event.text else ""
+        yield (
+            f"{event.local_ts:>14} {event.name:<24} tid={event.system_tid} "
+            f"cpu={event.cpu}{(' args=' + args) if args else ''}{text}"
+        )
+
+
+def format_record(record: IntervalRecord, profile: Profile) -> str:
+    """One interval record as a labeled text line."""
+    try:
+        name = profile.record_name(record.itype)
+    except FormatError:
+        name = f"type{record.itype}"
+    extras = " ".join(f"{k}={v}" for k, v in sorted(record.extra.items()))
+    return (
+        f"{record.start:>14} +{record.duration:<10} {name:<16} "
+        f"[{record.bebits.name.lower():<12}] n{record.node} cpu{record.cpu} "
+        f"t{record.thread}{(' ' + extras) if extras else ''}"
+    )
+
+
+def dump_interval(
+    path: str | Path, profile: Profile, *, limit: int | None = None
+) -> Iterator[str]:
+    """Lines describing an interval file: header, tables, then records."""
+    reader = IntervalReader(path, profile)
+    header = reader.header
+    count, first, last = reader.totals()
+    yield (
+        f"# interval file profile={header.profile_version:#010x} "
+        f"mask={header.field_mask:#x} records={count} "
+        f"span=[{first}, {last}] ticks"
+    )
+    yield f"# threads ({len(reader.thread_table)}):"
+    for entry in reader.thread_table:
+        yield (
+            f"#   n{entry.node} ltid={entry.logical_tid} task={entry.mpi_task} "
+            f"pid={entry.pid} stid={entry.system_tid} "
+            f"type={entry.thread_type} {entry.name!r}"
+        )
+    if reader.markers:
+        yield f"# markers ({len(reader.markers)}):"
+        for marker_id, text in sorted(reader.markers.items()):
+            yield f"#   {marker_id} = {text!r}"
+    if reader.node_cpus:
+        yield f"# nodes: " + ", ".join(
+            f"n{n}:{c}cpus" for n, c in sorted(reader.node_cpus.items())
+        )
+    for i, record in enumerate(reader.intervals()):
+        if limit is not None and i >= limit:
+            yield f"# ... truncated at {limit} records"
+            return
+        yield format_record(record, profile)
+
+
+def dump_slog(path: str | Path, *, limit: int | None = None) -> Iterator[str]:
+    """Lines describing a SLOG file: frame index, preview summary, records."""
+    from repro.utils.slog import SlogFile
+
+    slog = SlogFile(path)
+    yield (
+        f"# SLOG frames={len(slog.frames)} threads={len(slog.thread_table)} "
+        f"time_range={slog.time_range} bins={slog.preview_bins}"
+    )
+    for i, frame in enumerate(slog.frames):
+        yield (
+            f"# frame {i}: [{frame.start_time}, {frame.end_time}] "
+            f"{frame.n_records} records ({frame.n_pseudo} pseudo) "
+            f"@{frame.offset}+{frame.size}"
+        )
+    emitted = 0
+    for frame in slog.frames:
+        for record in slog.read_frame(frame):
+            if limit is not None and emitted >= limit:
+                yield f"# ... truncated at {limit} records"
+                return
+            yield format_record(record, slog.profile)
+            emitted += 1
+
+
+def dump_any(
+    path: str | Path, profile: Profile, *, limit: int | None = None
+) -> Iterator[str]:
+    """Dispatch on the file's magic bytes."""
+    magic = Path(path).open("rb").read(8)
+    if magic == b"UTERAW1\x00":
+        yield from dump_raw(path, limit=limit)
+    elif magic == b"UTEIVL1\x00":
+        yield from dump_interval(path, profile, limit=limit)
+    elif magic == b"UTESLOG1":
+        yield from dump_slog(path, limit=limit)
+    else:
+        raise FormatError(f"{path}: unrecognized magic {magic!r}")

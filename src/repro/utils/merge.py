@@ -1,0 +1,274 @@
+"""The merge utility (paper sections 3.1 and 3.3).
+
+Merges per-node interval files into a single merged interval file:
+
+1. **Alignment** — each file's first global-clock record fixes its starting
+   point on the global time axis.
+2. **Drift adjustment** — the file's clock-pair sequence yields the
+   global-to-local ratio (RMS of slope segments by default); every record's
+   start and duration are rescaled.  The original local start survives in
+   the merged file's ``localStart`` field (present only under the merged
+   field-selection mask — the profile mechanism built for exactly this).
+3. **K-way merge** — a balanced (AVL) tree holds one cursor per input file,
+   sorted by adjusted end time; the minimum is popped, written, and the
+   cursor re-inserted at its next record.
+4. **Pseudo-intervals** — each new frame is led by zero-duration
+   continuation records for every state open at that point, so a tool that
+   jumps into the middle of the file still sees the enclosing nested states.
+
+Optionally tees the merged stream into a SLOG file for Jumpshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.clocksync.adjust import (
+    ClockAdjustment,
+    PiecewiseAdjustment,
+    adjustment_from_pairs,
+)
+from repro.clocksync.ratio import ClockPair
+from repro.core.fields import MASK_ALL_MERGED
+from repro.core.profilefmt import Profile
+from repro.core.reader import IntervalReader
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadTable
+from repro.core.writer import IntervalFileWriter
+from repro.errors import MergeError
+from repro.utils.avltree import AVLTree
+
+
+@dataclass
+class MergeResult:
+    """Outcome of a merge."""
+
+    merged_path: Path
+    slog_path: Path | None
+    records_out: int
+    pseudo_records: int
+    files_in: int
+    adjustments: list[ClockAdjustment | PiecewiseAdjustment]
+
+
+def collect_clock_pairs(reader: IntervalReader) -> list[ClockPair]:
+    """The (global, local) pairs a convert pass embedded as GlobalClock
+    records."""
+    pairs = []
+    for record in reader.intervals():
+        if record.itype == IntervalType.CLOCKPAIR:
+            pairs.append(ClockPair(global_ts=record.extra["globalTs"], local_ts=record.start))
+    return pairs
+
+
+def _build_adjustment(pairs: list[ClockPair], mode: str):
+    if len(pairs) >= 2:
+        return adjustment_from_pairs(pairs, mode)
+    if len(pairs) == 1:
+        # Offset-only alignment: not enough data to estimate drift.
+        return ClockAdjustment(pairs[0].global_ts, pairs[0].local_ts, 1.0)
+    return ClockAdjustment(0, 0, 1.0)
+
+
+def _adjusted_stream(
+    reader: IntervalReader, adjustment
+) -> Iterator[IntervalRecord]:
+    """Records of one file, clock-adjusted, clock pairs removed."""
+    for record in reader.intervals():
+        if record.itype == IntervalType.CLOCKPAIR:
+            continue
+        extra = dict(record.extra)
+        extra["localStart"] = record.start
+        start = adjustment.adjust(record.start)
+        # Anchor the duration at the adjusted end rather than rounding
+        # R * D independently: adjusted end times then inherit the input's
+        # end-time ordering exactly (independent rounding can flip the
+        # order of records whose ends differ by a tick).
+        duration = adjustment.adjust(record.end) - start
+        yield IntervalRecord(
+            record.itype,
+            record.bebits,
+            start,
+            duration,
+            record.node,
+            record.cpu,
+            record.thread,
+            extra,
+        )
+
+
+class _OpenStateTracker:
+    """Tracks interrupted states still open in the merged stream, for
+    pseudo-interval injection."""
+
+    def __init__(self) -> None:
+        self._open: dict[tuple, IntervalRecord] = {}
+
+    @staticmethod
+    def _key(record: IntervalRecord) -> tuple:
+        marker = record.extra.get("markerId", 0) if record.itype == IntervalType.MARKER else 0
+        return (record.node, record.thread, record.itype, marker)
+
+    def observe(self, record: IntervalRecord) -> None:
+        if record.bebits is BeBits.BEGIN:
+            self._open[self._key(record)] = record
+        elif record.bebits is BeBits.END:
+            self._open.pop(self._key(record), None)
+
+    def pseudo_records(self, at_time: int) -> list[IntervalRecord]:
+        """Zero-duration continuation records for every open state."""
+        out = []
+        for record in self._open.values():
+            out.append(
+                IntervalRecord(
+                    record.itype,
+                    BeBits.CONTINUATION,
+                    at_time,
+                    0,
+                    record.node,
+                    record.cpu,
+                    record.thread,
+                    dict(record.extra),
+                )
+            )
+        out.sort(key=lambda r: (r.node, r.thread, r.itype))
+        return out
+
+
+def merge_interval_files(
+    paths: Iterable[str | Path],
+    out_path: str | Path,
+    profile: Profile,
+    *,
+    sync_mode: str = "rms_segment",
+    frame_bytes: int = 32 * 1024,
+    frames_per_dir: int = 8,
+    slog_path: str | Path | None = None,
+    preview_bins: int = 50,
+    thread_types: set[int] | None = None,
+) -> MergeResult:
+    """Merge per-node interval files into one; optionally emit SLOG too.
+
+    ``thread_types`` restricts merging to specific thread categories (the
+    thread-table partitioning's purpose: "a way to choose specific threads
+    for merging"); None merges everything.
+    """
+    paths = [Path(p) for p in paths]
+    if not paths:
+        raise MergeError("nothing to merge")
+    readers = [IntervalReader(p, profile) for p in paths]
+
+    # Pass 1: clock pairs, adjustments, merged tables, global time range.
+    adjustments = []
+    merged_table = ThreadTable()
+    merged_markers: dict[int, str] = {}
+    merged_nodes: dict[int, int] = {}
+    selected: list[set[int] | None] = []
+    for reader in readers:
+        for node, cpus in reader.node_cpus.items():
+            merged_nodes[node] = max(merged_nodes.get(node, 0), cpus)
+        pairs = collect_clock_pairs(reader)
+        adjustments.append(_build_adjustment(pairs, sync_mode))
+        keep: set[int] | None = None
+        if thread_types is not None:
+            keep = {
+                e.logical_tid
+                for e in reader.thread_table
+                if e.thread_type in thread_types
+            }
+        selected.append(keep)
+        for entry in reader.thread_table:
+            if keep is None or entry.logical_tid in keep:
+                merged_table.add(entry)
+        for marker_id, text in reader.markers.items():
+            existing = merged_markers.get(marker_id)
+            if existing is not None and existing != text:
+                raise MergeError(
+                    f"marker id {marker_id} maps to both {existing!r} and {text!r}; "
+                    "inputs were not converted together"
+                )
+            merged_markers[marker_id] = text
+
+    # Pass 2: k-way merge via the balanced tree.
+    tree = AVLTree()
+    streams = []
+    for i, (reader, adjustment) in enumerate(zip(readers, adjustments)):
+        stream = _adjusted_stream(reader, adjustment)
+        if selected[i] is not None:
+            keep = selected[i]
+            stream = (r for r in stream if r.thread in keep)
+        streams.append(stream)
+        first = next(streams[i], None)
+        if first is not None:
+            tree.insert((first.end, first.start, i), (i, first))
+
+    slog_writer = None
+    if slog_path is not None:
+        from repro.utils.slog import SlogWriter
+
+        # Global time range for the preview bins, from directory totals.
+        t_end = 0
+        for reader, adjustment in zip(readers, adjustments):
+            _, _, local_last = reader.totals()
+            t_end = max(t_end, adjustment.adjust(local_last))
+        slog_writer = SlogWriter(
+            slog_path,
+            profile,
+            merged_table,
+            markers=merged_markers,
+            node_cpus=merged_nodes,
+            field_mask=MASK_ALL_MERGED,
+            frame_bytes=frame_bytes,
+            time_range=(0, max(t_end, 1)),
+            preview_bins=preview_bins,
+        )
+
+    tracker = _OpenStateTracker()
+    pseudo_count = 0
+    records_out = 0
+    last_end = 0
+    with IntervalFileWriter(
+        out_path,
+        profile,
+        merged_table,
+        markers=merged_markers,
+        node_cpus=merged_nodes,
+        field_mask=MASK_ALL_MERGED,
+        frame_bytes=frame_bytes,
+        frames_per_dir=frames_per_dir,
+    ) as writer:
+        while tree:
+            _, (i, record) = tree.pop_min()
+            if writer.frame_fill == 0 and records_out > 0:
+                for pseudo in tracker.pseudo_records(last_end):
+                    writer.write(pseudo)
+                    if slog_writer is not None:
+                        slog_writer.write(pseudo, pseudo=True)
+                    pseudo_count += 1
+            writer.write(record)
+            if slog_writer is not None:
+                slog_writer.write(record)
+            tracker.observe(record)
+            records_out += 1
+            last_end = record.end
+            nxt = next(streams[i], None)
+            if nxt is not None:
+                if nxt.end < record.end:
+                    raise MergeError(
+                        f"{paths[i]}: records out of end-time order after adjustment"
+                    )
+                tree.insert((nxt.end, nxt.start, i), (i, nxt))
+
+    final_slog = None
+    if slog_writer is not None:
+        final_slog = slog_writer.close()
+    return MergeResult(
+        merged_path=Path(out_path),
+        slog_path=final_slog,
+        records_out=records_out,
+        pseudo_records=pseudo_count,
+        files_in=len(paths),
+        adjustments=adjustments,
+    )

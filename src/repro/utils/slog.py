@@ -1,0 +1,360 @@
+"""The SLOG file format (paper section 4).
+
+SLOG ("scalable log") is the format Jumpshot reads.  It addresses the two
+challenges of visualizing huge traces:
+
+* **Rapid access far into the run** — records are divided into frames with a
+  time-based frame index, so the frame containing any chosen instant is
+  located without reading anything before it.
+* **Accurate portrayal at frame boundaries** — frames begin with
+  *pseudo-interval* records supplying whatever enclosing-state data is
+  needed from other frames.
+
+The file also stores the preview data: per-state time counters accumulated
+during construction, with proportional allocation of interval durations to a
+fixed number of time bins — what lets Jumpshot draw the whole-run summary
+instantly (Figure 7's smaller window).
+
+The record payload encoding reuses the interval-record wire format, and the
+describing profile is embedded, so a SLOG file is fully self-contained.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.profilefmt import Profile
+from repro.core.records import IntervalRecord
+from repro.core.threadtable import ThreadTable
+from repro.core.writer import (
+    decode_marker_table,
+    decode_node_table,
+    encode_marker_table,
+    encode_node_table,
+)
+from repro.errors import FormatError
+
+MAGIC = b"UTESLOG1"
+
+_FRAME_ENTRY = struct.Struct("<QQQQII")  # start, end, offset, size, n_records, n_pseudo
+
+
+@dataclass(frozen=True)
+class SlogFrameEntry:
+    """One entry of the time-based frame index."""
+
+    start_time: int
+    end_time: int
+    offset: int
+    size: int
+    n_records: int
+    n_pseudo: int
+
+    def contains_time(self, t: int) -> bool:
+        """Whether instant ``t`` falls in this frame's range."""
+        return self.start_time <= t <= self.end_time
+
+
+class SlogWriter:
+    """Builds a SLOG file from an end-time-ordered record stream.
+
+    Maintains the preview state counters while records stream through, and
+    closes frames at the configured byte size.  Call :meth:`write` with
+    ``pseudo=True`` for pseudo-interval records so they are counted
+    separately and excluded from the preview accumulation.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        profile: Profile,
+        thread_table: ThreadTable,
+        *,
+        markers: dict[int, str] | None = None,
+        node_cpus: dict[int, int] | None = None,
+        field_mask: int,
+        frame_bytes: int = 32 * 1024,
+        time_range: tuple[int, int] = (0, 1),
+        preview_bins: int = 50,
+        ticks_per_sec: float = 1e9,
+    ) -> None:
+        if preview_bins < 1:
+            raise FormatError("need at least one preview bin")
+        t0, t1 = time_range
+        if t1 <= t0:
+            raise FormatError(f"bad preview time range {time_range}")
+        self.path = Path(path)
+        self.profile = profile
+        self.thread_table = thread_table
+        self.markers = dict(markers or {})
+        self.node_cpus = dict(node_cpus or {})
+        self.field_mask = field_mask
+        self.frame_bytes = frame_bytes
+        self.time_range = (t0, t1)
+        self.preview_bins = preview_bins
+        self.ticks_per_sec = ticks_per_sec
+        self._bin_width = (t1 - t0) / preview_bins
+        # Preview counters: itype -> per-bin accumulated duration (ticks).
+        self._counters: dict[int, np.ndarray] = {}
+        self._frames: list[tuple[bytes, int, int, int, int]] = []
+        self._buf = bytearray()
+        self._buf_records = 0
+        self._buf_pseudo = 0
+        self._buf_start: int | None = None
+        self._buf_end = 0
+        self.records_written = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ API
+
+    def write(self, record: IntervalRecord, *, pseudo: bool = False) -> None:
+        """Append one record; set ``pseudo`` for pseudo-interval records."""
+        if self._closed:
+            raise FormatError("SLOG writer already closed")
+        if not pseudo:
+            self._accumulate_preview(record)
+        blob = record.encode(self.profile, self.field_mask)
+        self._buf += blob
+        self._buf_records += 1
+        self._buf_pseudo += int(pseudo)
+        self._buf_start = (
+            record.start if self._buf_start is None else min(self._buf_start, record.start)
+        )
+        self._buf_end = max(self._buf_end, record.end)
+        self.records_written += 1
+        if len(self._buf) >= self.frame_bytes:
+            self._finish_frame()
+
+    def close(self) -> Path:
+        """Finalize frames, write the complete file, return its path."""
+        if self._closed:
+            return self.path
+        self._finish_frame()
+        self._closed = True
+        self.path.write_bytes(self._serialize())
+        return self.path
+
+    # ------------------------------------------------------------ internals
+
+    def _accumulate_preview(self, record: IntervalRecord) -> None:
+        """Proportionally allocate a record's duration to the time bins."""
+        counters = self._counters.get(record.itype)
+        if counters is None:
+            counters = np.zeros(self.preview_bins, dtype=np.float64)
+            self._counters[record.itype] = counters
+        t0, t1 = self.time_range
+        lo = max(record.start, t0)
+        hi = min(record.end, t1)
+        if hi <= lo:
+            return
+        first = int((lo - t0) / self._bin_width)
+        last = min(int((hi - t0) / self._bin_width), self.preview_bins - 1)
+        for b in range(first, last + 1):
+            bin_lo = t0 + b * self._bin_width
+            bin_hi = bin_lo + self._bin_width
+            counters[b] += max(0.0, min(hi, bin_hi) - max(lo, bin_lo))
+
+    def _finish_frame(self) -> None:
+        if not self._buf_records:
+            return
+        assert self._buf_start is not None
+        self._frames.append(
+            (bytes(self._buf), self._buf_start, self._buf_end, self._buf_records, self._buf_pseudo)
+        )
+        self._buf = bytearray()
+        self._buf_records = 0
+        self._buf_pseudo = 0
+        self._buf_start = None
+        self._buf_end = 0
+
+    def _serialize(self) -> bytes:
+        out = bytearray()
+        out += MAGIC
+        profile_blob = _profile_blob(self.profile)
+        out += struct.pack("<I", len(profile_blob)) + profile_blob
+        table_blob = self.thread_table.encode()
+        out += struct.pack("<I", len(self.thread_table)) + table_blob
+        marker_blob = encode_marker_table(self.markers)
+        out += struct.pack("<I", len(self.markers)) + marker_blob
+        node_blob = encode_node_table(self.node_cpus)
+        out += struct.pack("<I", len(self.node_cpus)) + node_blob
+        out += struct.pack(
+            "<QdQQ", self.field_mask, self.ticks_per_sec, *self.time_range
+        )
+        # Preview.
+        out += struct.pack("<II", self.preview_bins, len(self._counters))
+        for itype in sorted(self._counters):
+            out += struct.pack("<I", itype)
+            out += self._counters[itype].tobytes()
+        # Frame index, then frames.
+        out += struct.pack("<I", len(self._frames))
+        data_start = len(out) + len(self._frames) * _FRAME_ENTRY.size
+        offset = data_start
+        for blob, start, end, n, n_pseudo in self._frames:
+            out += _FRAME_ENTRY.pack(start, end, offset, len(blob), n, n_pseudo)
+            offset += len(blob)
+        for blob, *_ in self._frames:
+            out += blob
+        return bytes(out)
+
+
+def _profile_blob(profile: Profile) -> bytes:
+    """The profile serialized exactly as its standalone file."""
+    import zlib
+
+    body = profile._body_bytes()
+    return b"UTEPROF1" + struct.pack("<I", zlib.crc32(body)) + body
+
+
+class SlogFile:
+    """Reader for SLOG files: preview, frame index, and frame records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        data = self.path.read_bytes()
+        if data[:8] != MAGIC:
+            raise FormatError(f"{self.path}: not a SLOG file")
+        try:
+            self._parse(data)
+        except (struct.error, IndexError, ValueError, OverflowError, UnicodeDecodeError) as exc:
+            raise FormatError(f"{self.path}: corrupt SLOG structure ({exc})") from exc
+
+    def _parse(self, data: bytes) -> None:
+        pos = 8
+        (plen,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        self.profile = _profile_from_blob(data[pos : pos + plen])
+        pos += plen
+        (n_threads,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        self.thread_table, pos = ThreadTable.decode(data, pos, n_threads)
+        (n_markers,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        self.markers, pos = decode_marker_table(data, pos, n_markers)
+        (n_nodes,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        self.node_cpus, pos = decode_node_table(data, pos, n_nodes)
+        self.field_mask, self.ticks_per_sec, t0, t1 = struct.unpack_from("<QdQQ", data, pos)
+        pos += struct.calcsize("<QdQQ")
+        self.time_range = (t0, t1)
+        bins, n_states = struct.unpack_from("<II", data, pos)
+        pos += 8
+        self.preview_bins = bins
+        self.preview: dict[int, np.ndarray] = {}
+        for _ in range(n_states):
+            (itype,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            arr = np.frombuffer(data, dtype=np.float64, count=bins, offset=pos).copy()
+            pos += bins * 8
+            self.preview[itype] = arr
+        (n_frames,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        self.frames: list[SlogFrameEntry] = []
+        for _ in range(n_frames):
+            vals = _FRAME_ENTRY.unpack_from(data, pos)
+            pos += _FRAME_ENTRY.size
+            self.frames.append(SlogFrameEntry(*vals))
+        self._data = data
+
+    def find_frame(self, t: int) -> SlogFrameEntry | None:
+        """Locate the frame containing instant ``t`` via the index alone."""
+        for frame in self.frames:
+            if frame.contains_time(t):
+                return frame
+        return None
+
+    def read_frame(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
+        """Decode one frame's records (pseudo-intervals included)."""
+        records = []
+        pos = frame.offset
+        end = frame.offset + frame.size
+        while pos < end:
+            try:
+                record, pos = IntervalRecord.decode(
+                    self._data, pos, self.profile, self.field_mask
+                )
+            except (struct.error, IndexError, ValueError, OverflowError) as exc:
+                raise FormatError(
+                    f"{self.path}: corrupt SLOG record at offset {pos} ({exc})"
+                ) from exc
+            records.append(record)
+        if len(records) != frame.n_records:
+            raise FormatError(
+                f"SLOG frame at {frame.offset}: {len(records)} records, "
+                f"index says {frame.n_records}"
+            )
+        return records
+
+    def records(self) -> list[IntervalRecord]:
+        """Every record in the file, frame by frame."""
+        out = []
+        for frame in self.frames:
+            out.extend(self.read_frame(frame))
+        return out
+
+    def preview_matrix(self) -> tuple[list[int], np.ndarray]:
+        """(state types, bins×states duration matrix in seconds)."""
+        itypes = sorted(self.preview)
+        if not itypes:
+            return [], np.zeros((self.preview_bins, 0))
+        matrix = np.stack([self.preview[i] for i in itypes], axis=1) / self.ticks_per_sec
+        return itypes, matrix
+
+
+def _profile_from_blob(blob: bytes) -> Profile:
+    """Reconstruct a Profile from its embedded serialized form."""
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(suffix=".ute", delete=False) as fh:
+        fh.write(blob)
+        temp = fh.name
+    try:
+        return Profile.read(temp)
+    finally:
+        Path(temp).unlink(missing_ok=True)
+
+
+def slog_from_interval_file(
+    merged_path: str | Path,
+    profile: Profile,
+    slog_path: str | Path,
+    *,
+    frame_bytes: int = 32 * 1024,
+    preview_bins: int = 50,
+) -> Path:
+    """Build a SLOG file from an already-merged interval file."""
+    from repro.core.reader import IntervalReader
+    from repro.core.records import IntervalType
+    from repro.utils.merge import _OpenStateTracker
+
+    reader = IntervalReader(merged_path, profile)
+    _, _, t_end = reader.totals()
+    writer = SlogWriter(
+        slog_path,
+        profile,
+        reader.thread_table,
+        markers=reader.markers,
+        node_cpus=reader.node_cpus,
+        field_mask=reader.header.field_mask,
+        frame_bytes=frame_bytes,
+        time_range=(0, max(t_end, 1)),
+        preview_bins=preview_bins,
+    )
+    tracker = _OpenStateTracker()
+    last_end = 0
+    started = False
+    for record in reader.intervals():
+        if record.itype == IntervalType.CLOCKPAIR:
+            continue
+        if started and writer._buf_records == 0:
+            for pseudo in tracker.pseudo_records(last_end):
+                writer.write(pseudo, pseudo=True)
+        writer.write(record)
+        tracker.observe(record)
+        last_end = record.end
+        started = True
+    return writer.close()

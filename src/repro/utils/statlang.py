@@ -1,0 +1,383 @@
+"""The declarative statistics table language (paper section 3.2).
+
+A program is a sequence of table specifications::
+
+    table name=sample condition=(start < 2)
+          x=("node", node) x=("processor", cpu)
+          y=("avg(duration)", dura, avg)
+
+* ``condition`` selects intervals (any boolean expression over fields);
+* each ``x`` declares a free variable of the table (label + expression);
+* each ``y`` declares a dependent value (label + expression + aggregate).
+
+Expressions support field names, numeric literals, arithmetic
+(``+ - * /``), comparisons, ``and`` / ``or`` / ``not``, parentheses, and the
+binning function ``bin(expr, lo, hi, n)`` which maps a value into one of
+``n`` equal bins over [lo, hi).  Aggregates: ``avg sum min max count``.
+
+Field names come from the description profile (``start``, ``dura``,
+``node``, ``cpu``, ``thread``, ``msgSizeSent``, …) plus the synthesized
+``type`` (interval type number) and ``bebits``.  Time-valued fields
+(``start``, ``dura``, ``localStart``) are presented in **seconds**, matching
+the paper's ``condition=(start < 2)`` reading "started during the first 2
+seconds".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import StatsError
+
+AGGREGATES = ("avg", "sum", "min", "max", "count")
+
+# ----------------------------------------------------------------- lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|[-+*/<>(),=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a program into tokens; raises on anything unrecognized."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise StatsError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = m.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+# ------------------------------------------------------------- expressions
+
+
+class Expr:
+    """Base class of expression AST nodes."""
+
+    def eval(self, env: Mapping[str, Any]) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fields(self) -> set[str]:
+        """Field names this expression reads."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: float
+
+    def eval(self, env: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    name: str
+
+    def eval(self, env: Mapping[str, Any]) -> Any:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise StatsError(f"record has no field {self.name!r}") from None
+
+    def fields(self) -> set[str]:
+        return {self.name}
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, env: Mapping[str, Any]) -> Any:
+        try:
+            return _BINOPS[self.op](self.left.eval(env), self.right.eval(env))
+        except ZeroDivisionError:
+            raise StatsError("division by zero in table expression") from None
+
+    def fields(self) -> set[str]:
+        return self.left.fields() | self.right.fields()
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def eval(self, env: Mapping[str, Any]) -> Any:
+        return not bool(self.operand.eval(env))
+
+    def fields(self) -> set[str]:
+        return self.operand.fields()
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr
+
+    def eval(self, env: Mapping[str, Any]) -> Any:
+        return -self.operand.eval(env)
+
+    def fields(self) -> set[str]:
+        return self.operand.fields()
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """bin(expr, lo, hi, n): equal-width binning with clamping."""
+
+    operand: Expr
+    lo: Expr
+    hi: Expr
+    n: Expr
+
+    def eval(self, env: Mapping[str, Any]) -> int:
+        value = self.operand.eval(env)
+        lo = self.lo.eval(env)
+        hi = self.hi.eval(env)
+        n = int(self.n.eval(env))
+        if n < 1 or hi <= lo:
+            raise StatsError(f"bad bin() parameters lo={lo} hi={hi} n={n}")
+        idx = int((value - lo) / ((hi - lo) / n))
+        return max(0, min(idx, n - 1))
+
+    def fields(self) -> set[str]:
+        return (
+            self.operand.fields() | self.lo.fields() | self.hi.fields() | self.n.fields()
+        )
+
+
+# --------------------------------------------------------------- parser
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise StatsError("unexpected end of program")
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise StatsError(f"expected {text!r} at position {tok.pos}, got {tok.text!r}")
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == "name" and tok.text == word
+
+    # Expression grammar: or_expr > and_expr > not > comparison > additive >
+    # multiplicative > unary > atom.
+
+    def parse_expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        node = self._and()
+        while self.at_keyword("or"):
+            self.next()
+            node = BinOp("or", node, self._and())
+        return node
+
+    def _and(self) -> Expr:
+        node = self._not()
+        while self.at_keyword("and"):
+            self.next()
+            node = BinOp("and", node, self._not())
+        return node
+
+    def _not(self) -> Expr:
+        if self.at_keyword("not"):
+            self.next()
+            return Not(self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        node = self._additive()
+        tok = self.peek()
+        if tok is not None and tok.text in ("<", "<=", ">", ">=", "==", "!="):
+            self.next()
+            node = BinOp(tok.text, node, self._additive())
+        return node
+
+    def _additive(self) -> Expr:
+        node = self._multiplicative()
+        while (tok := self.peek()) is not None and tok.text in ("+", "-"):
+            self.next()
+            node = BinOp(tok.text, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Expr:
+        node = self._unary()
+        while (tok := self.peek()) is not None and tok.text in ("*", "/"):
+            self.next()
+            node = BinOp(tok.text, node, self._unary())
+        return node
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok is not None and tok.text == "-":
+            self.next()
+            return Neg(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            return Literal(float(tok.text) if "." in tok.text else int(tok.text))
+        if tok.kind == "name":
+            if tok.text == "bin":
+                self.expect("(")
+                operand = self.parse_expr()
+                self.expect(",")
+                lo = self.parse_expr()
+                self.expect(",")
+                hi = self.parse_expr()
+                self.expect(",")
+                n = self.parse_expr()
+                self.expect(")")
+                return Bin(operand, lo, hi, n)
+            return Field(tok.text)
+        if tok.text == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        raise StatsError(f"unexpected token {tok.text!r} at position {tok.pos}")
+
+
+# --------------------------------------------------------------- programs
+
+
+@dataclass(frozen=True)
+class TableProgram:
+    """One parsed ``table`` specification."""
+
+    name: str
+    condition: Expr | None
+    xs: tuple[tuple[str, Expr], ...]
+    ys: tuple[tuple[str, Expr, str], ...]
+
+    def fields(self) -> set[str]:
+        """All field names the table reads (for validation)."""
+        out: set[str] = set()
+        if self.condition is not None:
+            out |= self.condition.fields()
+        for _, expr in self.xs:
+            out |= expr.fields()
+        for _, expr, _ in self.ys:
+            out |= expr.fields()
+        return out
+
+
+def parse_program(text: str) -> list[TableProgram]:
+    """Parse a statistics program into table specifications."""
+    parser = _Parser(tokenize(text))
+    tables: list[TableProgram] = []
+    while parser.peek() is not None:
+        tables.append(_parse_table(parser))
+    if not tables:
+        raise StatsError("empty statistics program")
+    return tables
+
+
+def _parse_table(parser: _Parser) -> TableProgram:
+    tok = parser.next()
+    if tok.text != "table":
+        raise StatsError(f"expected 'table' at position {tok.pos}, got {tok.text!r}")
+    name = ""
+    condition: Expr | None = None
+    xs: list[tuple[str, Expr]] = []
+    ys: list[tuple[str, Expr, str]] = []
+    while (tok := parser.peek()) is not None and not (
+        tok.kind == "name" and tok.text == "table"
+    ):
+        key = parser.next()
+        if key.kind != "name":
+            raise StatsError(f"expected a keyword at position {key.pos}, got {key.text!r}")
+        parser.expect("=")
+        if key.text == "name":
+            name = parser.next().text
+        elif key.text == "condition":
+            parser.expect("(")
+            condition = parser.parse_expr()
+            parser.expect(")")
+        elif key.text == "x":
+            parser.expect("(")
+            label = _parse_label(parser)
+            parser.expect(",")
+            xs.append((label, parser.parse_expr()))
+            parser.expect(")")
+        elif key.text == "y":
+            parser.expect("(")
+            label = _parse_label(parser)
+            parser.expect(",")
+            expr = parser.parse_expr()
+            parser.expect(",")
+            agg = parser.next().text
+            if agg not in AGGREGATES:
+                raise StatsError(f"unknown aggregate {agg!r}; pick one of {AGGREGATES}")
+            ys.append((label, expr, agg))
+            parser.expect(")")
+        else:
+            raise StatsError(f"unknown table keyword {key.text!r} at position {key.pos}")
+    if not name:
+        raise StatsError("table needs a name")
+    if not xs:
+        raise StatsError(f"table {name!r} needs at least one x expression")
+    if not ys:
+        raise StatsError(f"table {name!r} needs at least one y expression")
+    return TableProgram(name, condition, tuple(xs), tuple(ys))
+
+
+def _parse_label(parser: _Parser) -> str:
+    tok = parser.next()
+    if tok.kind != "string":
+        raise StatsError(f"expected a quoted label at position {tok.pos}")
+    return tok.text[1:-1]

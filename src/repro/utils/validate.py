@@ -1,0 +1,164 @@
+"""Interval-file validator.
+
+Checks every structural invariant the format promises, so downstream tools
+can trust files from unknown producers:
+
+* header magic/version and profile version match;
+* frame directories form a consistent doubly linked list;
+* frame entries describe their frames exactly (sizes, counts, time ranges);
+* records are in ascending end-time order;
+* every record's (node, thread) resolves in the thread table;
+* bebits balance per state (no orphan continuations/ends, nothing left
+  open), treating zero-duration continuations as the pseudo-interval
+  repeats the merge inserts;
+* marker records reference marker-table entries.
+
+Returns a report object; the CLI (``ute-validate``) prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.profilefmt import Profile
+from repro.core.reader import IntervalReader
+from repro.core.records import BeBits, IntervalType
+from repro.errors import FormatError
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    path: Path
+    records: int = 0
+    frames: int = 0
+    directories: int = 0
+    pseudo_records: int = 0
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"{self.path}: {'OK' if self.ok else 'INVALID'} — "
+            f"{self.records} records in {self.frames} frames / "
+            f"{self.directories} directories ({self.pseudo_records} pseudo)"
+        ]
+        lines += [f"  error: {e}" for e in self.errors]
+        lines += [f"  warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_interval_file(path: str | Path, profile: Profile) -> ValidationReport:
+    """Validate one interval file against ``profile``."""
+    report = ValidationReport(Path(path))
+    try:
+        reader = IntervalReader(path, profile)
+    except FormatError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    # Structure: directory linkage and frame entries.  Iteration itself can
+    # hit corruption (bad directory bytes); report and stop scanning.
+    prev_offset = -1
+    try:
+        for directory in reader.directories():
+            report.directories += 1
+            if directory.prev_offset != prev_offset:
+                report.errors.append(
+                    f"directory at {directory.offset}: prev pointer "
+                    f"{directory.prev_offset} != expected {prev_offset}"
+                )
+            prev_offset = directory.offset
+            for frame in directory.frames:
+                report.frames += 1
+                try:
+                    records = reader.read_frame(frame)
+                except FormatError as exc:
+                    report.errors.append(str(exc))
+                    continue
+                if records:
+                    lo = min(r.start for r in records)
+                    hi = max(r.end for r in records)
+                    if lo != frame.start_time or hi != frame.end_time:
+                        report.errors.append(
+                            f"frame at {frame.offset}: time range "
+                            f"[{lo}, {hi}] != entry [{frame.start_time}, {frame.end_time}]"
+                        )
+    except FormatError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    # Records: ordering, thread refs, bebits, markers.
+    open_states: dict[tuple, int] = {}
+    try:
+        _scan_records(reader, report, open_states)
+    except FormatError as exc:
+        report.errors.append(str(exc))
+        return report
+    leftover = [k for k, v in open_states.items() if v]
+    for key in leftover:
+        report.warnings.append(f"state left open at end of file: {key}")
+    return report
+
+
+def _scan_records(reader: IntervalReader, report: ValidationReport, open_states: dict) -> None:
+    last_end: int | None = None
+    for record in reader.intervals():
+        report.records += 1
+        if last_end is not None and record.end < last_end:
+            report.errors.append(
+                f"record order violation: end {record.end} after {last_end}"
+            )
+        last_end = record.end
+        if record.itype != IntervalType.CLOCKPAIR:
+            try:
+                reader.thread_table.lookup(record.node, record.thread)
+            except FormatError:
+                report.errors.append(
+                    f"record references unknown thread node={record.node} "
+                    f"ltid={record.thread}"
+                )
+        if record.itype == IntervalType.MARKER:
+            marker_id = record.extra.get("markerId", 0)
+            if marker_id not in reader.markers:
+                report.errors.append(
+                    f"marker record references unknown marker id {marker_id}"
+                )
+        key = (
+            record.node,
+            record.thread,
+            record.itype,
+            record.extra.get("markerId", 0),
+        )
+        if record.bebits is BeBits.BEGIN:
+            if open_states.get(key):
+                report.errors.append(f"nested begin for state {key}")
+            open_states[key] = 1
+        elif record.bebits is BeBits.END:
+            if not open_states.get(key):
+                report.errors.append(f"end without begin for state {key}")
+            open_states[key] = 0
+        elif record.bebits is BeBits.CONTINUATION:
+            if record.duration == 0:
+                report.pseudo_records += 1
+                if not open_states.get(key):
+                    report.warnings.append(
+                        f"pseudo-interval for state {key} that is not open"
+                    )
+            elif not open_states.get(key):
+                report.errors.append(f"orphan continuation for state {key}")
+
+
+def validate_files(
+    paths: list[str | Path], profile: Profile
+) -> list[ValidationReport]:
+    """Validate several files; returns one report per file."""
+    return [validate_interval_file(p, profile) for p in paths]

@@ -1,0 +1,67 @@
+"""Terminal rendering of time-space diagrams.
+
+A plain-text fallback for the SVG views: each timeline row becomes one line
+of characters, each character cell one time slice colored (with ANSI codes)
+or lettered by the dominant state in that slice.  Used by the CLI's
+``ute-view --ansi`` and handy in tests, where asserting on a character grid
+is easier than parsing SVG.
+"""
+
+from __future__ import annotations
+
+from repro.viz.views import TimelineView
+
+#: Glyphs assigned to state keys in first-seen order.
+GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+IDLE = "."
+
+ANSI_COLORS = [34, 36, 33, 32, 35, 31, 95, 91]  # aligned with the SVG palette order
+ANSI_RESET = "\x1b[0m"
+
+
+def render_view_ansi(
+    view: TimelineView,
+    *,
+    columns: int = 80,
+    color: bool = False,
+    window: tuple[int, int] | None = None,
+) -> str:
+    """Render a view as text; one row per timeline, ``columns`` time slices."""
+    t0, t1 = window if window is not None else (view.t0, view.t1)
+    t1 = max(t1, t0 + 1)
+    glyph_of: dict[object, str] = {}
+    for key in view.key_names:
+        glyph_of.setdefault(key, GLYPHS[len(glyph_of) % len(GLYPHS)])
+    label_w = max((len(r.label) for r in view.rows), default=0)
+    label_w = min(label_w, 28)
+    lines = [view.title]
+    for row in view.rows:
+        cells = [IDLE] * columns
+        owner: list[object | None] = [None] * columns
+        for bar in sorted(row.bars, key=lambda b: (b.depth, b.start)):
+            if bar.end < t0 or bar.start > t1 or bar.end <= bar.start:
+                continue
+            c0 = int((max(bar.start, t0) - t0) / (t1 - t0) * columns)
+            c1 = int((min(bar.end, t1) - t0) / (t1 - t0) * columns)
+            for c in range(max(c0, 0), min(max(c1, c0 + 1), columns)):
+                cells[c] = glyph_of.get(bar.key, "?")
+                owner[c] = bar.key
+        if color:
+            keys = list(glyph_of)
+            rendered = []
+            for c, cell in enumerate(cells):
+                if owner[c] is None:
+                    rendered.append(cell)
+                else:
+                    idx = keys.index(owner[c]) % len(ANSI_COLORS)
+                    rendered.append(f"\x1b[{ANSI_COLORS[idx]}m{cell}{ANSI_RESET}")
+            body = "".join(rendered)
+        else:
+            body = "".join(cells)
+        lines.append(f"{row.label[:label_w]:>{label_w}} |{body}|")
+    legend = "  ".join(
+        f"{glyph}={view.key_names[key]}" for key, glyph in glyph_of.items()
+    )
+    if legend:
+        lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Message arrows: matching sends with receives by sequence number.
+
+The tracing library attaches a unique sequence number to each point-to-point
+message (paper section 2.1) "so that utilities can match sends with
+corresponding receives".  Here that pays off: a send interval and the
+receive interval that consumed the same sequence number become one arrow in
+a time-space diagram — including arrows for "messages that are sent long
+before they are received" across frame boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+
+
+@dataclass(frozen=True)
+class MessageArrow:
+    """One matched message: sender row/time -> receiver row/time."""
+
+    seqno: int
+    src_row: tuple  # (node, thread)
+    dst_row: tuple
+    send_time: int
+    recv_time: int
+    size: int
+
+
+def match_arrows(records: Iterable[IntervalRecord]) -> list[MessageArrow]:
+    """Pair send intervals with receive intervals sharing a sequence number.
+
+    A send contributes its first piece's start (the message left then); a
+    receive contributes its last piece's end (the message was consumed
+    then).  Unmatched halves (e.g. a window cutting off one side) are
+    dropped.
+    """
+    sends: dict[int, tuple[tuple, int, int]] = {}
+    recvs: dict[int, tuple[tuple, int]] = {}
+
+    def note_recv(seqno: int, row: tuple, end: int) -> None:
+        current = recvs.get(seqno)
+        if current is None or end > current[1]:
+            recvs[seqno] = (row, end)
+
+    for r in records:
+        if not IntervalType.is_mpi(r.itype):
+            continue
+        row = (r.node, r.thread)
+        seqno = r.extra.get("seqno", 0)
+        if seqno:
+            if r.extra.get("msgSizeSent", 0) > 0 and r.bebits in (
+                BeBits.COMPLETE, BeBits.BEGIN,
+            ):
+                sends.setdefault(seqno, (row, r.start, r.extra["msgSizeSent"]))
+            if r.extra.get("msgSizeRecv", 0) > 0 and r.bebits in (
+                BeBits.COMPLETE, BeBits.END,
+            ):
+                note_recv(seqno, row, r.end)
+        # Waitall records complete many receives at once: their sequence
+        # numbers arrive as the 'seqnos' vector field.
+        if r.bebits in (BeBits.COMPLETE, BeBits.END):
+            for s in r.extra.get("seqnos", ()) or ():
+                note_recv(int(s), row, r.end)
+    arrows = []
+    for seqno, (src_row, send_time, size) in sends.items():
+        hit = recvs.get(seqno)
+        if hit is None:
+            continue
+        dst_row, recv_time = hit
+        arrows.append(
+            MessageArrow(seqno, src_row, dst_row, send_time, recv_time, size)
+        )
+    arrows.sort(key=lambda a: a.seqno)
+    return arrows

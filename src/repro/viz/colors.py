@@ -1,0 +1,69 @@
+"""Color assignment for states, CPUs, and threads.
+
+Follows the categorical color rules of the dataviz method: a fixed-order,
+CVD-validated eight-hue palette; hues are assigned to entities in a stable
+order and never cycled — entities beyond the eighth fold into a recessive
+"Other" gray.  The default Running state is always the recessive gray (it is
+background filler, not a series), so the eight real hues go to MPI routines
+and marker regions.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import IntervalType
+
+#: The validated categorical palette (light mode), in its fixed order.
+STATE_PALETTE = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+
+#: Recessive fill for the default Running state and the "Other" fold.
+RUNNING_COLOR = "#d7d6d1"
+OTHER_COLOR = "#8f8e88"
+IDLE_COLOR = "#f1f0ed"
+
+
+class ColorMap:
+    """Stable entity -> color assignment.
+
+    Entities are registered in first-seen order (or pre-registered in a
+    preferred order); the first eight get the palette slots, later ones get
+    the "Other" gray.  ``Running`` is special-cased to the recessive fill.
+    """
+
+    def __init__(self) -> None:
+        self._assigned: dict[object, str] = {}
+        self._next = 0
+
+    def register(self, key: object) -> str:
+        """Assign (or return) the color for ``key``."""
+        if key == IntervalType.RUNNING or key == "Running":
+            return RUNNING_COLOR
+        color = self._assigned.get(key)
+        if color is None:
+            if self._next < len(STATE_PALETTE):
+                color = STATE_PALETTE[self._next]
+                self._next += 1
+            else:
+                color = OTHER_COLOR
+            self._assigned[key] = color
+        return color
+
+    def color_of(self, key: object) -> str:
+        """Color for an already-registered key (registers if new)."""
+        return self.register(key)
+
+    def legend(self) -> list[tuple[object, str]]:
+        """(key, color) pairs in assignment order, Running appended last."""
+        return list(self._assigned.items())
+
+    def is_folded(self, key: object) -> bool:
+        """Whether ``key`` landed in the 'Other' fold."""
+        return self._assigned.get(key) == OTHER_COLOR

@@ -1,0 +1,141 @@
+"""The combined viewer: preview + frame index + frame display.
+
+Mirrors the paper's modified Jumpshot workflow (section 4):
+
+1. On open, the viewer presents a **preview** of the whole run from the
+   SLOG state counters.
+2. The user selects an instant; the **frame index** locates the containing
+   frame without reading anything ahead of it.
+3. The frame's records — completed by its **pseudo-interval** lead-ins — are
+   drawn as any of the four time-space views.
+
+Frame display cost depends only on frame size, never total file size
+("scalability in the time it takes to display this frame").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.records import IntervalRecord
+from repro.errors import FormatError
+from repro.utils.slog import SlogFile, SlogFrameEntry
+from repro.viz.arrows import match_arrows
+from repro.viz.preview import Preview, interesting_ranges
+from repro.viz.views import (
+    TimelineView,
+    processor_activity_view,
+    processor_thread_view,
+    render_view_svg,
+    thread_activity_view,
+    thread_processor_view,
+    type_activity_view,
+)
+
+VIEW_KINDS = (
+    "thread",
+    "thread-connected",
+    "processor",
+    "thread-processor",
+    "processor-thread",
+    "type",
+)
+
+
+class Jumpshot:
+    """Viewer over one SLOG file."""
+
+    def __init__(self, slog_path: str | Path) -> None:
+        self.slog = SlogFile(slog_path)
+        self.preview = Preview.from_slog(self.slog)
+
+    # ------------------------------------------------------------- preview
+
+    def render_preview(self, path: str | Path) -> Path:
+        """Write the whole-run preview SVG."""
+        return self.preview.render_svg(path)
+
+    def interesting_ranges(self, threshold: float = 0.05) -> list[tuple[float, float]]:
+        """Time ranges (seconds) worth zooming into."""
+        return interesting_ranges(self.preview, threshold=threshold)
+
+    # ------------------------------------------------------- frame display
+
+    def locate(self, t_seconds: float) -> SlogFrameEntry:
+        """Find the frame containing an instant (seconds), via the index."""
+        t = int(t_seconds * self.slog.ticks_per_sec)
+        frame = self.slog.find_frame(t)
+        if frame is None:
+            raise FormatError(f"no frame contains t={t_seconds}s")
+        return frame
+
+    def frame_records(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
+        """The records of one frame (pseudo-interval lead-ins included)."""
+        return self.slog.read_frame(frame)
+
+    def build_view(
+        self, records: list[IntervalRecord], kind: str = "thread", *, with_arrows: bool = True
+    ) -> TimelineView:
+        """Build one of the four time-space diagrams over ``records``."""
+        profile = self.slog.profile
+        table = self.slog.thread_table
+        cpus = self._cpus_per_node()
+        if kind == "thread":
+            arrows = match_arrows(records) if with_arrows else []
+            return thread_activity_view(
+                records, table, profile.record_name, self.slog.markers, arrows=arrows
+            )
+        if kind == "thread-connected":
+            arrows = match_arrows(records) if with_arrows else []
+            return thread_activity_view(
+                records, table, profile.record_name, self.slog.markers,
+                connected=True, arrows=arrows,
+            )
+        if kind == "processor":
+            return processor_activity_view(
+                records, cpus, profile.record_name, self.slog.markers
+            )
+        if kind == "thread-processor":
+            return thread_processor_view(records, table)
+        if kind == "processor-thread":
+            return processor_thread_view(records, cpus, table)
+        if kind == "type":
+            return type_activity_view(
+                records, table, profile.record_name, self.slog.markers
+            )
+        raise FormatError(f"unknown view kind {kind!r}; pick one of {VIEW_KINDS}")
+
+    def render_frame_at(
+        self,
+        t_seconds: float,
+        path: str | Path,
+        *,
+        kind: str = "thread",
+    ) -> Path:
+        """The headline operation: pick an instant, display its frame."""
+        frame = self.locate(t_seconds)
+        records = self.frame_records(frame)
+        view = self.build_view(records, kind)
+        return render_view_svg(
+            view, path,
+            window=(frame.start_time, frame.end_time),
+            ticks_per_sec=self.slog.ticks_per_sec,
+        )
+
+    def render_whole_run(self, path: str | Path, *, kind: str = "thread") -> Path:
+        """Render the full trace in one diagram (small runs only)."""
+        view = self.build_view(self.slog.records(), kind)
+        return render_view_svg(view, path, ticks_per_sec=self.slog.ticks_per_sec)
+
+    # ------------------------------------------------------------ internals
+
+    def _cpus_per_node(self) -> dict[int, int]:
+        if self.slog.node_cpus:
+            return dict(self.slog.node_cpus)
+        # Legacy fallback: infer CPU counts from the records.
+        cpus: dict[int, int] = {}
+        for frame in self.slog.frames:
+            for record in self.slog.read_frame(frame):
+                if record.duration > 0:
+                    cpus[record.node] = max(cpus.get(record.node, 0), record.cpu + 1)
+        return cpus

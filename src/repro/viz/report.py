@@ -1,0 +1,180 @@
+"""Single-file HTML performance reports.
+
+Bundles everything an analysis produces — the preview, any number of
+time-space diagrams, statistics tables, and notes — into one standalone
+HTML file.  SVGs are embedded inline (their ``<title>`` elements give
+native hover tooltips); tables render as styled HTML.  No external assets,
+no JavaScript dependencies — the file mails/archives like the paper's
+screenshots did.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.utils.stats import StatsTable
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+  --rule: #e8e7e4; --accent: #2a78d6;
+}
+body { background: var(--surface); color: var(--ink);
+       font: 15px/1.5 system-ui, sans-serif; margin: 0 auto;
+       max-width: 1180px; padding: 24px 32px 64px; }
+h1 { font-size: 24px; border-bottom: 2px solid var(--rule);
+     padding-bottom: 8px; }
+h2 { font-size: 18px; margin-top: 36px; }
+p.caption { color: var(--ink-2); font-size: 13px; margin: 4px 0 0; }
+figure { margin: 16px 0; overflow-x: auto; }
+svg { max-width: 100%; height: auto; }
+table { border-collapse: collapse; margin: 12px 0; font-size: 13px; }
+th { text-align: left; color: var(--ink-2); font-weight: 600;
+     border-bottom: 1px solid var(--ink-2); padding: 4px 14px 4px 0; }
+td { border-bottom: 1px solid var(--rule); padding: 4px 14px 4px 0;
+     font-variant-numeric: tabular-nums; }
+pre { background: #f5f4f1; padding: 12px; overflow-x: auto;
+      font-size: 12px; border-radius: 4px; }
+.note { color: var(--ink-2); }
+"""
+
+
+class HtmlReport:
+    """Accumulates sections and serializes one self-contained HTML file."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._parts: list[str] = []
+
+    def add_heading(self, text: str) -> None:
+        """Start a new section."""
+        self._parts.append(f"<h2>{escape(text)}</h2>")
+
+    def add_text(self, text: str, *, note: bool = False) -> None:
+        """Add a paragraph (set ``note`` for secondary-ink commentary)."""
+        cls = ' class="note"' if note else ""
+        self._parts.append(f"<p{cls}>{escape(text)}</p>")
+
+    def add_pre(self, text: str) -> None:
+        """Add preformatted text (ANSI views render fine without color)."""
+        self._parts.append(f"<pre>{escape(text)}</pre>")
+
+    def add_svg(self, svg: str | Path, caption: str = "") -> None:
+        """Embed an SVG document (string or path) inline."""
+        body = Path(svg).read_text() if isinstance(svg, Path) else svg
+        cap = f'<p class="caption">{escape(caption)}</p>' if caption else ""
+        self._parts.append(f"<figure>{body}{cap}</figure>")
+
+    def add_table(self, table: StatsTable, *, max_rows: int = 60) -> None:
+        """Render a statistics table as HTML."""
+        head = "".join(
+            f"<th>{escape(str(h))}</th>" for h in table.x_labels + table.y_labels
+        )
+        rows = []
+        for i, key in enumerate(sorted(table.rows)):
+            if i >= max_rows:
+                rows.append(
+                    f'<tr><td colspan="{len(table.x_labels) + len(table.y_labels)}">'
+                    f"… {len(table.rows) - max_rows} more rows</td></tr>"
+                )
+                break
+            cells = list(key) + list(table.rows[key])
+            rows.append(
+                "<tr>" + "".join(f"<td>{_fmt(v)}</td>" for v in cells) + "</tr>"
+            )
+        self._parts.append(
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+
+    def to_string(self) -> str:
+        """The complete HTML document."""
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{escape(self.title)}</title><style>{_CSS}</style></head>"
+            f"<body><h1>{escape(self.title)}</h1>{''.join(self._parts)}</body></html>"
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return escape(f"{value:.6g}")
+    return escape(str(value))
+
+
+def build_run_report(
+    slog_path: str | Path,
+    out_path: str | Path,
+    *,
+    title: str = "Trace analysis report",
+    view_kinds: tuple[str, ...] = ("thread", "processor"),
+    interesting_threshold: float = 0.1,
+) -> Path:
+    """One-call report over a SLOG file: preview, interesting ranges, the
+    requested time-space views, and the pre-defined statistics tables."""
+    import tempfile
+
+    from repro.core.records import IntervalType
+    from repro.utils.stats import predefined_tables
+    from repro.viz.jumpshot import Jumpshot
+    from repro.viz.views import render_view_svg
+
+    viewer = Jumpshot(slog_path)
+    report = HtmlReport(title)
+    report.add_text(
+        f"Source: {Path(slog_path).name} — "
+        f"{sum(f.n_records for f in viewer.slog.frames)} records in "
+        f"{len(viewer.slog.frames)} frames, "
+        f"{len(viewer.slog.thread_table)} threads on "
+        f"{len(viewer.slog.node_cpus)} nodes.",
+        note=True,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        report.add_heading("Whole-run preview")
+        report.add_svg(viewer.render_preview(tmp / "preview.svg"))
+        ranges = viewer.interesting_ranges(interesting_threshold)
+        if ranges:
+            report.add_text(
+                "Interesting time ranges: "
+                + ", ".join(f"{lo:.4f}s – {hi:.4f}s" for lo, hi in ranges)
+            )
+
+        records = viewer.slog.records()
+        for kind in view_kinds:
+            report.add_heading(f"{kind} view")
+            view = viewer.build_view(records, kind)
+            report.add_svg(
+                render_view_svg(view, tmp / f"{kind}.svg",
+                                ticks_per_sec=viewer.slog.ticks_per_sec)
+            )
+
+    report.add_heading("Call profile (blocking analysis)")
+    from repro.analysis.blocking import call_profile, format_call_profile
+
+    real = [r for r in records if r.itype != IntervalType.CLOCKPAIR]
+    rows = call_profile(real, viewer.slog.profile, markers=viewer.slog.markers)
+    report.add_text(
+        "Per state type: wall time split into on-CPU and blocked "
+        "(de-scheduled) time, worst blockers first.",
+        note=True,
+    )
+    report.add_pre(format_call_profile(rows))
+
+    report.add_heading("Statistics")
+    total_s = max((r.end for r in real), default=1) / viewer.slog.ticks_per_sec
+    for table in predefined_tables(real, total_seconds=total_s,
+                                   ticks_per_sec=viewer.slog.ticks_per_sec,
+                                   thread_table=viewer.slog.thread_table):
+        report.add_text(table.name)
+        report.add_table(table)
+    return report.write(out_path)

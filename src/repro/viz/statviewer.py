@@ -1,0 +1,123 @@
+"""The statistics viewer (paper section 3.2, Figure 6).
+
+Renders the statistics utility's tables.  The Figure 6 analogue —
+``render_binned_table_svg`` — draws one panel per node, 50 time bins wide,
+bar height proportional to the summed duration of interesting intervals in
+that bin, which "indicates the time ranges of a time-space diagram that are
+likely to be interesting".  ``render_table_svg`` covers generic 1-D tables
+as a bar chart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.stats import StatsTable
+from repro.viz.colors import STATE_PALETTE
+from repro.viz.svg import GRID, SvgCanvas, TEXT_PRIMARY, TEXT_SECONDARY
+
+#: Sequential blue used for magnitude bars (one hue, per the color formula).
+BAR_COLOR = "#2a78d6"
+
+
+def render_binned_table_svg(
+    table: StatsTable,
+    path: str | Path,
+    *,
+    y_label: str | None = None,
+    total_seconds: float | None = None,
+    width: int = 940,
+) -> Path:
+    """Render a (group, bin) -> value table as per-group bin panels.
+
+    Expects two x columns — a grouping value (e.g. node) and a bin index —
+    exactly the shape of the pre-defined Figure 6 table.
+    """
+    if len(table.x_labels) != 2:
+        raise ValueError(
+            f"binned rendering needs (group, bin) keys; table has {table.x_labels}"
+        )
+    y_label = y_label or table.y_labels[0]
+    y_idx = table.y_labels.index(y_label)
+    groups = sorted({key[0] for key in table.rows})
+    n_bins = max((key[1] for key in table.rows), default=0) + 1
+    values = {key: row[y_idx] for key, row in table.rows.items()}
+    peak = max(values.values(), default=1.0) or 1.0
+
+    panel_h = 64
+    margin_l, margin_t, margin_r = 120, 40, 20
+    height = margin_t + len(groups) * (panel_h + 10) + 40
+    canvas = SvgCanvas(width, height)
+    canvas.text(
+        margin_l, 22, f"{table.name}: {y_label} per bin", size=14, weight="bold"
+    )
+    plot_w = width - margin_l - margin_r
+    bin_w = plot_w / max(n_bins, 1)
+    for gi, group in enumerate(groups):
+        base_y = margin_t + gi * (panel_h + 10)
+        canvas.text(
+            margin_l - 10, base_y + panel_h / 2 + 4,
+            f"{table.x_labels[0]} {group}", size=11, anchor="end",
+        )
+        canvas.rect(margin_l, base_y, plot_w, panel_h, fill="#f5f4f1")
+        for b in range(n_bins):
+            value = values.get((group, b), 0.0)
+            if value <= 0:
+                continue
+            h = value / peak * (panel_h - 4)
+            canvas.rect(
+                margin_l + b * bin_w + 0.5, base_y + panel_h - h,
+                max(bin_w - 1.0, 0.75), h,
+                fill=BAR_COLOR, title=f"{table.x_labels[0]} {group}, bin {b}: {value:.4g}",
+            )
+        canvas.line(
+            margin_l, base_y + panel_h, margin_l + plot_w, base_y + panel_h,
+            stroke=GRID,
+        )
+    if total_seconds is not None:
+        for frac, label in ((0, "0"), (0.5, f"{total_seconds / 2:.3g}"), (1.0, f"{total_seconds:.3g}")):
+            x = margin_l + plot_w * frac
+            canvas.text(x, height - 18, label, size=10, fill=TEXT_SECONDARY, anchor="middle")
+        canvas.text(
+            margin_l + plot_w / 2, height - 4, "time (s)", size=10,
+            fill=TEXT_SECONDARY, anchor="middle",
+        )
+    return canvas.write(path)
+
+
+def render_table_svg(
+    table: StatsTable,
+    path: str | Path,
+    *,
+    y_label: str | None = None,
+    name_of: dict | None = None,
+    width: int = 760,
+) -> Path:
+    """Render a 1-D table (one x column) as a horizontal bar chart."""
+    if len(table.x_labels) != 1:
+        raise ValueError(f"bar rendering needs one x column; table has {table.x_labels}")
+    y_label = y_label or table.y_labels[0]
+    y_idx = table.y_labels.index(y_label)
+    name_of = name_of or {}
+    rows = sorted(table.rows.items())
+    peak = max((row[y_idx] for _, row in rows), default=1.0) or 1.0
+
+    row_h = 24
+    margin_l, margin_t = 190, 44
+    height = margin_t + len(rows) * row_h + 20
+    canvas = SvgCanvas(width, height)
+    canvas.text(margin_l, 22, f"{table.name}: {y_label}", size=14, weight="bold")
+    plot_w = width - margin_l - 90
+    for i, (key, row) in enumerate(rows):
+        value = row[y_idx]
+        y = margin_t + i * row_h
+        label = str(name_of.get(key[0], key[0]))
+        canvas.text(margin_l - 8, y + 15, label, size=10, anchor="end")
+        w = max(value / peak * plot_w, 0.75) if value > 0 else 0
+        if w:
+            canvas.rect(margin_l, y + 4, w, row_h - 9, fill=BAR_COLOR, rx=2,
+                        title=f"{label}: {value:.6g}")
+        canvas.text(
+            margin_l + w + 6, y + 15, f"{value:.5g}", size=10, fill=TEXT_SECONDARY
+        )
+    return canvas.write(path)

@@ -1,0 +1,137 @@
+"""A minimal SVG document builder.
+
+Just enough vector drawing for the viewers: rectangles, lines, polylines,
+text, groups, and per-element ``<title>`` tooltips.  No dependencies; output
+is a standalone ``.svg`` file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+#: Chart surface and ink tokens (light mode of the validated palette).
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e8e7e4"
+AXIS = "#b9b8b2"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes a complete document."""
+
+    def __init__(self, width: int, height: int, *, background: str = SURFACE) -> None:
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        self.rect(0, 0, width, height, fill=background)
+
+    @staticmethod
+    def _attrs(attrs: dict) -> str:
+        return " ".join(
+            f"{k.replace('_', '-')}={quoteattr(str(v))}"
+            for k, v in attrs.items()
+            if v is not None
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        *,
+        fill: str,
+        rx: float | None = None,
+        stroke: str | None = None,
+        stroke_width: float | None = None,
+        opacity: float | None = None,
+        title: str | None = None,
+    ) -> None:
+        """Add a rectangle (optionally rounded / stroked / tooltipped)."""
+        attrs = self._attrs(
+            dict(
+                x=round(x, 2), y=round(y, 2), width=round(max(w, 0), 2),
+                height=round(max(h, 0), 2), fill=fill, rx=rx,
+                stroke=stroke, stroke_width=stroke_width, opacity=opacity,
+            )
+        )
+        if title:
+            self._parts.append(f"<rect {attrs}><title>{escape(title)}</title></rect>")
+        else:
+            self._parts.append(f"<rect {attrs}/>")
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str,
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+        opacity: float | None = None,
+    ) -> None:
+        """Add a line segment."""
+        attrs = self._attrs(
+            dict(
+                x1=round(x1, 2), y1=round(y1, 2), x2=round(x2, 2), y2=round(y2, 2),
+                stroke=stroke, stroke_width=stroke_width,
+                stroke_dasharray=dash, opacity=opacity,
+            )
+        )
+        self._parts.append(f"<line {attrs}/>")
+
+    def polyline(
+        self, points: list[tuple[float, float]], *, stroke: str, stroke_width: float = 2.0
+    ) -> None:
+        """Add an unfilled polyline."""
+        pts = " ".join(f"{round(x, 2)},{round(y, 2)}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke={quoteattr(stroke)} '
+            f'stroke-width="{stroke_width}"/>'
+        )
+
+    def polygon(self, points: list[tuple[float, float]], *, fill: str) -> None:
+        """Add a filled polygon (arrowheads)."""
+        pts = " ".join(f"{round(x, 2)},{round(y, 2)}" for x, y in points)
+        self._parts.append(f'<polygon points="{pts}" fill={quoteattr(fill)}/>')
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: int = 12,
+        fill: str = TEXT_PRIMARY,
+        anchor: str = "start",
+        weight: str | None = None,
+        family: str = "system-ui, sans-serif",
+    ) -> None:
+        """Add a text label (ink tokens, never series colors)."""
+        attrs = self._attrs(
+            dict(
+                x=round(x, 2), y=round(y, 2), font_size=size, fill=fill,
+                text_anchor=anchor, font_weight=weight, font_family=family,
+            )
+        )
+        self._parts.append(f"<text {attrs}>{escape(content)}</text>")
+
+    def to_string(self) -> str:
+        """The complete SVG document."""
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            + "\n".join(self._parts)
+            + "\n</svg>\n"
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the document to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,436 @@
+"""The multiple time-space diagrams (paper section 1.2).
+
+All four views derive from the *same* interval records — the point of the
+interval format:
+
+* **thread-activity** — one timeline per thread, bars colored by state
+  (MPI_Send, MPI_Recv, markers, Running).  Piece view shows interval pieces
+  exactly as stored; the connected view unifies the pieces of each state
+  into one bar (section 3.3's "connected and nested states").
+* **processor-activity** — one timeline per processor, bars colored by
+  state.  "This time-space diagram must be a view of interval pieces, since
+  threads may jump among processors" — there is no connected variant.
+* **thread-processor** — one timeline per thread, bars colored by the
+  *processor* the thread occupied: shows how threads jump among CPUs.
+* **processor-thread** — one timeline per processor, bars colored by the
+  *thread* running there: shows processor allocation among threads.
+
+Views are plain data (:class:`TimelineView`) renderable to SVG via
+:func:`render_view_svg` or to text via :mod:`repro.viz.ansi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadTable
+from repro.viz.arrows import MessageArrow
+from repro.viz.colors import IDLE_COLOR, ColorMap
+from repro.viz.svg import AXIS, GRID, SvgCanvas, TEXT_PRIMARY, TEXT_SECONDARY
+
+
+@dataclass(frozen=True)
+class TimelineBar:
+    """One bar on a timeline: [start, end] with a color key and tooltip."""
+
+    start: int
+    end: int
+    key: object
+    depth: int = 0
+    tooltip: str = ""
+
+
+@dataclass
+class TimelineRow:
+    """One horizontal timeline (a thread, or a processor)."""
+
+    label: str
+    row_key: tuple
+    bars: list[TimelineBar] = field(default_factory=list)
+
+
+@dataclass
+class TimelineView:
+    """A complete time-space diagram model."""
+
+    title: str
+    rows: list[TimelineRow]
+    t0: int
+    t1: int
+    key_names: dict[object, str]
+    arrows: list[MessageArrow] = field(default_factory=list)
+
+    def row_index(self) -> dict[tuple, int]:
+        """row_key -> position, for arrow routing."""
+        return {row.row_key: i for i, row in enumerate(self.rows)}
+
+
+def _span(records: list[IntervalRecord]) -> tuple[int, int]:
+    if not records:
+        return 0, 1
+    t0 = min(r.start for r in records)
+    t1 = max(r.end for r in records)
+    return t0, max(t1, t0 + 1)
+
+
+def _state_key(record: IntervalRecord) -> object:
+    if record.itype == IntervalType.MARKER:
+        return ("marker", record.extra.get("markerId", 0))
+    return record.itype
+
+
+def _state_name(
+    record: IntervalRecord, record_name: Callable[[int], str], markers: dict[int, str]
+) -> str:
+    if record.itype == IntervalType.MARKER:
+        mid = record.extra.get("markerId", 0)
+        return markers.get(mid, f"marker-{mid}")
+    return record_name(record.itype)
+
+
+def _thread_label(table: ThreadTable, node: int, ltid: int) -> str:
+    try:
+        entry = table.lookup(node, ltid)
+    except Exception:
+        return f"n{node}.t{ltid}"
+    suffix = f" [{entry.name}]" if entry.name else ""
+    if entry.mpi_task >= 0:
+        return f"task {entry.mpi_task} n{node}.t{ltid}{suffix}"
+    return f"n{node}.t{ltid}{suffix}"
+
+
+def _filter_real(records: Iterable[IntervalRecord]) -> list[IntervalRecord]:
+    """Drop clock pairs; keep pseudo-intervals out of piece views (they are
+    zero-duration and would be invisible anyway)."""
+    return [
+        r
+        for r in records
+        if r.itype != IntervalType.CLOCKPAIR and r.duration > 0
+    ]
+
+
+def thread_activity_view(
+    records: Iterable[IntervalRecord],
+    thread_table: ThreadTable,
+    record_name: Callable[[int], str],
+    markers: dict[int, str] | None = None,
+    *,
+    connected: bool = False,
+    arrows: list[MessageArrow] | None = None,
+) -> TimelineView:
+    """Thread-activity view: one timeline per (node, thread).
+
+    With ``connected=True``, the begin/continuation/end pieces of each state
+    are unified into a single spanning bar and nesting depth is tracked so
+    inner states draw over outer ones (zero-duration pseudo-intervals
+    contribute span information, which is why mid-file windows still show
+    enclosing states).
+    """
+    markers = markers or {}
+    recs = [r for r in records if r.itype != IntervalType.CLOCKPAIR]
+    if not connected:
+        recs = [r for r in recs if r.duration > 0]
+    rows: dict[tuple, TimelineRow] = {}
+    names: dict[object, str] = {}
+    open_states: dict[tuple, dict[object, TimelineBar]] = {}
+    # Seed a row for every known thread so idle threads show as empty
+    # timelines — Figure 8's "one thread is idle" observation depends on it.
+    for entry in thread_table:
+        key = (entry.node, entry.logical_tid)
+        rows[key] = TimelineRow(_thread_label(thread_table, *key), key)
+        open_states[key] = {}
+    for r in sorted(recs, key=lambda x: (x.node, x.thread, x.start, x.end)):
+        row_key = (r.node, r.thread)
+        row = rows.get(row_key)
+        if row is None:
+            row = TimelineRow(_thread_label(thread_table, r.node, r.thread), row_key)
+            rows[row_key] = row
+            open_states[row_key] = {}
+        key = _state_key(r)
+        names.setdefault(key, _state_name(r, record_name, markers))
+        tooltip = f"{names[key]} [{r.bebits.name.lower()}] {r.start}-{r.end}"
+        if not connected:
+            row.bars.append(TimelineBar(r.start, r.end, key, 0, tooltip))
+            continue
+        open_map = open_states[row_key]
+        if r.bebits is BeBits.COMPLETE:
+            depth = len(open_map)
+            row.bars.append(TimelineBar(r.start, r.end, key, depth, tooltip))
+        elif r.bebits is BeBits.BEGIN:
+            open_map[key] = TimelineBar(r.start, r.end, key, len(open_map), tooltip)
+        elif r.bebits is BeBits.CONTINUATION:
+            bar = open_map.get(key)
+            if bar is None:
+                # A window/frame starting mid-state: the pseudo-interval (or
+                # first continuation piece) opens the state here.
+                open_map[key] = TimelineBar(r.start, r.end, key, len(open_map), tooltip)
+            else:
+                open_map[key] = TimelineBar(bar.start, r.end, key, bar.depth, bar.tooltip)
+        elif r.bebits is BeBits.END:
+            bar = open_map.pop(key, None)
+            start = bar.start if bar is not None else r.start
+            depth = bar.depth if bar is not None else 0
+            row.bars.append(
+                TimelineBar(start, r.end, key, depth, f"{names[key]} {start}-{r.end}")
+            )
+    # Close any states left open at the view edge.
+    for row_key, open_map in open_states.items():
+        for bar in open_map.values():
+            rows[row_key].bars.append(bar)
+    ordered = [rows[k] for k in sorted(rows)]
+    flat = [r for r in recs]
+    t0, t1 = _span(flat)
+    return TimelineView(
+        "Thread-activity view" + (" (connected)" if connected else ""),
+        ordered,
+        t0,
+        t1,
+        names,
+        arrows or [],
+    )
+
+
+def processor_activity_view(
+    records: Iterable[IntervalRecord],
+    n_cpus_per_node: dict[int, int],
+    record_name: Callable[[int], str],
+    markers: dict[int, str] | None = None,
+) -> TimelineView:
+    """Processor-activity view: one timeline per (node, cpu), pieces only.
+
+    Every processor of every node gets a row even when idle — the paper's
+    Figure 9 point is precisely that "the CPUs are mostly idle".
+    """
+    markers = markers or {}
+    recs = _filter_real(records)
+    rows: dict[tuple, TimelineRow] = {}
+    for node, n_cpus in sorted(n_cpus_per_node.items()):
+        for cpu in range(n_cpus):
+            rows[(node, cpu)] = TimelineRow(f"node {node} CPU {cpu}", (node, cpu))
+    names: dict[object, str] = {}
+    for r in recs:
+        key = _state_key(r)
+        names.setdefault(key, _state_name(r, record_name, markers))
+        row = rows.setdefault(
+            (r.node, r.cpu), TimelineRow(f"node {r.node} CPU {r.cpu}", (r.node, r.cpu))
+        )
+        row.bars.append(
+            TimelineBar(r.start, r.end, key, 0, f"{names[key]} tid {r.thread}")
+        )
+    t0, t1 = _span(recs)
+    return TimelineView(
+        "Processor-activity view", [rows[k] for k in sorted(rows)], t0, t1, names
+    )
+
+
+def type_activity_view(
+    records: Iterable[IntervalRecord],
+    thread_table: ThreadTable,
+    record_name: Callable[[int], str],
+    markers: dict[int, str] | None = None,
+) -> TimelineView:
+    """Type-activity view: one timeline per *record type*, colored by
+    thread — the paper's "other possible views may use record type as the
+    significant discriminator along the y-axis".
+
+    Shows when each kind of activity (each MPI routine, each marker region)
+    was happening anywhere in the job, and which threads did it.
+    """
+    markers = markers or {}
+    recs = _filter_real(records)
+    rows: dict[tuple, TimelineRow] = {}
+    names: dict[object, str] = {}
+    for r in recs:
+        state = _state_key(r)
+        label = _state_name(r, record_name, markers)
+        row = rows.setdefault((str(label), state), TimelineRow(label, (str(label), state)))
+        key = ("thread", r.node, r.thread)
+        names.setdefault(key, _thread_label(thread_table, r.node, r.thread))
+        row.bars.append(TimelineBar(r.start, r.end, key, 0, names[key]))
+    t0, t1 = _span(recs)
+    return TimelineView(
+        "Type-activity view", [rows[k] for k in sorted(rows)], t0, t1, names
+    )
+
+
+def thread_processor_view(
+    records: Iterable[IntervalRecord], thread_table: ThreadTable
+) -> TimelineView:
+    """Thread-processor view: timelines per thread, colored by processor —
+    shows threads jumping among CPUs."""
+    recs = _filter_real(records)
+    rows: dict[tuple, TimelineRow] = {}
+    names: dict[object, str] = {}
+    for r in recs:
+        row_key = (r.node, r.thread)
+        row = rows.setdefault(
+            row_key, TimelineRow(_thread_label(thread_table, r.node, r.thread), row_key)
+        )
+        key = ("cpu", r.node, r.cpu)
+        names.setdefault(key, f"CPU {r.cpu} (node {r.node})")
+        row.bars.append(TimelineBar(r.start, r.end, key, 0, names[key]))
+    t0, t1 = _span(recs)
+    return TimelineView(
+        "Thread-processor view", [rows[k] for k in sorted(rows)], t0, t1, names
+    )
+
+
+def processor_thread_view(
+    records: Iterable[IntervalRecord],
+    n_cpus_per_node: dict[int, int],
+    thread_table: ThreadTable,
+) -> TimelineView:
+    """Processor-thread view: timelines per processor, colored by thread —
+    shows processor allocation among threads."""
+    recs = _filter_real(records)
+    rows: dict[tuple, TimelineRow] = {}
+    for node, n_cpus in sorted(n_cpus_per_node.items()):
+        for cpu in range(n_cpus):
+            rows[(node, cpu)] = TimelineRow(f"node {node} CPU {cpu}", (node, cpu))
+    names: dict[object, str] = {}
+    for r in recs:
+        key = ("thread", r.node, r.thread)
+        names.setdefault(key, _thread_label(thread_table, r.node, r.thread))
+        row = rows.setdefault(
+            (r.node, r.cpu), TimelineRow(f"node {r.node} CPU {r.cpu}", (r.node, r.cpu))
+        )
+        row.bars.append(TimelineBar(r.start, r.end, key, 0, names[key]))
+    t0, t1 = _span(recs)
+    return TimelineView(
+        "Processor-thread view", [rows[k] for k in sorted(rows)], t0, t1, names
+    )
+
+
+# ---------------------------------------------------------------- rendering
+
+ROW_HEIGHT = 22
+BAR_HEIGHT = 14
+MARGIN_LEFT = 190
+MARGIN_TOP = 48
+MARGIN_BOTTOM = 56
+MARGIN_RIGHT = 24
+
+
+def render_view_svg(
+    view: TimelineView,
+    path,
+    *,
+    width: int = 1100,
+    window: tuple[int, int] | None = None,
+    ticks_per_sec: float = 1e9,
+):
+    """Render a timeline view to an SVG file.
+
+    ``window`` restricts the x-axis to a sub-range (frame display); bars are
+    clipped to it.
+    """
+    t0, t1 = window if window is not None else (view.t0, view.t1)
+    t1 = max(t1, t0 + 1)
+    n_rows = max(len(view.rows), 1)
+    legend_items = _legend_items(view)
+    legend_height = 18 * ((len(legend_items) + 3) // 4)
+    height = MARGIN_TOP + n_rows * ROW_HEIGHT + MARGIN_BOTTOM + legend_height
+    canvas = SvgCanvas(width, height)
+    plot_w = width - MARGIN_LEFT - MARGIN_RIGHT
+
+    def x_of(t: int) -> float:
+        return MARGIN_LEFT + (t - t0) / (t1 - t0) * plot_w
+
+    canvas.text(MARGIN_LEFT, 22, view.title, size=15, weight="bold")
+    cmap = ColorMap()
+    for key, _ in legend_items:
+        cmap.register(key)
+
+    # Grid + time axis (seconds).
+    n_ticks = 6
+    for i in range(n_ticks + 1):
+        t = t0 + (t1 - t0) * i // n_ticks
+        x = x_of(t)
+        canvas.line(x, MARGIN_TOP - 4, x, MARGIN_TOP + n_rows * ROW_HEIGHT, stroke=GRID)
+        canvas.text(
+            x, MARGIN_TOP + n_rows * ROW_HEIGHT + 16,
+            _fmt_time(t, ticks_per_sec), size=10, fill=TEXT_SECONDARY, anchor="middle",
+        )
+    canvas.text(
+        MARGIN_LEFT + plot_w / 2, MARGIN_TOP + n_rows * ROW_HEIGHT + 34,
+        "time (s)", size=11, fill=TEXT_SECONDARY, anchor="middle",
+    )
+
+    for i, row in enumerate(view.rows):
+        y = MARGIN_TOP + i * ROW_HEIGHT
+        canvas.text(
+            MARGIN_LEFT - 8, y + BAR_HEIGHT, row.label, size=10,
+            fill=TEXT_PRIMARY, anchor="end",
+        )
+        canvas.rect(
+            MARGIN_LEFT, y + (ROW_HEIGHT - BAR_HEIGHT) / 2, plot_w, BAR_HEIGHT,
+            fill=IDLE_COLOR,
+        )
+        for bar in sorted(row.bars, key=lambda b: (b.depth, b.start)):
+            if bar.end < t0 or bar.start > t1:
+                continue
+            x_a = x_of(max(bar.start, t0))
+            x_b = x_of(min(bar.end, t1))
+            inset = min(bar.depth, 3) * 2.0
+            canvas.rect(
+                x_a, y + (ROW_HEIGHT - BAR_HEIGHT) / 2 + inset,
+                max(x_b - x_a, 0.75), BAR_HEIGHT - 2 * inset,
+                fill=cmap.color_of(bar.key), rx=1.5, title=bar.tooltip or None,
+            )
+        canvas.line(
+            MARGIN_LEFT, y + ROW_HEIGHT, MARGIN_LEFT + plot_w, y + ROW_HEIGHT,
+            stroke=GRID, stroke_width=0.5,
+        )
+
+    _render_arrows(canvas, view, x_of, t0, t1)
+    _render_legend(
+        canvas, legend_items, cmap,
+        MARGIN_LEFT, MARGIN_TOP + n_rows * ROW_HEIGHT + 44, plot_w,
+    )
+    canvas.line(
+        MARGIN_LEFT, MARGIN_TOP - 4, MARGIN_LEFT, MARGIN_TOP + n_rows * ROW_HEIGHT,
+        stroke=AXIS,
+    )
+    return canvas.write(path)
+
+
+def _legend_items(view: TimelineView) -> list[tuple[object, str]]:
+    # Stable order: by first appearance in key_names (dict preserves order).
+    return list(view.key_names.items())
+
+
+def _render_legend(canvas: SvgCanvas, items, cmap: ColorMap, x: float, y: float, w: float):
+    if len(items) < 2:
+        return
+    col_w = w / 4
+    for i, (key, name) in enumerate(items):
+        cx = x + (i % 4) * col_w
+        cy = y + (i // 4) * 18
+        canvas.rect(cx, cy - 9, 12, 12, fill=cmap.color_of(key), rx=2)
+        canvas.text(cx + 17, cy + 1, str(name), size=10, fill=TEXT_SECONDARY)
+
+
+def _render_arrows(canvas: SvgCanvas, view: TimelineView, x_of, t0: int, t1: int):
+    index = view.row_index()
+    for arrow in view.arrows:
+        src = index.get(arrow.src_row)
+        dst = index.get(arrow.dst_row)
+        if src is None or dst is None:
+            continue
+        if arrow.send_time > t1 or arrow.recv_time < t0:
+            continue
+        x1 = x_of(max(arrow.send_time, t0))
+        y1 = MARGIN_TOP + src * ROW_HEIGHT + ROW_HEIGHT / 2
+        x2 = x_of(min(arrow.recv_time, t1))
+        y2 = MARGIN_TOP + dst * ROW_HEIGHT + ROW_HEIGHT / 2
+        canvas.line(x1, y1, x2, y2, stroke=TEXT_PRIMARY, stroke_width=1.0, opacity=0.65)
+        # Arrowhead at the receive end.
+        canvas.polygon(
+            [(x2, y2), (x2 - 6, y2 - 3), (x2 - 6, y2 + 3)], fill=TEXT_PRIMARY
+        )
+
+
+def _fmt_time(ticks: int, ticks_per_sec: float) -> str:
+    return f"{ticks / ticks_per_sec:.4g}"

@@ -1,0 +1,47 @@
+"""Traceable workloads.
+
+These programs generate the traces the paper's evaluation visualizes:
+
+* :mod:`repro.workloads.sppm` — the ASCI sPPM benchmark's shape (Figures 8
+  and 9): 4 nodes of 8-way SMPs, four threads per MPI process of which one
+  makes MPI calls, ghost-cell exchanges plus threaded compute, and one
+  deliberately idle thread.
+* :mod:`repro.workloads.flash` — a FLASH-like phased application
+  (Figures 6 and 7): initialization, a long middle of quiet iterations with
+  bursts of communication-heavy refinement, and a termination phase.
+* :mod:`repro.workloads.synthetic` — a parameterized event-count generator
+  for the Table 1 utility-speed sweep.
+* :mod:`repro.workloads.pingpong` — two-rank latency/bandwidth exchange
+  (the quickstart example).
+* :mod:`repro.workloads.stencil` — 2-D five-point halo exchange using
+  nonblocking operations.
+
+Each module exposes a ``*_body`` factory returning a rank program for
+:meth:`repro.mpi.MpiRuntime.launch`, plus a ``run_*`` convenience that
+builds the cluster, traces the run, and returns the raw trace paths.
+"""
+
+from repro.workloads.harness import TracedRun, run_traced_workload
+from repro.workloads.sppm import sppm_body, run_sppm
+from repro.workloads.flash import flash_body, run_flash
+from repro.workloads.synthetic import synthetic_body, run_synthetic
+from repro.workloads.pingpong import pingpong_body, run_pingpong
+from repro.workloads.stencil import stencil_body, run_stencil
+from repro.workloads.ioheavy import ioheavy_body, run_ioheavy
+
+__all__ = [
+    "TracedRun",
+    "run_traced_workload",
+    "sppm_body",
+    "run_sppm",
+    "flash_body",
+    "run_flash",
+    "synthetic_body",
+    "run_synthetic",
+    "pingpong_body",
+    "run_pingpong",
+    "stencil_body",
+    "run_stencil",
+    "ioheavy_body",
+    "run_ioheavy",
+]

@@ -1,0 +1,54 @@
+"""Common run harness: build a cluster, trace a workload, collect files.
+
+Encapsulates the left half of the paper's Figure 2 — "a user program is
+linked with the tracing library so that its execution creates multiple raw
+trace files, one on each node".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.mpi import MpiRuntime, MpiTiming, TaskContext
+from repro.tracing import TraceFacility, TraceOptions
+
+
+@dataclass
+class TracedRun:
+    """Everything a traced execution produced."""
+
+    raw_paths: list[Path]
+    cluster: Cluster
+    runtime: MpiRuntime
+    facility: TraceFacility
+    elapsed_ns: int
+
+
+def run_traced_workload(
+    body: Callable[[TaskContext], object],
+    out_dir: str | Path,
+    *,
+    n_tasks: int,
+    spec: ClusterSpec | None = None,
+    tasks_per_node: int | None = None,
+    options: TraceOptions | None = None,
+    timing: MpiTiming | None = None,
+) -> TracedRun:
+    """Run ``body`` on ``n_tasks`` MPI tasks with tracing; returns the raw
+    trace files (one per node) and the run context."""
+    cluster = Cluster(spec or ClusterSpec())
+    facility = TraceFacility(cluster, out_dir, options or TraceOptions())
+    runtime = MpiRuntime(cluster, facility, timing)
+    runtime.launch(n_tasks, body, tasks_per_node=tasks_per_node)
+    runtime.run()
+    paths = facility.close()
+    return TracedRun(
+        raw_paths=paths,
+        cluster=cluster,
+        runtime=runtime,
+        facility=facility,
+        elapsed_ns=cluster.engine.now,
+    )

@@ -1,0 +1,71 @@
+"""An I/O-heavy workload for the system-activity extension (paper §5).
+
+Alternating compute / collective / checkpoint phases where *every* rank
+writes to its node-local disk.  When several tasks share a node, their
+writes serialize on the single disk queue — queueing delay that is plainly
+visible in the thread-activity view as long FileIO states, exactly the kind
+of system behaviour the extended tracing was proposed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec
+from repro.mpi import TaskContext
+from repro.tracing import TraceOptions
+from repro.workloads.harness import TracedRun, run_traced_workload
+
+
+@dataclass(frozen=True)
+class IoHeavyConfig:
+    """Shape of the I/O-heavy run."""
+
+    n_tasks: int = 4
+    tasks_per_node: int = 2  # deliberate disk sharing
+    phases: int = 3
+    compute_seconds: float = 0.005
+    page_faults_per_phase: int = 3
+    read_bytes: int = 256 * 1024
+    write_bytes: int = 1024 * 1024
+
+
+def ioheavy_body(config: IoHeavyConfig):
+    """Build the rank program."""
+
+    def body(ctx: TaskContext):
+        m_phase = ctx.marker_define("io:phase")
+        # Initial data load from disk.
+        yield from ctx.io_read(config.read_bytes)
+        for phase in range(config.phases):
+            ctx.marker_begin(m_phase)
+            yield from ctx.compute_with_faults(
+                config.compute_seconds, faults=config.page_faults_per_phase
+            )
+            yield from ctx.allreduce(4096)
+            # Everyone checkpoints: same-node tasks queue on one disk.
+            yield from ctx.io_write(config.write_bytes)
+            ctx.marker_end(m_phase)
+        yield from ctx.barrier()
+
+    return body
+
+
+def run_ioheavy(
+    out_dir,
+    config: IoHeavyConfig | None = None,
+    *,
+    options: TraceOptions | None = None,
+) -> TracedRun:
+    """Trace an I/O-heavy run with tasks sharing node disks."""
+    config = config or IoHeavyConfig()
+    n_nodes = (config.n_tasks + config.tasks_per_node - 1) // config.tasks_per_node
+    spec = ClusterSpec(n_nodes=n_nodes, cpus_per_node=4)
+    return run_traced_workload(
+        ioheavy_body(config),
+        out_dir,
+        n_tasks=config.n_tasks,
+        spec=spec,
+        tasks_per_node=config.tasks_per_node,
+        options=options or TraceOptions(global_clock_period_ns=20_000_000),
+    )

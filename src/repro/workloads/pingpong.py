@@ -1,0 +1,72 @@
+"""Two-rank ping-pong: the canonical first traced program.
+
+Rank 0 sends a message to rank 1 and waits for the echo, repeatedly, over a
+sweep of message sizes — the simplest workload that exercises sends,
+receives, markers, blocking (and hence interval pieces), and message
+matching for arrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec
+from repro.mpi import TaskContext
+from repro.tracing import TraceOptions
+from repro.workloads.harness import TracedRun, run_traced_workload
+
+
+@dataclass(frozen=True)
+class PingPongConfig:
+    """Repetition and size sweep for the ping-pong."""
+
+    repeats: int = 5
+    sizes: tuple[int, ...] = (64, 4096, 65536)
+    think_seconds: float = 0.0005
+
+
+def pingpong_body(config: PingPongConfig):
+    """Build the two-rank ping-pong program."""
+
+    def body(ctx: TaskContext):
+        if ctx.size < 2:
+            raise ValueError("ping-pong needs at least 2 ranks")
+        marker = ctx.marker_define("pingpong:size-sweep")
+        peer = 1 - ctx.rank
+        if ctx.rank > 1:
+            # Extra ranks just synchronize at the end.
+            yield from ctx.barrier()
+            return
+        for size in config.sizes:
+            ctx.marker_begin(marker)
+            for _ in range(config.repeats):
+                if ctx.rank == 0:
+                    yield from ctx.send(peer, size)
+                    yield from ctx.recv(peer)
+                else:
+                    yield from ctx.recv(peer)
+                    yield from ctx.send(peer, size)
+                yield from ctx.compute(config.think_seconds)
+            ctx.marker_end(marker)
+        yield from ctx.barrier()
+
+    return body
+
+
+def run_pingpong(
+    out_dir,
+    config: PingPongConfig | None = None,
+    *,
+    options: TraceOptions | None = None,
+) -> TracedRun:
+    """Trace a two-node ping-pong run."""
+    config = config or PingPongConfig()
+    spec = ClusterSpec(n_nodes=2, cpus_per_node=2)
+    return run_traced_workload(
+        pingpong_body(config),
+        out_dir,
+        n_tasks=2,
+        spec=spec,
+        tasks_per_node=1,
+        options=options or TraceOptions(global_clock_period_ns=10_000_000),
+    )

@@ -1,0 +1,138 @@
+"""An sPPM-shaped workload (paper Figures 8 and 9).
+
+The ASCI sPPM benchmark "solves a 3D gas dynamics problem on a uniform
+Cartesian mesh using a simplified version of the piecewise parabolic
+method".  The paper ran it on 4 nodes of 8-way SMPs with four threads per
+MPI process, one of which made MPI calls; the views show system activity on
+non-MPI threads, one idle thread, and MPI threads migrating between CPUs.
+
+This module reproduces that *shape*: a 1-D domain decomposition with
+ghost-cell exchange per timestep, a fork/join compute phase across worker
+threads, and one worker that never receives work (the idle thread of
+Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec, Compute, Sleep, Spawn, Wait
+from repro.cluster.engine import Future, seconds_to_ns
+from repro.mpi import TaskContext
+from repro.tracing import TraceOptions
+from repro.workloads.harness import TracedRun, run_traced_workload
+
+
+@dataclass(frozen=True)
+class SppmConfig:
+    """Problem shape for the sPPM-like run."""
+
+    n_tasks: int = 4
+    threads_per_task: int = 4  # one MPI thread + workers (one stays idle)
+    iterations: int = 4
+    ghost_bytes: int = 256 * 1024  # one face of ghost cells
+    compute_seconds: float = 0.02  # per-iteration compute per active thread
+    dt_reduce_bytes: int = 8
+    #: System daemons per node: short periodic bursts of kernel-ish work.
+    #: They provide the "system activity" visible on non-MPI threads in
+    #: Figure 8 and, by grabbing low-numbered CPUs, make the MPI threads
+    #: land on different processors after blocking — the CPU migration
+    #: Figure 9 shows.
+    daemons_per_node: int = 2
+    daemon_period_seconds: float = 0.004
+    daemon_burst_seconds: float = 0.0008
+
+
+def sppm_body(config: SppmConfig):
+    """Build the rank program for an sPPM-like task."""
+
+    def body(ctx: TaskContext):
+        n_workers = max(config.threads_per_task - 1, 0)
+        # Active workers get a (work, done) future per iteration; the last
+        # worker is idle for the whole run, as in Figure 8.
+        n_active = max(n_workers - 1, 0)
+        work = [[Future() for _ in range(config.iterations)] for _ in range(n_active)]
+        done = [[Future() for _ in range(config.iterations)] for _ in range(n_active)]
+        stop = Future()
+
+        def worker(widx: int):
+            for it in range(config.iterations):
+                chunk_ns = yield Wait(work[widx][it])
+                yield Compute(chunk_ns)
+                done[widx][it].set_result(None)
+
+        def idle_worker():
+            # Spawned like the others but never given work; exits at stop.
+            yield Wait(stop)
+
+        def daemon(period_ns: int, burst_ns: int):
+            while not stop.done:
+                yield Sleep(period_ns)
+                yield Compute(burst_ns)
+
+        for w in range(n_active):
+            yield Spawn(worker, (w,), name=f"worker-{w}", category="user")
+        if n_workers > n_active:
+            yield Spawn(idle_worker, (), name="idle-worker", category="user")
+        for d in range(config.daemons_per_node):
+            yield Spawn(
+                daemon,
+                (
+                    seconds_to_ns(config.daemon_period_seconds * (1 + 0.3 * d)),
+                    seconds_to_ns(config.daemon_burst_seconds),
+                ),
+                name=f"kproc-{d}",
+                category="system",
+            )
+
+        m_init = ctx.marker_define("sppm:init")
+        m_step = ctx.marker_define("sppm:timestep")
+        ctx.marker_begin(m_init)
+        yield from ctx.bcast(0, 4096)  # problem parameters
+        yield from ctx.compute(config.compute_seconds / 2)
+        ctx.marker_end(m_init)
+
+        left = (ctx.rank - 1) % ctx.size
+        right = (ctx.rank + 1) % ctx.size
+        chunk_ns = seconds_to_ns(config.compute_seconds)
+        for it in range(config.iterations):
+            ctx.marker_begin(m_step)
+            # Ghost-cell exchange along the decomposed dimension.
+            yield from ctx.sendrecv(right, config.ghost_bytes, source=left)
+            yield from ctx.sendrecv(left, config.ghost_bytes, source=right)
+            # Fork: hand each active worker its chunk.
+            for w in range(n_active):
+                work[w][it].set_result(chunk_ns)
+            # The MPI thread computes its own share too.
+            yield Compute(chunk_ns)
+            # Join.
+            for w in range(n_active):
+                yield Wait(done[w][it])
+            # Global timestep (dt) reduction.
+            yield from ctx.allreduce(config.dt_reduce_bytes)
+            ctx.marker_end(m_step)
+        yield from ctx.barrier()
+        stop.set_result(None)
+
+    return body
+
+
+def run_sppm(
+    out_dir,
+    config: SppmConfig | None = None,
+    *,
+    cpus_per_node: int = 8,
+    options: TraceOptions | None = None,
+) -> TracedRun:
+    """Trace an sPPM-like run: 4 nodes × ``cpus_per_node``-way SMP, one MPI
+    task per node (the paper's configuration)."""
+    config = config or SppmConfig()
+    spec = ClusterSpec(n_nodes=config.n_tasks, cpus_per_node=cpus_per_node)
+    return run_traced_workload(
+        sppm_body(config),
+        out_dir,
+        n_tasks=config.n_tasks,
+        spec=spec,
+        tasks_per_node=1,
+        options=options or TraceOptions(global_clock_period_ns=20_000_000),
+    )

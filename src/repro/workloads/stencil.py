@@ -1,0 +1,99 @@
+"""2-D five-point stencil with nonblocking halo exchange.
+
+Exercises the nonblocking path (MPI_Isend / MPI_Irecv / MPI_Waitall) the
+other workloads don't: each iteration posts receives from all four
+neighbors, sends all four halos, computes the interior while communication
+is in flight, then waits for everything — the classic
+communication/computation overlap pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec
+from repro.mpi import TaskContext
+from repro.tracing import TraceOptions
+from repro.workloads.harness import TracedRun, run_traced_workload
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Grid decomposition and iteration knobs."""
+
+    px: int = 2  # process-grid columns
+    py: int = 2  # process-grid rows
+    iterations: int = 5
+    halo_bytes: int = 32 * 1024
+    interior_seconds: float = 0.004
+    boundary_seconds: float = 0.001
+    #: Use row communicators (MPI_Comm_split by grid row) for the periodic
+    #: row-wise residual reduction — exercises sub-communicator collectives.
+    use_row_comms: bool = True
+
+
+def stencil_body(config: StencilConfig):
+    """Build the rank program for a px × py process grid with periodic
+    boundaries."""
+
+    p = config.px * config.py
+
+    def body(ctx: TaskContext):
+        if ctx.size != p:
+            raise ValueError(f"stencil needs exactly {p} ranks, got {ctx.size}")
+        x = ctx.rank % config.px
+        y = ctx.rank // config.px
+        north = ((y - 1) % config.py) * config.px + x
+        south = ((y + 1) % config.py) * config.px + x
+        west = y * config.px + (x - 1) % config.px
+        east = y * config.px + (x + 1) % config.px
+        neighbors = [north, south, west, east]
+
+        row_comm = None
+        if config.use_row_comms and config.px > 1:
+            # One communicator per grid row, ordered by column.
+            row_comm = yield from ctx.comm_split(color=y, key=x)
+
+        m_iter = ctx.marker_define("stencil:iteration")
+        for it in range(config.iterations):
+            ctx.marker_begin(m_iter)
+            recvs = []
+            for tag, src in enumerate(neighbors):
+                recvs.append((yield from ctx.irecv(src, tag=it * 8 + tag)))
+            for tag, dst in enumerate(neighbors):
+                # My send with tag t must match the neighbor's recv slot for
+                # the opposite direction: N<->S and W<->E swap (0,1) and (2,3).
+                opposite = tag ^ 1
+                yield from ctx.isend(dst, config.halo_bytes, tag=it * 8 + opposite)
+            # Interior overlaps with communication.
+            yield from ctx.compute(config.interior_seconds)
+            yield from ctx.waitall(recvs)
+            # Boundary cells need the halos.
+            yield from ctx.compute(config.boundary_seconds)
+            if row_comm is not None:
+                # Row-wise partial residual (sub-communicator collective).
+                yield from ctx.allreduce(8, comm=row_comm)
+            ctx.marker_end(m_iter)
+        yield from ctx.allreduce(8)  # global residual
+
+    return body
+
+
+def run_stencil(
+    out_dir,
+    config: StencilConfig | None = None,
+    *,
+    options: TraceOptions | None = None,
+) -> TracedRun:
+    """Trace a stencil run, one task per node."""
+    config = config or StencilConfig()
+    p = config.px * config.py
+    spec = ClusterSpec(n_nodes=p, cpus_per_node=2)
+    return run_traced_workload(
+        stencil_body(config),
+        out_dir,
+        n_tasks=p,
+        spec=spec,
+        tasks_per_node=1,
+        options=options or TraceOptions(global_clock_period_ns=20_000_000),
+    )

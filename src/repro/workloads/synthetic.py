@@ -1,0 +1,100 @@
+"""Parameterized synthetic workload for utility benchmarking (Table 1).
+
+The paper's Table 1 test program has 4 MPI tasks with 4 threads each and is
+"executed several times with different problem sizes and parameters, so
+that the numbers of raw events are different".  This generator does the
+same: event count scales linearly with ``rounds`` (each round produces a
+fixed bundle of MPI, marker, and thread-dispatch events), letting the bench
+sweep raw-event counts and measure seconds/event in convert and slogmerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec, Compute, Spawn, Wait
+from repro.cluster.engine import Future
+from repro.mpi import TaskContext
+from repro.tracing import TraceOptions
+from repro.workloads.harness import TracedRun, run_traced_workload
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Event-volume knobs."""
+
+    n_tasks: int = 4
+    threads_per_task: int = 4
+    rounds: int = 50
+    msg_bytes: int = 1024
+    compute_ns: int = 50_000
+    marker_every: int = 5
+
+
+def synthetic_body(config: SyntheticConfig):
+    """Build the rank program.  Each round: one send + one recv (or the
+    reverse), a worker fork/join across the extra threads, and periodically
+    a marker region and a collective — a dense, regular event mix."""
+
+    def body(ctx: TaskContext):
+        n_workers = max(config.threads_per_task - 1, 0)
+        work = [[Future() for _ in range(config.rounds)] for _ in range(n_workers)]
+        done = [[Future() for _ in range(config.rounds)] for _ in range(n_workers)]
+
+        def worker(widx: int):
+            for r in range(config.rounds):
+                chunk = yield Wait(work[widx][r])
+                yield Compute(chunk)
+                done[widx][r].set_result(None)
+
+        for w in range(n_workers):
+            yield Spawn(worker, (w,), name=f"w{w}", category="user")
+
+        marker = ctx.marker_define("synthetic:phase")
+        peer = ctx.rank ^ 1 if (ctx.rank ^ 1) < ctx.size else ctx.rank
+        for r in range(config.rounds):
+            in_marker = config.marker_every and r % config.marker_every == 0
+            if in_marker:
+                ctx.marker_begin(marker)
+            if peer != ctx.rank:
+                if ctx.rank < peer:
+                    yield from ctx.send(peer, config.msg_bytes, tag=r % 8)
+                    yield from ctx.recv(peer, r % 8)
+                else:
+                    yield from ctx.recv(peer, r % 8)
+                    yield from ctx.send(peer, config.msg_bytes, tag=r % 8)
+            for w in range(n_workers):
+                work[w][r].set_result(config.compute_ns)
+            yield Compute(config.compute_ns)
+            for w in range(n_workers):
+                yield Wait(done[w][r])
+            if in_marker:
+                ctx.marker_end(marker)
+            if config.marker_every and r % (config.marker_every * 4) == 0:
+                yield from ctx.allreduce(64)
+        yield from ctx.barrier()
+
+    return body
+
+
+def run_synthetic(
+    out_dir,
+    config: SyntheticConfig | None = None,
+    *,
+    nodes: int | None = None,
+    cpus_per_node: int = 2,
+    options: TraceOptions | None = None,
+) -> TracedRun:
+    """Trace a synthetic run; defaults to the Table 1 shape (4 tasks × 4
+    threads) with one task per node."""
+    config = config or SyntheticConfig()
+    n_nodes = nodes or config.n_tasks
+    spec = ClusterSpec(n_nodes=n_nodes, cpus_per_node=cpus_per_node)
+    return run_traced_workload(
+        synthetic_body(config),
+        out_dir,
+        n_tasks=config.n_tasks,
+        spec=spec,
+        tasks_per_node=(config.n_tasks + n_nodes - 1) // n_nodes,
+        options=options or TraceOptions(global_clock_period_ns=100_000_000),
+    )

@@ -1,0 +1,201 @@
+"""Tests for the performance-analysis applications (spans, blocking,
+utilization, message stats)."""
+
+import pytest
+
+from repro.analysis import (
+    MessageStats,
+    call_profile,
+    cpu_utilization,
+    message_stats,
+    state_spans,
+    thread_utilization,
+)
+from repro.analysis.blocking import format_call_profile
+from repro.analysis.messages import latency_by_size
+from repro.core import standard_profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.viz.arrows import MessageArrow
+
+PROFILE = standard_profile()
+SEND = IntervalType.for_mpi_fn(0)
+RECV = IntervalType.for_mpi_fn(1)
+
+
+def rec(itype=IntervalType.RUNNING, bebits=BeBits.COMPLETE, start=0, dura=100,
+        node=0, cpu=0, thread=0, **extra):
+    return IntervalRecord(itype, bebits, start, dura, node, cpu, thread, extra)
+
+
+class TestStateSpans:
+    def test_complete_record_is_one_span(self):
+        (span,) = state_spans([rec(itype=SEND, start=100, dura=50)])
+        assert (span.begin, span.end) == (100, 150)
+        assert span.on_cpu == 50
+        assert span.blocked == 0
+        assert span.pieces == 1
+
+    def test_pieces_fold_into_span_with_blocked_time(self):
+        pieces = [
+            rec(itype=RECV, bebits=BeBits.BEGIN, start=0, dura=10),
+            rec(itype=RECV, bebits=BeBits.CONTINUATION, start=100, dura=10),
+            rec(itype=RECV, bebits=BeBits.END, start=200, dura=10),
+        ]
+        (span,) = state_spans(pieces)
+        assert (span.begin, span.end) == (0, 210)
+        assert span.on_cpu == 30
+        assert span.blocked == 180
+        assert span.pieces == 3
+
+    def test_running_excluded_by_default(self):
+        spans = list(state_spans([rec(), rec(itype=SEND, start=200, dura=10)]))
+        assert [s.itype for s in spans] == [SEND]
+        spans = list(
+            state_spans(
+                [rec(), rec(itype=SEND, start=200, dura=10)], include_running=True
+            )
+        )
+        assert {s.itype for s in spans} == {IntervalType.RUNNING, SEND}
+
+    def test_markers_keyed_by_id(self):
+        records = [
+            rec(itype=IntervalType.MARKER, bebits=BeBits.BEGIN, start=0, dura=5,
+                markerId=1),
+            rec(itype=IntervalType.MARKER, bebits=BeBits.BEGIN, start=10, dura=5,
+                thread=1, markerId=2),
+            rec(itype=IntervalType.MARKER, bebits=BeBits.END, start=20, dura=5,
+                markerId=1),
+            rec(itype=IntervalType.MARKER, bebits=BeBits.END, start=30, dura=5,
+                thread=1, markerId=2),
+        ]
+        spans = sorted(state_spans(records), key=lambda s: s.marker_id)
+        assert [s.marker_id for s in spans] == [1, 2]
+        assert spans[0].end == 25
+
+    def test_pseudo_interval_folds_harmlessly(self):
+        records = [
+            rec(itype=SEND, bebits=BeBits.BEGIN, start=0, dura=10),
+            rec(itype=SEND, bebits=BeBits.CONTINUATION, start=50, dura=0),  # pseudo
+            rec(itype=SEND, bebits=BeBits.END, start=80, dura=10),
+        ]
+        (span,) = state_spans(records)
+        assert span.on_cpu == 20
+        assert span.end == 90
+
+    def test_unclosed_state_still_reported(self):
+        records = [rec(itype=SEND, bebits=BeBits.BEGIN, start=0, dura=10)]
+        (span,) = state_spans(records)
+        assert span.end == 10
+
+
+class TestCallProfile:
+    def test_blocked_ranking(self):
+        records = [
+            # A quick send.
+            rec(itype=SEND, start=0, dura=10, node=0),
+            # A recv blocked for 1000.
+            rec(itype=RECV, bebits=BeBits.BEGIN, start=20, dura=5),
+            rec(itype=RECV, bebits=BeBits.END, start=1020, dura=5),
+        ]
+        rows = call_profile(records, PROFILE)
+        assert rows[0].name == "MPI_Recv"
+        assert rows[0].blocked_ns == 995  # wall 1005 - on_cpu 10
+        assert rows[0].blocked_fraction > 0.9
+        assert rows[1].name == "MPI_Send"
+        assert rows[1].blocked_ns == 0
+
+    def test_marker_rows_named_by_string(self):
+        records = [
+            rec(itype=IntervalType.MARKER, start=0, dura=100, markerId=1),
+        ]
+        rows = call_profile(records, PROFILE, markers={1: "Main Loop"})
+        assert rows[0].name == "Main Loop"
+
+    def test_counts_and_avg(self):
+        records = [rec(itype=SEND, start=i * 100, dura=10) for i in range(5)]
+        (row,) = call_profile(records, PROFILE)
+        assert row.calls == 5
+        assert row.wall_ns == 50
+        assert row.avg_wall_ns == 10
+        assert row.max_wall_ns == 10
+
+    def test_format_output(self):
+        records = [rec(itype=SEND, start=0, dura=10)]
+        text = format_call_profile(call_profile(records, PROFILE))
+        assert "MPI_Send" in text
+        assert "blocked" in text.splitlines()[0]
+
+    def test_real_pipeline_blocking(self, tmp_path):
+        """On a real ping-pong run, receives block more than sends."""
+        from repro.core import IntervalReader
+        from repro.utils.convert import convert_traces
+        from repro.utils.merge import merge_interval_files
+        from repro.workloads import run_pingpong
+
+        run = run_pingpong(tmp_path / "raw")
+        conv = convert_traces(run.raw_paths, tmp_path / "ivl")
+        merged = merge_interval_files(conv.interval_paths, tmp_path / "m.ute", PROFILE)
+        reader = IntervalReader(merged.merged_path, PROFILE)
+        rows = {
+            r.name: r
+            for r in call_profile(
+                list(reader.intervals()), PROFILE, markers=reader.markers
+            )
+        }
+        assert rows["MPI_Recv"].blocked_ns > rows["MPI_Send"].blocked_ns
+        assert rows["MPI_Recv"].blocked_fraction > 0.3
+
+
+class TestUtilization:
+    def test_thread_busy_fraction(self):
+        records = [rec(start=0, dura=600), rec(thread=1, start=0, dura=200),
+                   rec(start=600, dura=400)]
+        utils = {u.key: u for u in thread_utilization(records)}
+        assert utils[(0, 0)].fraction == 1.0
+        assert utils[(0, 1)].fraction == pytest.approx(0.2)
+
+    def test_cpu_idle_rows_present(self):
+        records = [rec(cpu=0, dura=100)]
+        utils = cpu_utilization(records, {0: 4})
+        assert len(utils) == 4
+        assert utils[0].fraction == 1.0
+        assert all(u.fraction == 0 for u in utils[1:])
+
+    def test_explicit_wall_interval(self):
+        records = [rec(start=0, dura=100)]
+        (u,) = thread_utilization(records, wall=(0, 1000))
+        assert u.fraction == pytest.approx(0.1)
+
+
+class TestMessageStats:
+    def arrows(self):
+        return [
+            MessageArrow(1, (0, 0), (1, 0), 100, 300, 1024),
+            MessageArrow(2, (1, 0), (0, 0), 400, 450, 1024),
+            MessageArrow(3, (0, 0), (1, 0), 500, 2500, 65536),
+        ]
+
+    def test_summary(self):
+        stats = message_stats(self.arrows())
+        assert stats.count == 3
+        assert stats.total_bytes == 1024 * 2 + 65536
+        assert stats.min_latency_ns == 50
+        assert stats.max_latency_ns == 2000
+        assert stats.causality_violations == 0
+
+    def test_from_records(self):
+        records = [
+            rec(itype=SEND, node=0, start=0, dura=10, msgSizeSent=64, seqno=9),
+            rec(itype=RECV, node=1, start=5, dura=40, msgSizeRecv=64, seqno=9),
+        ]
+        stats = message_stats(records)
+        assert stats.count == 1
+        assert stats.min_latency_ns == 45
+
+    def test_empty(self):
+        assert message_stats([]) == MessageStats.empty()
+
+    def test_latency_by_size(self):
+        table = latency_by_size(self.arrows())
+        assert table[1024][0] == 2
+        assert table[65536] == (1, 2000.0)

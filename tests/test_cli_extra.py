@@ -1,0 +1,123 @@
+"""Additional CLI coverage: custom stats programs, sync-mode selection,
+synthetic knobs, and error paths."""
+
+import pytest
+
+from repro.core import IntervalReader, standard_profile
+
+PROFILE = standard_profile()
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    from repro import cli
+
+    tmp = tmp_path_factory.mktemp("cli-extra")
+    import contextlib
+    import io
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        cli.main_trace(["synthetic", "--rounds", "25", "-o", str(tmp / "raw")])
+        raw = [l for l in buf.getvalue().splitlines() if l]
+        buf.truncate(0)
+        buf.seek(0)
+        cli.main_convert([*raw, "-o", str(tmp / "ivl")])
+        intervals = [l for l in buf.getvalue().splitlines() if l]
+    return tmp, intervals
+
+
+class TestStatsProgram:
+    def test_custom_program_file(self, traced, tmp_path, capsys):
+        from repro import cli
+
+        _, intervals = traced
+        program = tmp_path / "prog.stats"
+        program.write_text(
+            'table name=custom x=("node", node) y=("pieces", dura, count)\n'
+        )
+        out = tmp_path / "stats"
+        assert cli.main_stats(
+            [*intervals, "--program", str(program), "-o", str(out)]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "custom.tsv" in captured
+        tsv = (out / "custom.tsv").read_text()
+        assert tsv.startswith("node\tpieces")
+
+    def test_bad_program_raises_stats_error(self, traced, tmp_path):
+        from repro import cli
+        from repro.errors import StatsError
+
+        _, intervals = traced
+        program = tmp_path / "bad.stats"
+        program.write_text("table x=(")
+        with pytest.raises(StatsError):
+            cli.main_stats([*intervals, "--program", str(program), "-o", str(tmp_path / "s")])
+
+
+class TestMergeModes:
+    @pytest.mark.parametrize("mode", ["rms_segment", "rms_anchored", "last_slope", "piecewise"])
+    def test_sync_mode_selectable(self, traced, tmp_path, mode, capsys):
+        from repro import cli
+
+        _, intervals = traced
+        out = tmp_path / f"{mode}.ute"
+        assert cli.main_merge([*intervals, "-o", str(out), "--sync", mode]) == 0
+        capsys.readouterr()
+        reader = IntervalReader(out, PROFILE)
+        ends = [r.end for r in reader.intervals()]
+        assert ends == sorted(ends)
+
+    def test_explicit_profile_roundtrip(self, traced, tmp_path, capsys):
+        from repro import cli
+
+        tmp, intervals = traced
+        profile_path = tmp / "ivl" / "profile.ute"
+        assert profile_path.exists()
+        out = tmp_path / "prof.ute"
+        assert cli.main_merge(
+            [*intervals, "-o", str(out), "--profile", str(profile_path)]
+        ) == 0
+        capsys.readouterr()
+
+
+class TestArgumentErrors:
+    def test_unknown_workload_rejected(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main_trace(["frobnicate"])
+
+    def test_unknown_view_kind_rejected(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main_view(["whatever.slog", "--kind", "pie"])
+
+    def test_unknown_sync_rejected(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main_merge(["a.ute", "--sync", "vibes"])
+
+
+class TestTraceKnobs:
+    def test_synthetic_rounds_scale_events(self, tmp_path, capsys):
+        from repro import cli
+        from repro.tracing import RawTraceReader
+
+        counts = {}
+        for rounds in (10, 40):
+            out = tmp_path / f"r{rounds}"
+            cli.main_trace(["synthetic", "--rounds", str(rounds), "-o", str(out)])
+            raw = [l for l in capsys.readouterr().out.splitlines() if l]
+            counts[rounds] = sum(len(RawTraceReader(p)) for p in raw)
+        assert counts[40] > 2.5 * counts[10]
+
+    def test_ioheavy_workload_traces(self, tmp_path, capsys):
+        from repro import cli
+
+        assert cli.main_trace(["ioheavy", "-o", str(tmp_path / "io")]) == 0
+        raw = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(raw) == 2  # 4 tasks / 2 per node

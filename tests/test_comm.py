@@ -1,0 +1,169 @@
+"""Tests for communicators: comm_split and sub-group collectives."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.errors import SimulationError
+from repro.mpi import MpiRuntime
+from repro.mpi.comm import CONTEXT_STRIDE, Communicator
+
+
+def run_job(n_tasks, body, nodes=2, cpus=2):
+    cl = Cluster(ClusterSpec(n_nodes=nodes, cpus_per_node=cpus))
+    rt = MpiRuntime(cl)
+    rt.launch(n_tasks, body)
+    rt.run()
+    return rt
+
+
+class TestCommunicatorObject:
+    def test_rank_translation(self):
+        comm = Communicator(1, (2, 5, 7), my_world_rank=5)
+        assert comm.rank == 1
+        assert comm.size == 3
+        assert comm.world_rank(0) == 2
+        assert comm.world_rank(2) == 7
+
+    def test_non_member_rejected(self):
+        with pytest.raises(SimulationError):
+            Communicator(1, (0, 1), my_world_rank=3)
+
+    def test_out_of_range_rank_rejected(self):
+        comm = Communicator(1, (0, 1), my_world_rank=0)
+        with pytest.raises(SimulationError):
+            comm.world_rank(2)
+
+
+class TestCommSplit:
+    def test_split_by_parity(self):
+        results = {}
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=ctx.rank % 2)
+            results[ctx.rank] = (comm.context_id, comm.members, comm.rank)
+
+        run_job(6, body, nodes=3)
+        evens = tuple(r for r in range(6) if r % 2 == 0)
+        odds = tuple(r for r in range(6) if r % 2 == 1)
+        for rank, (ctx_id, members, comm_rank) in results.items():
+            expected = evens if rank % 2 == 0 else odds
+            assert members == expected
+            assert comm_rank == expected.index(rank)
+        # The two groups got distinct context ids; members agree within.
+        even_ctx = {results[r][0] for r in evens}
+        odd_ctx = {results[r][0] for r in odds}
+        assert len(even_ctx) == 1 and len(odd_ctx) == 1
+        assert even_ctx != odd_ctx
+
+    def test_key_orders_ranks(self):
+        results = {}
+
+        def body(ctx):
+            # Reverse ordering via descending key.
+            comm = yield from ctx.comm_split(color=0, key=ctx.size - ctx.rank)
+            results[ctx.rank] = (comm.rank, comm.members)
+
+        run_job(4, body)
+        # key reverses the rank order: world rank 3 has the lowest key.
+        assert results[3][0] == 0
+        assert results[0][0] == 3
+        assert results[0][1] == (3, 2, 1, 0)
+
+    def test_successive_splits_get_fresh_contexts(self):
+        results = {}
+
+        def body(ctx):
+            a = yield from ctx.comm_split(color=0)
+            b = yield from ctx.comm_split(color=ctx.rank % 2)
+            results.setdefault(ctx.rank, []).extend(
+                [a.context_id, b.context_id]
+            )
+
+        run_job(4, body)
+        ids = {cid for values in results.values() for cid in values}
+        assert len(ids) == 3  # world-split + two parity groups
+
+
+class TestSubCommCollectives:
+    @pytest.mark.parametrize("op", ["barrier_", "allreduce", "allgather", "alltoall"])
+    def test_symmetric_ops_within_group(self, op):
+        done = []
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=ctx.rank % 2)
+            if op == "barrier_":
+                yield from ctx.barrier(comm=comm)
+            else:
+                yield from getattr(ctx, op)(1024, comm=comm)
+            done.append(ctx.rank)
+
+        run_job(6, body, nodes=3)
+        assert sorted(done) == list(range(6))
+
+    def test_rooted_ops_use_comm_ranks(self):
+        done = []
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=ctx.rank // 2)
+            # Root 1 = the second member of each pair.
+            yield from ctx.bcast(1, 4096, comm=comm)
+            yield from ctx.gather(0, 512, comm=comm)
+            done.append(ctx.rank)
+
+        run_job(6, body, nodes=3)
+        assert sorted(done) == list(range(6))
+
+    def test_concurrent_groups_do_not_cross_match(self):
+        """Two groups running different collective sequences concurrently:
+        context tag spacing keeps their fragments apart."""
+        done = []
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=ctx.rank % 2)
+            if ctx.rank % 2 == 0:
+                for _ in range(4):
+                    yield from ctx.allreduce(64, comm=comm)
+            else:
+                yield from ctx.alltoall(128, comm=comm)
+                yield from ctx.barrier(comm=comm)
+            done.append(ctx.rank)
+
+        run_job(8, body, nodes=4)
+        assert sorted(done) == list(range(8))
+
+    def test_world_collectives_still_work_after_split(self):
+        done = []
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=ctx.rank % 2)
+            yield from ctx.allreduce(64, comm=comm)
+            yield from ctx.barrier()  # world
+            done.append(ctx.rank)
+
+        run_job(4, body)
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_split_is_traced(self, tmp_path):
+        from repro.tracing import RawTraceReader, TraceFacility, TraceOptions
+        from repro.tracing.hooks import MPI_FN_IDS, hook_for_mpi_begin
+
+        cl = Cluster(ClusterSpec(n_nodes=2, cpus_per_node=2))
+        fac = TraceFacility(cl, tmp_path, TraceOptions())
+        rt = MpiRuntime(cl, fac)
+
+        def body(ctx):
+            comm = yield from ctx.comm_split(color=0)
+            yield from ctx.barrier(comm=comm)
+
+        rt.launch(2, body)
+        rt.run()
+        paths = fac.close()
+        hooks = {e.hook_id for p in paths for e in RawTraceReader(p)}
+        assert hook_for_mpi_begin(MPI_FN_IDS["MPI_Comm_split"]) in hooks
+
+    def test_context_stride_large_enough(self):
+        from repro.mpi.collectives import TAG_STRIDE
+
+        # Many collectives in a communicator must not reach the next
+        # context's tag space.
+        assert CONTEXT_STRIDE > TAG_STRIDE * 10_000

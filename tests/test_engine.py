@@ -1,0 +1,177 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster.engine import Engine, Future, ns_to_seconds, seconds_to_ns
+from repro.errors import SimulationError
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(50, order.append, "c")
+    eng.schedule(10, order.append, "a")
+    eng.schedule(30, order.append, "b")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 50
+
+
+def test_same_time_events_fire_in_schedule_order():
+    eng = Engine()
+    order = []
+    for label in "abcde":
+        eng.schedule(7, order.append, label)
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(100, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [100]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    seen = []
+    handle = eng.schedule(10, seen.append, "x")
+    eng.schedule(5, seen.append, "y")
+    handle.cancel()
+    eng.run()
+    assert seen == ["y"]
+
+
+def test_run_until_stops_and_advances_clock():
+    eng = Engine()
+    seen = []
+    eng.schedule(10, seen.append, "a")
+    eng.schedule(100, seen.append, "b")
+    eng.run(until_ns=50)
+    assert seen == ["a"]
+    assert eng.now == 50
+    eng.run()
+    assert seen == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    eng = Engine()
+    eng.run(until_ns=1234)
+    assert eng.now == 1234
+
+
+def test_max_events_limit():
+    eng = Engine()
+    seen = []
+    for i in range(10):
+        eng.schedule(i + 1, seen.append, i)
+    eng.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    seen = []
+
+    def first():
+        eng.schedule(5, seen.append, "second")
+
+    eng.schedule(1, first)
+    eng.run()
+    assert seen == ["second"]
+    assert eng.now == 6
+
+
+def test_daemon_events_do_not_keep_engine_alive():
+    eng = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(eng.now)
+        eng.schedule(10, tick, daemon=True)
+
+    eng.schedule(0, tick, daemon=True)
+    eng.schedule(35, lambda: None)  # the only non-daemon work
+    eng.run()
+    # Daemon ticks fire while real work is pending, then the engine stops.
+    assert ticks == [0, 10, 20, 30]
+    assert eng.now == 35
+
+
+def test_daemon_only_queue_does_not_run():
+    eng = Engine()
+    seen = []
+    eng.schedule(5, seen.append, "d", daemon=True)
+    assert eng.run() == 0
+    assert seen == []
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+
+    def reenter():
+        eng.run()
+
+    eng.schedule(1, reenter)
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_seconds_conversion_roundtrip():
+    assert seconds_to_ns(1.5) == 1_500_000_000
+    assert ns_to_seconds(2_000_000_000) == 2.0
+    assert seconds_to_ns(ns_to_seconds(123456789)) == 123456789
+
+
+class TestFuture:
+    def test_set_result_and_value(self):
+        fut = Future()
+        assert not fut.done
+        fut.set_result(7)
+        assert fut.done
+        assert fut.value == 7
+
+    def test_value_before_resolution_raises(self):
+        with pytest.raises(SimulationError):
+            Future().value
+
+    def test_double_resolution_rejected(self):
+        fut = Future()
+        fut.set_result(1)
+        with pytest.raises(SimulationError):
+            fut.set_result(2)
+
+    def test_callback_after_resolution_fires_immediately(self):
+        fut = Future()
+        fut.set_result("v")
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.value))
+        assert seen == ["v"]
+
+    def test_callbacks_fire_in_registration_order(self):
+        fut = Future()
+        seen = []
+        fut.add_callback(lambda f: seen.append(1))
+        fut.add_callback(lambda f: seen.append(2))
+        fut.set_result(None)
+        assert seen == [1, 2]

@@ -1,0 +1,71 @@
+"""Every example script runs end to end (the quickstart contract)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, tmp_path, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), str(tmp_path / "out")]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(tmp_path, capsys):
+    out = run_example("quickstart.py", tmp_path, capsys)
+    assert "message arrows matched" in out
+    assert "Thread-activity view" in out
+    assert (tmp_path / "out" / "run.slog").exists()
+    assert (tmp_path / "out" / "preview.svg").exists()
+
+
+def test_sppm_analysis(tmp_path, capsys):
+    out = run_example("sppm_analysis.py", tmp_path, capsys)
+    assert "Figure 9 observations" in out
+    assert "threads that migrated across CPUs" in out
+    assert (tmp_path / "out" / "figure8_thread_activity.svg").exists()
+    assert (tmp_path / "out" / "figure9_processor_activity.svg").exists()
+
+
+def test_flash_preview(tmp_path, capsys):
+    out = run_example("flash_preview.py", tmp_path, capsys)
+    assert "interesting time ranges" in out
+    assert "frame display" in out
+    assert (tmp_path / "out" / "figure6_statistics.svg").exists()
+    assert (tmp_path / "out" / "figure7_preview.svg").exists()
+
+
+def test_clock_drift_study(tmp_path, capsys):
+    out = run_example("clock_drift_study.py", tmp_path, capsys)
+    assert "Estimator comparison" in out
+    assert "rms_segment (paper)" in out
+    assert (tmp_path / "out" / "figure1_clock_drift.svg").exists()
+
+
+def test_custom_statistics(tmp_path, capsys):
+    out = run_example("custom_statistics.py", tmp_path, capsys)
+    assert "the paper's own example program" in out
+    assert "avg(duration)" in out
+    assert (tmp_path / "out" / "mpi_time_by_task.tsv").exists()
+
+
+def test_io_profiling(tmp_path, capsys):
+    out = run_example("io_profiling.py", tmp_path, capsys)
+    assert "disk:" in out
+    assert "FileIO" in out
+    assert "fault_counts" in out
+
+
+def test_blocking_analysis(tmp_path, capsys):
+    out = run_example("blocking_analysis.py", tmp_path, capsys)
+    assert "call profile" in out
+    assert "CPU utilization" in out
+    assert "causality violations: 0" in out

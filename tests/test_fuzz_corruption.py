@@ -1,0 +1,128 @@
+"""Failure injection: corrupted files must fail with framework errors.
+
+Hypothesis flips random bytes in valid artifacts; readers must either
+(a) succeed (the corruption hit slack/ignored bytes or produced another
+structurally valid file) or (b) raise ``ReproError`` — never an uncaught
+``struct.error`` / ``IndexError`` / ``UnicodeDecodeError``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntervalFileWriter, IntervalReader, standard_profile
+from repro.core.fields import MASK_ALL_PER_NODE
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.errors import ReproError
+from repro.tracing.events import RawEvent, dispatch_event
+from repro.tracing.hooks import HookId
+from repro.tracing.rawfile import RawFileHeader, RawTraceReader, RawTraceWriter
+from repro.utils.slog import SlogFile, SlogWriter
+
+PROFILE = standard_profile()
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fuzz")
+    # Interval file.
+    ivl = tmp / "f.ute"
+    table = ThreadTable([ThreadEntry(0, 1, 1, 0, 0, 0, "t")])
+    with IntervalFileWriter(
+        ivl, PROFILE, table, field_mask=MASK_ALL_PER_NODE,
+        markers={1: "phase"}, frame_bytes=512,
+    ) as writer:
+        for i in range(60):
+            writer.write(
+                IntervalRecord(
+                    IntervalType.MARKER if i % 5 else IntervalType.RUNNING,
+                    BeBits.COMPLETE, i * 100, 50, 0, 0, 0,
+                    {"markerId": 1} if i % 5 else {},
+                )
+            )
+    # Raw trace.
+    raw = tmp / "f.raw"
+    with RawTraceWriter(raw, RawFileHeader(0, 2, 0)) as writer:
+        writer.write(RawEvent(HookId.MARKER_DEFINE, 0, 5, 0, (1,), "phase"))
+        for i in range(60):
+            writer.write(dispatch_event(i * 10, 5, i % 2))
+    # SLOG.
+    slog = tmp / "f.slog"
+    sw = SlogWriter(
+        slog, PROFILE, table, field_mask=MASK_ALL_PER_NODE,
+        time_range=(0, 6000), frame_bytes=512,
+    )
+    for i in range(60):
+        sw.write(IntervalRecord(IntervalType.RUNNING, BeBits.COMPLETE, i * 100, 50, 0, 0, 0))
+    sw.close()
+    return {
+        "interval": ivl.read_bytes(),
+        "raw": raw.read_bytes(),
+        "slog": slog.read_bytes(),
+        "tmp": tmp,
+    }
+
+
+def corrupt(data: bytes, flips: list[tuple[int, int]]) -> bytes:
+    out = bytearray(data)
+    for pos, value in flips:
+        out[pos % len(out)] ^= value or 0xFF
+    return bytes(out)
+
+
+flip_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6), st.integers(0, 255)),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=120, deadline=None)
+def test_interval_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "c.ute"
+    path.write_bytes(corrupt(artifacts["interval"], flips))
+    try:
+        reader = IntervalReader(path, PROFILE)
+        for _ in reader.intervals():
+            pass
+        reader.totals()
+    except ReproError:
+        pass  # the acceptable failure mode
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=120, deadline=None)
+def test_raw_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "c.raw"
+    path.write_bytes(corrupt(artifacts["raw"], flips))
+    try:
+        for _ in RawTraceReader(path):
+            pass
+    except ReproError:
+        pass
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=120, deadline=None)
+def test_slog_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "c.slog"
+    path.write_bytes(corrupt(artifacts["slog"], flips))
+    try:
+        slog = SlogFile(path)
+        slog.records()
+        slog.preview_matrix()
+    except ReproError:
+        pass
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=80, deadline=None)
+def test_validator_never_crashes(artifacts, flips):
+    """The validator must *report* corruption, not die on it."""
+    from repro.utils.validate import validate_interval_file
+
+    path = artifacts["tmp"] / "v.ute"
+    path.write_bytes(corrupt(artifacts["interval"], flips))
+    validate_interval_file(path, PROFILE)  # must return a report, not raise

@@ -1,0 +1,226 @@
+"""Tests for the merge utility: alignment, drift adjustment, ordering,
+thread-type selection, and pseudo-intervals."""
+
+import pytest
+
+from repro.core import IntervalFileWriter, IntervalReader, standard_profile
+from repro.core.fields import MASK_ALL_PER_NODE
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.errors import MergeError
+from repro.utils.merge import collect_clock_pairs, merge_interval_files
+
+PROFILE = standard_profile()
+
+
+def clock_pair(local, global_ts, node=0):
+    return IntervalRecord(
+        IntervalType.CLOCKPAIR, BeBits.COMPLETE, local, 0, node, 0, 0,
+        {"globalTs": global_ts},
+    )
+
+
+def running(start, dura, node=0, thread=0, bebits=BeBits.COMPLETE, cpu=0):
+    return IntervalRecord(IntervalType.RUNNING, bebits, start, dura, node, cpu, thread)
+
+
+def write_node_file(path, records, node=0, threads=None, markers=None, node_cpus=None):
+    table = ThreadTable(
+        threads
+        or [ThreadEntry(node, 100 + node, 5000 + node, node, 0, 0, f"rank-{node}")]
+    )
+    records = sorted(records, key=lambda r: r.end)
+    with IntervalFileWriter(
+        path, PROFILE, table, field_mask=MASK_ALL_PER_NODE,
+        markers=markers or {}, node_cpus=node_cpus or {node: 2},
+        frame_bytes=512, frames_per_dir=2,
+    ) as writer:
+        for rec in records:
+            writer.write(rec)
+    return path
+
+
+class TestAlignment:
+    def test_offset_clocks_aligned_by_first_pair(self, tmp_path):
+        """Node 1's local clock starts 1 ms ahead; after the merge both
+        nodes' simultaneous records land at the same global time."""
+        a = write_node_file(
+            tmp_path / "a.ute",
+            [clock_pair(0, 0), running(1000, 500), clock_pair(10_000_000, 10_000_000)],
+            node=0,
+        )
+        b = write_node_file(
+            tmp_path / "b.ute",
+            [
+                clock_pair(1_000_000, 0, node=1),
+                running(1_001_000, 500, node=1),
+                clock_pair(11_000_000, 10_000_000, node=1),
+            ],
+            node=1,
+        )
+        result = merge_interval_files([a, b], tmp_path / "m.ute", PROFILE)
+        merged = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        starts = {r.node: r.start for r in merged}
+        assert starts[0] == starts[1] == 1000
+
+    def test_drift_adjusted_via_ratio(self, tmp_path):
+        """A +100 ppm local clock's timestamps shrink by the ratio."""
+        rate = 1 + 100e-6
+        pairs = [clock_pair(int(i * 1e9 * rate), int(i * 1e9)) for i in range(5)]
+        rec = running(int(2e9 * rate), int(1e9 * rate))
+        path = write_node_file(tmp_path / "a.ute", pairs + [rec])
+        result = merge_interval_files([path], tmp_path / "m.ute", PROFILE)
+        (merged,) = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        assert merged.start == pytest.approx(2e9, abs=2)
+        assert merged.duration == pytest.approx(1e9, abs=2)
+        assert result.adjustments[0].ratio == pytest.approx(1 / rate, rel=1e-9)
+
+    def test_local_start_preserved_in_merged_file(self, tmp_path):
+        pairs = [clock_pair(1_000_000, 0), clock_pair(2_000_000, 1_000_000)]
+        rec = running(1_500_000, 1000)
+        path = write_node_file(tmp_path / "a.ute", pairs + [rec])
+        merge_interval_files([path], tmp_path / "m.ute", PROFILE)
+        (merged,) = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        assert merged.extra["localStart"] == 1_500_000
+        assert merged.start == 500_000
+
+    def test_no_clock_pairs_identity(self, tmp_path):
+        path = write_node_file(tmp_path / "a.ute", [running(100, 50)])
+        result = merge_interval_files([path], tmp_path / "m.ute", PROFILE)
+        (merged,) = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        assert (merged.start, merged.duration) == (100, 50)
+        assert result.adjustments[0].ratio == 1.0
+
+
+class TestMergeSemantics:
+    def test_output_sorted_by_end_time(self, tmp_path):
+        a = write_node_file(
+            tmp_path / "a.ute", [running(i * 100, 60) for i in range(50)], node=0
+        )
+        b = write_node_file(
+            tmp_path / "b.ute",
+            [running(i * 100 + 37, 60, node=1) for i in range(50)],
+            node=1,
+        )
+        merge_interval_files([a, b], tmp_path / "m.ute", PROFILE)
+        merged = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        assert len(merged) == 100
+        ends = [r.end for r in merged]
+        assert ends == sorted(ends)
+
+    def test_clock_pairs_removed_from_output(self, tmp_path):
+        path = write_node_file(
+            tmp_path / "a.ute", [clock_pair(0, 0), running(10, 5), clock_pair(100, 100)]
+        )
+        merge_interval_files([path], tmp_path / "m.ute", PROFILE)
+        merged = list(IntervalReader(tmp_path / "m.ute", PROFILE).intervals())
+        assert all(r.itype != IntervalType.CLOCKPAIR for r in merged)
+
+    def test_thread_tables_unioned(self, tmp_path):
+        a = write_node_file(tmp_path / "a.ute", [running(0, 10)], node=0)
+        b = write_node_file(tmp_path / "b.ute", [running(0, 10, node=1)], node=1)
+        merge_interval_files([a, b], tmp_path / "m.ute", PROFILE)
+        reader = IntervalReader(tmp_path / "m.ute", PROFILE)
+        assert len(reader.thread_table) == 2
+        assert reader.node_cpus == {0: 2, 1: 2}
+
+    def test_conflicting_marker_tables_rejected(self, tmp_path):
+        a = write_node_file(
+            tmp_path / "a.ute", [running(0, 10)], node=0, markers={1: "alpha"}
+        )
+        b = write_node_file(
+            tmp_path / "b.ute", [running(0, 10, node=1)], node=1, markers={1: "beta"}
+        )
+        with pytest.raises(MergeError, match="not converted together"):
+            merge_interval_files([a, b], tmp_path / "m.ute", PROFILE)
+
+    def test_empty_input_rejected(self, tmp_path):
+        with pytest.raises(MergeError, match="nothing to merge"):
+            merge_interval_files([], tmp_path / "m.ute", PROFILE)
+
+    def test_thread_type_selection(self, tmp_path):
+        """The thread table's categories allow merging only chosen threads."""
+        threads = [
+            ThreadEntry(0, 100, 5000, 0, 0, 0, "mpi-main"),     # MPI
+            ThreadEntry(-1, 100, 5001, 0, 1, 1, "worker"),      # user
+            ThreadEntry(-1, 1, 5002, 0, 2, 2, "kproc"),         # system
+        ]
+        records = [
+            running(0, 10, thread=0),
+            running(20, 10, thread=1),
+            running(40, 10, thread=2),
+        ]
+        path = write_node_file(tmp_path / "a.ute", records, threads=threads)
+        merge_interval_files(
+            [path], tmp_path / "m.ute", PROFILE, thread_types={0, 1}
+        )
+        reader = IntervalReader(tmp_path / "m.ute", PROFILE)
+        assert {e.logical_tid for e in reader.thread_table} == {0, 1}
+        assert {r.thread for r in reader.intervals()} == {0, 1}
+
+
+class TestPseudoIntervals:
+    def test_open_states_repeated_at_frame_starts(self, tmp_path):
+        """A long interrupted state spanning many frames is re-announced by
+        zero-duration continuation records at each frame start."""
+        marker_begin = IntervalRecord(
+            IntervalType.MARKER, BeBits.BEGIN, 0, 10, 0, 0, 0, {"markerId": 1}
+        )
+        marker_end = IntervalRecord(
+            IntervalType.MARKER, BeBits.END, 100_000, 10, 0, 0, 0, {"markerId": 1}
+        )
+        fillers = [running(i * 100, 60) for i in range(200)]
+        path = write_node_file(
+            tmp_path / "a.ute",
+            [marker_begin, *fillers, marker_end],
+            markers={1: "phase"},
+        )
+        result = merge_interval_files(
+            [path], tmp_path / "m.ute", PROFILE, frame_bytes=1024
+        )
+        assert result.pseudo_records > 0
+        reader = IntervalReader(tmp_path / "m.ute", PROFILE)
+        frames = list(reader.frames())
+        assert len(frames) > 2
+        pseudo_seen = 0
+        for frame in frames[1:]:
+            records = reader.read_frame(frame)
+            head = records[0]
+            if (
+                head.duration == 0
+                and head.bebits is BeBits.CONTINUATION
+                and head.itype == IntervalType.MARKER
+            ):
+                pseudo_seen += 1
+        assert pseudo_seen == result.pseudo_records
+        # Every frame between the begin and the end carries the lead-in.
+        covered = [
+            f for f in frames[1:]
+            if f.start_time >= 10 and f.end_time <= 100_000
+        ]
+        assert pseudo_seen >= len(covered) - 1
+
+    def test_closed_states_not_repeated(self, tmp_path):
+        complete = IntervalRecord(
+            IntervalType.MARKER, BeBits.COMPLETE, 0, 10, 0, 0, 0, {"markerId": 1}
+        )
+        fillers = [running(i * 100, 60) for i in range(200)]
+        path = write_node_file(
+            tmp_path / "a.ute", [complete, *fillers], markers={1: "done"}
+        )
+        result = merge_interval_files(
+            [path], tmp_path / "m.ute", PROFILE, frame_bytes=1024
+        )
+        assert result.pseudo_records == 0
+
+
+class TestCollectClockPairs:
+    def test_extracts_pairs_in_order(self, tmp_path):
+        path = write_node_file(
+            tmp_path / "a.ute",
+            [clock_pair(5, 0), running(10, 5), clock_pair(1_000_005, 1_000_000)],
+        )
+        pairs = collect_clock_pairs(IntervalReader(path, PROFILE))
+        assert [(p.local_ts, p.global_ts) for p in pairs] == [
+            (5, 0), (1_000_005, 1_000_000),
+        ]

@@ -1,0 +1,405 @@
+"""Tests for the simulated MPI layer: semantics, matching, collectives,
+and PMPI trace events."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.engine import Future
+from repro.errors import SimulationError
+from repro.mpi import ANY_SOURCE, ANY_TAG, Mailbox, Message, MpiRuntime
+from repro.mpi.message import CTX_COLLECTIVE, CTX_POINT_TO_POINT
+from repro.mpi.pmpi import as_signed, enc_signed
+from repro.tracing import RawTraceReader, TraceFacility, TraceOptions
+from repro.tracing.hooks import MPI_FN_IDS, hook_for_mpi_begin, hook_for_mpi_end
+
+
+def run_job(n_tasks, body, *, nodes=2, cpus=2, tasks_per_node=None, traced=False, tmp_path=None):
+    cl = Cluster(ClusterSpec(n_nodes=nodes, cpus_per_node=cpus))
+    fac = TraceFacility(cl, tmp_path, TraceOptions()) if traced else None
+    rt = MpiRuntime(cl, fac)
+    rt.launch(n_tasks, body, tasks_per_node=tasks_per_node)
+    rt.run()
+    paths = fac.close() if fac else []
+    return rt, [RawTraceReader(p) for p in paths]
+
+
+class TestMailbox:
+    def msg(self, src=0, tag=0, context=CTX_POINT_TO_POINT, seqno=1):
+        return Message(src, 1, tag, 100, seqno, context)
+
+    def test_posted_recv_matches_later_delivery(self):
+        box = Mailbox(1)
+        fut = box.post_recv(0, 0, CTX_POINT_TO_POINT)
+        assert not fut.done
+        box.deliver(self.msg())
+        assert fut.done and fut.value.src == 0
+
+    def test_unexpected_message_matches_later_recv(self):
+        box = Mailbox(1)
+        box.deliver(self.msg(tag=5))
+        fut = box.post_recv(0, 5, CTX_POINT_TO_POINT)
+        assert fut.done
+
+    def test_wildcard_source_and_tag(self):
+        box = Mailbox(1)
+        box.deliver(self.msg(src=3, tag=9))
+        fut = box.post_recv(ANY_SOURCE, ANY_TAG, CTX_POINT_TO_POINT)
+        assert fut.done and fut.value.tag == 9
+
+    def test_tag_mismatch_does_not_match(self):
+        box = Mailbox(1)
+        box.deliver(self.msg(tag=1))
+        fut = box.post_recv(0, 2, CTX_POINT_TO_POINT)
+        assert not fut.done
+        assert box.pending_unexpected() == 1
+
+    def test_context_separation(self):
+        """Collective fragments never match user point-to-point receives."""
+        box = Mailbox(1)
+        box.deliver(self.msg(context=CTX_COLLECTIVE))
+        fut = box.post_recv(ANY_SOURCE, ANY_TAG, CTX_POINT_TO_POINT)
+        assert not fut.done
+
+    def test_fifo_order_per_source(self):
+        box = Mailbox(1)
+        box.deliver(self.msg(seqno=1))
+        box.deliver(self.msg(seqno=2))
+        first = box.post_recv(0, 0, CTX_POINT_TO_POINT)
+        second = box.post_recv(0, 0, CTX_POINT_TO_POINT)
+        assert first.value.seqno == 1
+        assert second.value.seqno == 2
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self):
+        results = {}
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 2048, tag=7, payload={"x": 1})
+            else:
+                msg = yield from ctx.recv(0, 7)
+                results["msg"] = msg
+
+        run_job(2, body)
+        assert results["msg"].size == 2048
+        assert results["msg"].payload == {"x": 1}
+
+    def test_seqnos_unique_and_matchable(self):
+        seen = []
+
+        def body(ctx):
+            if ctx.rank == 0:
+                for _ in range(3):
+                    yield from ctx.send(1, 64)
+            else:
+                for _ in range(3):
+                    msg = yield from ctx.recv()
+                    seen.append(msg.seqno)
+
+        run_job(2, body)
+        assert len(set(seen)) == 3
+
+    def test_isend_irecv_wait(self):
+        results = {}
+
+        def body(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.isend(1, 512)
+                yield from ctx.wait(req)
+            else:
+                req = yield from ctx.irecv(0)
+                msg = yield from ctx.wait(req)
+                results["msg"] = msg
+
+        run_job(2, body)
+        assert results["msg"].size == 512
+
+    def test_waitall_completes_everything(self):
+        results = {}
+
+        def body(ctx):
+            if ctx.rank == 0:
+                reqs = []
+                for i in range(4):
+                    reqs.append((yield from ctx.isend(1, 128, tag=i)))
+                yield from ctx.waitall(reqs)
+            else:
+                reqs = []
+                for i in range(4):
+                    reqs.append((yield from ctx.irecv(0, tag=i)))
+                msgs = yield from ctx.waitall(reqs)
+                results["tags"] = [m.tag for m in msgs]
+
+        run_job(2, body)
+        assert results["tags"] == [0, 1, 2, 3]
+
+    def test_ssend_blocks_until_delivery(self):
+        times = {}
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.ssend(1, 1_000_000)
+                times["send_done"] = ctx.runtime.cluster.engine.now
+            else:
+                msg = yield from ctx.recv(0)
+                times["recv_done"] = ctx.runtime.cluster.engine.now
+
+        rt, _ = run_job(2, body)
+        # Synchronous send cannot complete before the message reached node 1.
+        assert times["send_done"] >= 1_000_000 / rt.cluster.spec.network.bytes_per_ns * 0.9
+
+    def test_sendrecv_exchanges_without_deadlock(self):
+        got = {}
+
+        def body(ctx):
+            peer = 1 - ctx.rank
+            msg = yield from ctx.sendrecv(peer, 256, source=peer)
+            got[ctx.rank] = msg.src
+
+        run_job(2, body)
+        assert got == {0: 1, 1: 0}
+
+    def test_send_to_invalid_rank_raises(self):
+        def body(ctx):
+            yield from ctx.send(99, 10)
+
+        with pytest.raises(SimulationError, match="invalid rank"):
+            run_job(2, body)
+
+    def test_larger_message_takes_longer(self):
+        def timed(size):
+            def body(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.send(1, size)
+                else:
+                    yield from ctx.recv(0)
+
+            rt, _ = run_job(2, body)
+            return rt.cluster.engine.now
+
+        assert timed(1 << 20) > timed(1 << 10)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8])
+    def test_barrier_completes_all_ranks(self, p):
+        done = []
+
+        def body(ctx):
+            yield from ctx.barrier()
+            done.append(ctx.rank)
+
+        run_job(p, body, nodes=4, tasks_per_node=2)
+        assert sorted(done) == list(range(p))
+
+    @pytest.mark.parametrize("p,root", [(2, 0), (4, 1), (5, 3), (8, 7)])
+    def test_bcast_all_ranks_complete(self, p, root):
+        done = []
+
+        def body(ctx):
+            yield from ctx.bcast(root, 4096)
+            done.append(ctx.rank)
+
+        run_job(p, body, nodes=4, tasks_per_node=2)
+        assert sorted(done) == list(range(p))
+
+    @pytest.mark.parametrize("p,root", [(2, 0), (4, 2), (7, 0)])
+    def test_reduce_all_ranks_complete(self, p, root):
+        done = []
+
+        def body(ctx):
+            yield from ctx.reduce(root, 1024)
+            done.append(ctx.rank)
+
+        run_job(p, body, nodes=4, tasks_per_node=2)
+        assert sorted(done) == list(range(p))
+
+    @pytest.mark.parametrize(
+        "op", ["allreduce", "allgather", "alltoall", "reduce_scatter", "scan"]
+    )
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_symmetric_collectives_complete(self, op, p):
+        done = []
+
+        def body(ctx):
+            yield from getattr(ctx, op)(2048)
+            done.append(ctx.rank)
+
+        run_job(p, body, nodes=4, tasks_per_node=2)
+        assert sorted(done) == list(range(p))
+
+    @pytest.mark.parametrize("op", ["gather", "scatter"])
+    def test_rooted_collectives_complete(self, op):
+        done = []
+
+        def body(ctx):
+            yield from getattr(ctx, op)(1, 1024)
+            done.append(ctx.rank)
+
+        run_job(4, body)
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_consecutive_collectives_do_not_cross_match(self):
+        done = []
+
+        def body(ctx):
+            for _ in range(5):
+                yield from ctx.barrier()
+                yield from ctx.allreduce(64)
+            done.append(ctx.rank)
+
+        run_job(4, body)
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_barrier_synchronizes(self):
+        """No rank leaves the barrier before the last rank arrives."""
+        arrive = {}
+        leave = {}
+
+        def body(ctx):
+            yield from ctx.compute(0.001 * (ctx.rank + 1))
+            arrive[ctx.rank] = ctx.runtime.cluster.engine.now
+            yield from ctx.barrier()
+            leave[ctx.rank] = ctx.runtime.cluster.engine.now
+
+        run_job(4, body, nodes=4, tasks_per_node=1, cpus=1)
+        assert min(leave.values()) >= max(arrive.values())
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        def body(ctx):
+            yield from ctx.compute(0.0001)
+
+        cl = Cluster(ClusterSpec(n_nodes=2, cpus_per_node=4))
+        rt = MpiRuntime(cl)
+        rt.launch(4, body, tasks_per_node=2)
+        assert [t.node.node_id for t in rt.tasks] == [0, 0, 1, 1]
+
+    def test_default_placement_spreads_evenly(self):
+        def body(ctx):
+            yield from ctx.compute(0.0001)
+
+        cl = Cluster(ClusterSpec(n_nodes=4, cpus_per_node=1))
+        rt = MpiRuntime(cl)
+        rt.launch(8, body)
+        assert [t.node.node_id for t in rt.tasks] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_overflow_placement_rejected(self):
+        cl = Cluster(ClusterSpec(n_nodes=2, cpus_per_node=1))
+        rt = MpiRuntime(cl)
+        with pytest.raises(SimulationError, match="placement overflow"):
+            rt.launch(5, lambda ctx: iter(()), tasks_per_node=1)
+
+    def test_double_launch_rejected(self):
+        cl = Cluster(ClusterSpec(n_nodes=1))
+        rt = MpiRuntime(cl)
+        rt.launch(1, lambda ctx: iter(()))
+        with pytest.raises(SimulationError):
+            rt.launch(1, lambda ctx: iter(()))
+
+
+class TestPmpiTracing:
+    def test_begin_end_events_for_each_call(self, tmp_path):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4096, tag=3)
+            else:
+                yield from ctx.recv(0, 3)
+            yield from ctx.barrier()
+
+        _, readers = run_job(2, body, nodes=2, tasks_per_node=1, traced=True, tmp_path=tmp_path)
+        hooks0 = [e.hook_id for e in readers[0].events()]
+        send_id = MPI_FN_IDS["MPI_Send"]
+        assert hook_for_mpi_begin(send_id) in hooks0
+        assert hook_for_mpi_end(send_id) in hooks0
+        barrier_id = MPI_FN_IDS["MPI_Barrier"]
+        for r in readers:
+            hs = [e.hook_id for e in r.events()]
+            assert hs.count(hook_for_mpi_begin(barrier_id)) == 1
+            assert hs.count(hook_for_mpi_end(barrier_id)) == 1
+
+    def test_send_begin_args_carry_message_info(self, tmp_path):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4096, tag=3)
+            else:
+                yield from ctx.recv(0, 3)
+
+        _, readers = run_job(2, body, nodes=2, tasks_per_node=1, traced=True, tmp_path=tmp_path)
+        send_begin = next(
+            e
+            for e in readers[0].events()
+            if e.hook_id == hook_for_mpi_begin(MPI_FN_IDS["MPI_Send"])
+        )
+        peer, tag, size, seqno, addr = send_begin.args
+        assert (peer, tag, size) == (1, 3, 4096)
+        assert seqno > 0
+
+    def test_recv_end_seqno_matches_send_begin_seqno(self, tmp_path):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4096)
+            else:
+                yield from ctx.recv(0)
+
+        _, readers = run_job(2, body, nodes=2, tasks_per_node=1, traced=True, tmp_path=tmp_path)
+        send_begin = next(
+            e
+            for e in readers[0].events()
+            if e.hook_id == hook_for_mpi_begin(MPI_FN_IDS["MPI_Send"])
+        )
+        recv_end = next(
+            e
+            for e in readers[1].events()
+            if e.hook_id == hook_for_mpi_end(MPI_FN_IDS["MPI_Recv"])
+        )
+        assert recv_end.args[3] == send_begin.args[3]
+
+    def test_waitall_end_carries_completed_seqnos(self, tmp_path):
+        def body(ctx):
+            if ctx.rank == 0:
+                for i in range(3):
+                    yield from ctx.isend(1, 128, tag=i)
+            else:
+                reqs = []
+                for i in range(3):
+                    reqs.append((yield from ctx.irecv(0, tag=i)))
+                yield from ctx.waitall(reqs)
+
+        _, readers = run_job(2, body, nodes=2, tasks_per_node=1, traced=True, tmp_path=tmp_path)
+        waitall_end = next(
+            e
+            for e in readers[1].events()
+            if e.hook_id == hook_for_mpi_end(MPI_FN_IDS["MPI_Waitall"])
+        )
+        assert len(waitall_end.args) == 3
+        send_begins = [
+            e.args[3]
+            for e in readers[0].events()
+            if e.hook_id == hook_for_mpi_begin(MPI_FN_IDS["MPI_Isend"])
+        ]
+        assert set(waitall_end.args) == set(send_begins)
+
+    def test_internal_collective_traffic_not_traced(self, tmp_path):
+        def body(ctx):
+            yield from ctx.allreduce(1 << 16)
+
+        _, readers = run_job(4, body, nodes=2, tasks_per_node=2, traced=True, tmp_path=tmp_path)
+        send_id = MPI_FN_IDS["MPI_Send"]
+        for r in readers:
+            hooks = [e.hook_id for e in r.events()]
+            assert hook_for_mpi_begin(send_id) not in hooks
+
+    def test_untraced_run_produces_no_files(self):
+        def body(ctx):
+            yield from ctx.barrier()
+
+        rt, readers = run_job(2, body)
+        assert readers == []
+
+
+def test_signed_encoding_roundtrip():
+    for v in (0, 1, -1, ANY_SOURCE, ANY_TAG, 2**40, -(2**40)):
+        assert as_signed(enc_signed(v)) == v

@@ -1,0 +1,94 @@
+"""Tests for the switch network model, including the contention option."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.engine import Engine
+from repro.cluster.network import NetworkSpec, SwitchNetwork
+from repro.mpi import MpiRuntime
+
+
+class TestTimingModel:
+    def test_remote_transfer_time(self):
+        spec = NetworkSpec(latency_ns=1000, bytes_per_ns=1.0)
+        assert spec.transfer_ns(500, same_node=False) == 1500
+
+    def test_local_transfer_cheaper(self):
+        spec = NetworkSpec()
+        big = 1 << 20
+        assert spec.transfer_ns(big, same_node=True) < spec.transfer_ns(
+            big, same_node=False
+        )
+
+    def test_delivery_schedules_callback(self):
+        eng = Engine()
+        net = SwitchNetwork(eng, NetworkSpec(latency_ns=100, bytes_per_ns=1.0))
+        got = []
+        arrival = net.deliver(0, 1, 50, "payload", got.append)
+        assert arrival == 150
+        eng.run()
+        assert got == ["payload"]
+        assert eng.now == 150
+
+    def test_counters(self):
+        eng = Engine()
+        net = SwitchNetwork(eng)
+        net.deliver(0, 1, 100, None, lambda p: None)
+        net.deliver(1, 0, 200, None, lambda p: None)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 300
+
+
+class TestContention:
+    def test_pipelined_without_contention(self):
+        """Default model: two messages from one node arrive together."""
+        eng = Engine()
+        net = SwitchNetwork(eng, NetworkSpec(latency_ns=100, bytes_per_ns=1.0))
+        times = []
+        net.deliver(0, 1, 1000, "a", lambda p: times.append(eng.now))
+        net.deliver(0, 2, 1000, "b", lambda p: times.append(eng.now))
+        eng.run()
+        assert times == [1100, 1100]
+
+    def test_nic_serializes_with_contention(self):
+        """Contention mode: the second message waits for the adapter."""
+        eng = Engine()
+        net = SwitchNetwork(
+            eng, NetworkSpec(latency_ns=100, bytes_per_ns=1.0, contention=True)
+        )
+        times = []
+        net.deliver(0, 1, 1000, "a", lambda p: times.append(("a", eng.now)))
+        net.deliver(0, 2, 1000, "b", lambda p: times.append(("b", eng.now)))
+        eng.run()
+        assert times == [("a", 1100), ("b", 2100)]
+
+    def test_different_sources_do_not_contend(self):
+        eng = Engine()
+        net = SwitchNetwork(
+            eng, NetworkSpec(latency_ns=100, bytes_per_ns=1.0, contention=True)
+        )
+        times = []
+        net.deliver(0, 2, 1000, "a", lambda p: times.append(eng.now))
+        net.deliver(1, 2, 1000, "b", lambda p: times.append(eng.now))
+        eng.run()
+        assert times == [1100, 1100]
+
+    def test_contention_slows_mpi_fanout(self):
+        """End to end: a rank-0 scatter takes longer with NIC contention."""
+
+        def elapsed(contention):
+            spec = ClusterSpec(
+                n_nodes=4, cpus_per_node=2,
+                network=NetworkSpec(contention=contention),
+            )
+            cl = Cluster(spec)
+            rt = MpiRuntime(cl)
+
+            def body(ctx):
+                yield from ctx.scatter(0, 1 << 20)
+
+            rt.launch(4, body, tasks_per_node=1)
+            rt.run()
+            return cl.engine.now
+
+        assert elapsed(True) > elapsed(False) * 1.5

@@ -1,0 +1,161 @@
+"""Tests for the description profile file."""
+
+import pytest
+
+from repro.core.fields import ATTRS, DataType, FieldSpec, MASK_ALL_MERGED, MASK_ALL_PER_NODE, MASK_CORE
+from repro.core.profilefmt import Profile, RecordSpec, standard_profile
+from repro.core.records import IntervalType
+from repro.errors import FormatError, ProfileMismatchError
+from repro.tracing.hooks import MPI_FN_NAMES
+
+
+def small_profile():
+    fields = ["rectype", "start", "dura", "node", "cpu", "thread", "x"]
+    specs = {
+        0: RecordSpec(
+            0,
+            0,
+            tuple(
+                FieldSpec(i, dtype=DataType.UINT, elem_len=8 if i < 3 else 2)
+                for i in range(6)
+            ),
+        )
+    }
+    return Profile(["Running"], fields, specs)
+
+
+class TestRecordSpec:
+    def test_roundtrip(self):
+        spec = RecordSpec(
+            5,
+            2,
+            (
+                FieldSpec(0, dtype=DataType.UINT, elem_len=4),
+                FieldSpec(1, dtype=DataType.INT, elem_len=8, attr=3),
+            ),
+        )
+        decoded, consumed = RecordSpec.decode(spec.encode(), 0)
+        assert decoded == spec
+        assert consumed == len(spec.encode())
+
+    def test_structure_matches_figure_3(self):
+        """Figure 3: 4-byte type, 1-byte field count, 2-byte name index,
+        1-byte reserved, then 4 bytes per field."""
+        spec = RecordSpec(7, 1, (FieldSpec(0, dtype=DataType.UINT, elem_len=4),))
+        blob = spec.encode()
+        assert len(blob) == 4 + 1 + 2 + 1 + 4
+
+
+class TestProfileFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        prof = small_profile()
+        path = prof.write(tmp_path / "p.ute")
+        back = Profile.read(path)
+        assert back.version_id == prof.version_id
+        assert back.record_names == prof.record_names
+        assert back.field_names == prof.field_names
+        assert back.specs == prof.specs
+
+    def test_version_id_stable_across_instances(self):
+        assert small_profile().version_id == small_profile().version_id
+
+    def test_version_id_changes_with_content(self):
+        a = small_profile()
+        fields = ["rectype", "start", "dura", "node", "cpu", "thread", "y"]
+        b = Profile(["Running"], fields, a.specs)
+        assert a.version_id != b.version_id
+
+    def test_corrupted_file_rejected(self, tmp_path):
+        prof = small_profile()
+        path = prof.write(tmp_path / "p.ute")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(FormatError, match="checksum"):
+            Profile.read(path)
+
+    def test_not_a_profile_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"hello world, not a profile")
+        with pytest.raises(FormatError, match="not a profile"):
+            Profile.read(path)
+
+    def test_check_version_mismatch(self):
+        prof = small_profile()
+        with pytest.raises(ProfileMismatchError):
+            prof.check_version(prof.version_id + 1)
+
+    def test_unknown_field_name_rejected(self):
+        with pytest.raises(FormatError, match="unknown field"):
+            small_profile().field_index("nonexistent")
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(FormatError, match="no record type"):
+            small_profile().spec_for(42)
+
+
+class TestStandardProfile:
+    def test_has_running_marker_and_all_mpi_types(self):
+        prof = standard_profile()
+        assert prof.record_name(IntervalType.RUNNING) == "Running"
+        assert prof.record_name(IntervalType.MARKER) == "Marker"
+        for fn_id, fn_name in enumerate(MPI_FN_NAMES):
+            assert prof.record_name(IntervalType.for_mpi_fn(fn_id)) == fn_name
+
+    def test_common_fields_everywhere(self):
+        prof = standard_profile()
+        for itype in prof.record_types():
+            names = [prof.field_name(fs) for fs in prof.spec_for(itype).fields]
+            for common in ("rectype", "start", "dura", "node", "cpu", "thread"):
+                assert common in names, (itype, names)
+
+    def test_send_has_msgsizesent_recv_has_msgsizerecv(self):
+        prof = standard_profile()
+        send = IntervalType.for_mpi_fn(MPI_FN_NAMES.index("MPI_Send"))
+        recv = IntervalType.for_mpi_fn(MPI_FN_NAMES.index("MPI_Recv"))
+        send_names = {prof.field_name(fs) for fs in prof.spec_for(send).fields}
+        recv_names = {prof.field_name(fs) for fs in prof.spec_for(recv).fields}
+        assert "msgSizeSent" in send_names and "msgSizeSent" not in recv_names
+        assert "msgSizeRecv" in recv_names and "msgSizeRecv" not in send_names
+
+    def test_mask_controls_field_count(self):
+        """The design's point: the same record type has a different number
+        of fields in individual vs merged files."""
+        prof = standard_profile()
+        send = IntervalType.for_mpi_fn(0)
+        per_node = prof.fields_for(send, MASK_ALL_PER_NODE)
+        merged = prof.fields_for(send, MASK_ALL_MERGED)
+        core_only = prof.fields_for(send, MASK_CORE)
+        assert len(merged) == len(per_node) + 1  # + localStart
+        assert len(core_only) < len(per_node)
+        merged_names = {prof.field_name(fs) for fs in merged}
+        assert "localStart" in merged_names
+
+    def test_roundtrips_through_file(self, tmp_path):
+        prof = standard_profile()
+        path = prof.write(tmp_path / "std.ute")
+        back = Profile.read(path)
+        assert back.version_id == prof.version_id
+        assert back.record_types() == prof.record_types()
+
+    def test_marker_fields(self):
+        prof = standard_profile()
+        names = {prof.field_name(fs) for fs in prof.spec_for(IntervalType.MARKER).fields}
+        assert {"markerId", "beginAddr", "endAddr"} <= names
+
+    def test_stats_language_field_names_present(self):
+        """The section 3.2 example uses start/node/cpu/dura — they must be
+        real profile field names."""
+        prof = standard_profile()
+        for name in ("start", "node", "cpu", "dura"):
+            assert prof.field_index(name) >= 0
+
+
+def test_interval_type_helpers():
+    assert IntervalType.for_mpi_fn(3) == 4
+    assert IntervalType.is_mpi(4)
+    assert not IntervalType.is_mpi(IntervalType.RUNNING)
+    assert not IntervalType.is_mpi(IntervalType.MARKER)
+    assert IntervalType.mpi_fn(4) == 3
+    with pytest.raises(FormatError):
+        IntervalType.mpi_fn(IntervalType.RUNNING)

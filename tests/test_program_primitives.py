@@ -1,0 +1,141 @@
+"""Tests for the workload-authoring primitives and cluster defaults."""
+
+import pytest
+
+from repro.cluster.clocks import ClockSpec
+from repro.cluster.engine import NS_PER_SEC
+from repro.cluster.machine import Cluster, ClusterSpec, default_clock_spec
+from repro.cluster.program import Compute, Sleep, Spawn, busy_loop, compute_seconds
+from repro.errors import SimulationError
+from repro.tracing.hooks import (
+    HookId,
+    MPI_FN_IDS,
+    MPI_FN_NAMES,
+    decode_hookword,
+    encode_hookword,
+    hook_name,
+    is_mpi_begin,
+    is_mpi_end,
+    mpi_fn_of_hook,
+)
+
+
+class TestPrimitives:
+    def test_compute_seconds_conversion(self):
+        assert Compute.seconds(0.5).ns == 500_000_000
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-5)
+
+    def test_compute_truncates_to_int(self):
+        assert Compute(10.7).ns == 10
+
+    def test_compute_seconds_generator(self):
+        gen = compute_seconds(0.001)
+        request = next(gen)
+        assert isinstance(request, Compute)
+        assert request.ns == 1_000_000
+
+    def test_busy_loop_yields_n_computes(self):
+        requests = list(busy_loop(3, 100))
+        assert len(requests) == 3
+        assert all(isinstance(r, Compute) and r.ns == 100 for r in requests)
+
+    def test_spawn_defaults(self):
+        spawn = Spawn(lambda: iter(()))
+        assert spawn.args == ()
+        assert spawn.category == "user"
+
+
+class TestClusterDefaults:
+    def test_default_clock_specs_distinct(self):
+        specs = [default_clock_spec(i) for i in range(12)]
+        drifts = [s.drift_ppm for s in specs]
+        assert len(set(drifts)) == len(drifts)  # all different
+        offsets = [s.offset_ns for s in specs]
+        assert offsets == sorted(offsets)
+
+    def test_cluster_spec_explicit_clocks_win(self):
+        spec = ClusterSpec(clocks=(ClockSpec(offset_ns=42),))
+        assert spec.clock_spec(0).offset_ns == 42
+        # Beyond the explicit list: the default family.
+        assert spec.clock_spec(1) == default_clock_spec(1)
+
+    def test_zero_node_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            Cluster(ClusterSpec(n_nodes=0))
+
+    def test_node_local_time(self):
+        cluster = Cluster(ClusterSpec(n_nodes=2))
+        assert cluster.nodes[1].local_time(0) == 1_000_000  # 1 ms offset
+
+    def test_run_until(self):
+        cluster = Cluster(ClusterSpec(n_nodes=1))
+        cluster.engine.schedule(5 * NS_PER_SEC, lambda: None)
+        cluster.run(until_ns=NS_PER_SEC)
+        assert cluster.engine.now == NS_PER_SEC
+
+
+class TestHookwords:
+    def test_encode_decode_roundtrip(self):
+        word = encode_hookword(0x105, 48)
+        assert decode_hookword(word) == (0x105, 48)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_hookword(0, 10)
+        with pytest.raises(ValueError):
+            encode_hookword(0x10000, 10)
+        with pytest.raises(ValueError):
+            encode_hookword(5, 0x10000 + 1)
+
+    def test_mpi_hook_ranges(self):
+        for fn_id, name in enumerate(MPI_FN_NAMES):
+            begin = 0x100 + fn_id
+            end = 0x200 + fn_id
+            assert is_mpi_begin(begin) and not is_mpi_end(begin)
+            assert is_mpi_end(end) and not is_mpi_begin(end)
+            assert mpi_fn_of_hook(begin) == fn_id
+            assert mpi_fn_of_hook(end) == fn_id
+            assert hook_name(begin) == f"{name}:begin"
+            assert hook_name(end) == f"{name}:end"
+
+    def test_non_mpi_hook_names(self):
+        assert hook_name(HookId.DISPATCH) == "DISPATCH"
+        assert hook_name(HookId.IO_BEGIN) == "IO_BEGIN"
+        assert hook_name(0xBEE) == "hook_0xbee"
+
+    def test_mpi_fn_of_non_mpi_rejected(self):
+        with pytest.raises(ValueError):
+            mpi_fn_of_hook(int(HookId.DISPATCH))
+
+    def test_fn_ids_consistent(self):
+        for name, fn_id in MPI_FN_IDS.items():
+            assert MPI_FN_NAMES[fn_id] == name
+
+
+class TestEngineDeterminism:
+    def test_identical_runs_identical_traces(self, tmp_path):
+        """The whole stack is deterministic: same spec, same events."""
+        from repro.tracing import RawTraceReader
+        from repro.workloads import run_sppm
+        from repro.workloads.sppm import SppmConfig
+
+        runs = []
+        for tag in ("a", "b"):
+            run = run_sppm(tmp_path / tag, SppmConfig(iterations=2))
+            # System tids come from a process-global counter, so normalize
+            # them to first-appearance indices before comparing runs.
+            tid_index: dict[int, int] = {}
+            events = []
+            for p in run.raw_paths:
+                for e in RawTraceReader(p):
+                    tid = tid_index.setdefault(e.system_tid, len(tid_index))
+                    events.append((e.hook_id, e.local_ts, tid, e.cpu, e.args))
+            runs.append(events)
+        assert runs[0] == runs[1]

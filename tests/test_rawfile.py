@@ -1,0 +1,134 @@
+"""Round-trip and property tests for the raw trace file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.tracing.events import RawEvent, dispatch_event, global_clock_event
+from repro.tracing.hooks import HookId
+from repro.tracing.rawfile import RawFileHeader, RawTraceReader, RawTraceWriter
+
+
+def test_header_roundtrip():
+    header = RawFileHeader(node_id=3, n_cpus=8, base_local_ts=123456)
+    decoded = RawFileHeader.decode(header.encode())
+    assert decoded == header
+
+
+def test_header_rejects_bad_magic():
+    blob = b"X" * RawFileHeader.size()
+    with pytest.raises(TraceError, match="magic"):
+        RawFileHeader.decode(blob)
+
+
+def test_event_roundtrip_simple():
+    ev = dispatch_event(1000, 42, 3)
+    decoded, size = RawEvent.decode(ev.encode())
+    assert decoded == ev
+    assert size == len(ev.encode())
+
+
+def test_event_roundtrip_with_args_and_text():
+    ev = RawEvent(HookId.MARKER_DEFINE, 5, 7, 0, (12,), "Initial Phase")
+    decoded, _ = RawEvent.decode(ev.encode())
+    assert decoded.args == (12,)
+    assert decoded.text == "Initial Phase"
+
+
+hook_ids = st.sampled_from(
+    [int(h) for h in HookId] + [0x100, 0x105, 0x200, 0x211]
+)
+
+
+@given(
+    hook=hook_ids,
+    ts=st.integers(min_value=0, max_value=2**63 - 1),
+    tid=st.integers(min_value=0, max_value=2**32 - 1),
+    cpu=st.integers(min_value=0, max_value=2**16 - 1),
+    args=st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=8),
+    text=st.text(max_size=64),
+)
+@settings(max_examples=250)
+def test_event_roundtrip_property(hook, ts, tid, cpu, args, text):
+    ev = RawEvent(hook, ts, tid, cpu, tuple(args), text)
+    decoded, consumed = RawEvent.decode(ev.encode())
+    assert decoded == ev
+    assert consumed == len(ev.encode())
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            hook_ids,
+            st.integers(min_value=0, max_value=2**40),
+            st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=4),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50)
+def test_file_roundtrip_property(tmp_path_factory, events):
+    path = tmp_path_factory.mktemp("raw") / "t.raw"
+    header = RawFileHeader(node_id=1, n_cpus=4, base_local_ts=0)
+    originals = [RawEvent(h, ts, 9, 1, tuple(a)) for h, ts, a in events]
+    with RawTraceWriter(path, header) as writer:
+        for ev in originals:
+            writer.write(ev)
+    reader = RawTraceReader(path)
+    assert reader.header.node_id == 1
+    assert reader.events() == originals
+
+
+def test_writer_flushes_on_buffer_full(tmp_path):
+    path = tmp_path / "t.raw"
+    header = RawFileHeader(node_id=0, n_cpus=1, base_local_ts=0)
+    writer = RawTraceWriter(path, header, buffer_bytes=256)
+    for i in range(100):
+        writer.write(dispatch_event(i, 1, 0))
+    assert writer.records_written > 0  # flushed before close
+    writer.close()
+    assert len(RawTraceReader(path).events()) == 100
+
+
+def test_wrap_mode_keeps_only_recent_records(tmp_path):
+    path = tmp_path / "t.raw"
+    header = RawFileHeader(node_id=0, n_cpus=1, base_local_ts=0)
+    writer = RawTraceWriter(path, header, buffer_bytes=512, wrap=True)
+    for i in range(200):
+        writer.write(dispatch_event(i, 1, 0))
+    writer.close()
+    events = RawTraceReader(path).events()
+    assert writer.records_dropped > 0
+    assert len(events) < 200
+    # Survivors are the most recent, still in order.
+    timestamps = [e.local_ts for e in events]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[-1] == 199
+
+
+def test_write_after_close_rejected(tmp_path):
+    path = tmp_path / "t.raw"
+    writer = RawTraceWriter(path, RawFileHeader(0, 1, 0))
+    writer.close()
+    with pytest.raises(TraceError):
+        writer.write(dispatch_event(0, 1, 0))
+
+
+def test_tiny_buffer_rejected(tmp_path):
+    with pytest.raises(TraceError):
+        RawTraceWriter(tmp_path / "t.raw", RawFileHeader(0, 1, 0), buffer_bytes=8)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "t.raw"
+    path.write_bytes(b"\x01\x02")
+    with pytest.raises(TraceError, match="truncated"):
+        RawTraceReader(path)
+
+
+def test_global_clock_event_payload():
+    ev = global_clock_event(local_ts=1_000_018, global_ts=1_000_000)
+    assert ev.hook_id == HookId.GLOBAL_CLOCK
+    assert ev.local_ts == 1_000_018
+    assert ev.args == (1_000_000,)

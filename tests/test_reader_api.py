@@ -1,0 +1,87 @@
+"""Tests for the remaining section 2.4 utility-library helpers."""
+
+import pytest
+
+from repro.core import (
+    IntervalFileWriter,
+    get_interval,
+    read_header,
+    read_profile,
+    standard_profile,
+)
+from repro.core.fields import MASK_ALL_PER_NODE
+from repro.core.reader import (
+    get_interval_at,
+    is_vector_field,
+    total_elapsed_and_records,
+)
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.errors import FormatError
+
+PROFILE = standard_profile()
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "s.ute"
+    table = ThreadTable([ThreadEntry(0, 1, 1, 0, 0, 0, "t")])
+    with IntervalFileWriter(
+        path, PROFILE, table, field_mask=MASK_ALL_PER_NODE, frame_bytes=512
+    ) as writer:
+        for i in range(30):
+            writer.write(
+                IntervalRecord(IntervalType.RUNNING, BeBits.COMPLETE, i * 100, 50, 0, 0, 0)
+            )
+    profile_path = PROFILE.write(tmp_path / "profile.ute")
+    return path, profile_path
+
+
+class TestGetIntervalAt:
+    def test_fetch_by_frame_offset(self, sample_file):
+        path, profile_path = sample_file
+        handle, header = read_header(path)
+        table = read_profile(profile_path, header.field_mask)
+        frame = handle._frames[1]  # second frame: random access
+        raw = get_interval_at(handle, frame.offset)
+        from repro.core.reader import get_item_by_name
+
+        start = get_item_by_name(table, raw, "start")
+        # The second frame's first record starts exactly at the frame start.
+        assert start == frame.start_time
+
+    def test_sequential_and_random_agree(self, sample_file):
+        path, profile_path = sample_file
+        handle, header = read_header(path)
+        first_frame = handle._frames[0]
+        sequential_first = get_interval(handle)
+        random_first = get_interval_at(handle, first_frame.offset)
+        assert sequential_first == random_first
+
+    def test_bad_offset_rejected(self, sample_file):
+        path, _ = sample_file
+        handle, _ = read_header(path)
+        with pytest.raises(FormatError, match="outside file"):
+            get_interval_at(handle, 10**9)
+
+
+class TestIsVectorField:
+    def test_scalar_field(self, sample_file):
+        _, profile_path = sample_file
+        table = read_profile(profile_path, MASK_ALL_PER_NODE)
+        assert is_vector_field(table, IntervalType.RUNNING, "start") is False
+
+    def test_unknown_field_rejected(self, sample_file):
+        _, profile_path = sample_file
+        table = read_profile(profile_path, MASK_ALL_PER_NODE)
+        with pytest.raises(FormatError, match="no field"):
+            is_vector_field(table, IntervalType.RUNNING, "bogus")
+
+
+class TestAggregation:
+    def test_total_elapsed_and_records(self, sample_file):
+        path, _ = sample_file
+        handle, _ = read_header(path)
+        elapsed, count = total_elapsed_and_records(handle)
+        assert count == 30
+        assert elapsed == 29 * 100 + 50  # first start 0 to last end

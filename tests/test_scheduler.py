@@ -1,0 +1,313 @@
+"""Tests for the per-node preemptive scheduler."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, Compute, Sleep, Spawn, Wait, YieldCPU
+from repro.cluster.engine import Future
+from repro.cluster.scheduler import ThreadCategory, ThreadState
+from repro.errors import SimulationError
+
+
+def make_cluster(cpus=2, quantum_ns=10_000_000, nodes=1):
+    return Cluster(ClusterSpec(n_nodes=nodes, cpus_per_node=cpus, quantum_ns=quantum_ns))
+
+
+def test_single_thread_computes_to_completion():
+    cl = make_cluster()
+
+    def body():
+        yield Compute(5_000_000)
+        return "done"
+
+    t = cl.nodes[0].scheduler.spawn(body, name="t")
+    cl.run()
+    assert t.state is ThreadState.DONE
+    assert t.result == "done"
+    assert cl.engine.now == 5_000_000
+
+
+def test_quantum_preemption_round_robin():
+    """Two CPU-bound threads on one CPU alternate at quantum boundaries."""
+    cl = make_cluster(cpus=1, quantum_ns=1_000_000)
+    trace = []
+    cl.nodes[0].scheduler.add_listener(
+        lambda kind, t, n, c, th: trace.append((kind, t, th.name))
+    )
+
+    def body():
+        yield Compute(2_500_000)
+
+    cl.nodes[0].scheduler.spawn(body, name="a")
+    cl.nodes[0].scheduler.spawn(body, name="b")
+    cl.run()
+    dispatches = [(t, name) for kind, t, name in trace if kind == "dispatch"]
+    names = [name for _, name in dispatches]
+    # a runs, preempted at quantum; b runs; alternate until both finish.
+    assert names == ["a", "b", "a", "b", "a", "b"]
+    assert cl.engine.now == 5_000_000
+
+
+def test_no_preemption_without_competitor():
+    cl = make_cluster(cpus=1, quantum_ns=1_000_000)
+    trace = []
+    cl.nodes[0].scheduler.add_listener(
+        lambda kind, t, n, c, th: trace.append((kind, t, th.name))
+    )
+
+    def body():
+        yield Compute(5_500_000)
+
+    cl.nodes[0].scheduler.spawn(body, name="solo")
+    cl.run()
+    assert [k for k, _, _ in trace] == ["dispatch", "undispatch"]
+    assert cl.engine.now == 5_500_000
+
+
+def test_threads_spread_over_cpus():
+    cl = make_cluster(cpus=2)
+    placements = []
+    cl.nodes[0].scheduler.add_listener(
+        lambda kind, t, n, c, th: kind == "dispatch" and placements.append((th.name, c))
+    )
+
+    def body():
+        yield Compute(1_000_000)
+
+    cl.nodes[0].scheduler.spawn(body, name="a")
+    cl.nodes[0].scheduler.spawn(body, name="b")
+    cl.run()
+    assert dict(placements) == {"a": 0, "b": 1}
+    assert cl.engine.now == 1_000_000  # truly parallel
+
+
+def test_preempted_thread_can_migrate_cpus():
+    """With contention, a preempted thread is re-dispatched onto whatever
+    CPU is free — the migration the paper's Figure 9 shows."""
+    cl = make_cluster(cpus=2, quantum_ns=1_000_000)
+    placements = {}
+
+    def listener(kind, t, n, c, th):
+        if kind == "dispatch":
+            placements.setdefault(th.name, set()).add(c)
+
+    cl.nodes[0].scheduler.add_listener(listener)
+
+    def long():
+        yield Compute(4_000_000)
+
+    def short():
+        yield Compute(1_500_000)
+
+    for i in range(3):
+        cl.nodes[0].scheduler.spawn(long, name=f"long{i}")
+    cl.nodes[0].scheduler.spawn(short, name="short")
+    cl.run()
+    # At least one thread observed more than one CPU.
+    assert any(len(cpus) > 1 for cpus in placements.values())
+
+
+def test_affinity_returns_thread_to_its_cpu():
+    """With wake-up affinity, a thread that blocked on CPU 1 returns to
+    CPU 1 even if CPU 0 is free."""
+    cl = Cluster(ClusterSpec(n_nodes=1, cpus_per_node=2, affinity=True))
+    placements = []
+    cl.nodes[0].scheduler.add_listener(
+        lambda kind, t, n, c, th: kind == "dispatch"
+        and placements.append((th.name, c))
+    )
+    fut = Future()
+
+    def pinner():
+        # Occupy CPU 0 briefly so the sleeper lands on CPU 1 first.
+        yield Compute(1_000_000)
+
+    def sleeper():
+        yield Compute(500_000)
+        yield Wait(fut)
+        yield Compute(500_000)
+
+    cl.nodes[0].scheduler.spawn(pinner, name="pin")
+    cl.nodes[0].scheduler.spawn(sleeper, name="sleep")
+    cl.engine.schedule(5_000_000, fut.set_result, None)
+    cl.run()
+    sleeper_cpus = [c for name, c in placements if name == "sleep"]
+    assert sleeper_cpus == [1, 1]  # woke back onto CPU 1, not the free CPU 0
+
+
+def test_without_affinity_wakes_on_lowest_free_cpu():
+    cl = Cluster(ClusterSpec(n_nodes=1, cpus_per_node=2, affinity=False))
+    placements = []
+    cl.nodes[0].scheduler.add_listener(
+        lambda kind, t, n, c, th: kind == "dispatch"
+        and placements.append((th.name, c))
+    )
+    fut = Future()
+
+    def pinner():
+        yield Compute(1_000_000)
+
+    def sleeper():
+        yield Compute(500_000)
+        yield Wait(fut)
+        yield Compute(500_000)
+
+    cl.nodes[0].scheduler.spawn(pinner, name="pin")
+    cl.nodes[0].scheduler.spawn(sleeper, name="sleep")
+    cl.engine.schedule(5_000_000, fut.set_result, None)
+    cl.run()
+    sleeper_cpus = [c for name, c in placements if name == "sleep"]
+    assert sleeper_cpus == [1, 0]  # migrated to the lowest free CPU
+
+
+def test_wait_blocks_until_future_resolves():
+    cl = make_cluster()
+    fut = Future()
+    got = []
+
+    def waiter():
+        value = yield Wait(fut)
+        got.append((value, cl.engine.now))
+
+    cl.nodes[0].scheduler.spawn(waiter, name="w")
+    cl.engine.schedule(7_000_000, fut.set_result, "hello")
+    cl.run()
+    assert got == [("hello", 7_000_000)]
+
+
+def test_wait_on_already_resolved_future_is_instant():
+    cl = make_cluster()
+    fut = Future()
+    fut.set_result(99)
+    got = []
+
+    def waiter():
+        got.append((yield Wait(fut)))
+
+    cl.nodes[0].scheduler.spawn(waiter, name="w")
+    cl.run()
+    assert got == [99]
+    assert cl.engine.now == 0
+
+
+def test_sleep_blocks_off_cpu():
+    cl = make_cluster(cpus=1)
+    order = []
+
+    def sleeper():
+        yield Sleep(5_000_000)
+        order.append(("sleeper", cl.engine.now))
+
+    def worker():
+        yield Compute(2_000_000)
+        order.append(("worker", cl.engine.now))
+
+    cl.nodes[0].scheduler.spawn(sleeper, name="s")
+    cl.nodes[0].scheduler.spawn(worker, name="w")
+    cl.run()
+    # Worker runs while sleeper is off-CPU, despite a single processor.
+    assert order == [("worker", 2_000_000), ("sleeper", 5_000_000)]
+
+
+def test_spawn_returns_child_thread():
+    cl = make_cluster()
+    seen = {}
+
+    def child(tag):
+        yield Compute(1_000)
+        return tag
+
+    def parent():
+        t = yield Spawn(child, ("x",), name="kid", category="user")
+        seen["child"] = t
+        result = yield Wait(t.done_future)
+        seen["result"] = result
+
+    cl.nodes[0].scheduler.spawn(parent, name="p")
+    cl.run()
+    assert seen["child"].name == "kid"
+    assert seen["result"] == "x"
+    assert seen["child"].category is ThreadCategory.USER
+
+
+def test_logical_tids_are_sequential_per_node():
+    cl = make_cluster(nodes=2)
+
+    def body():
+        yield Compute(1)
+
+    a = cl.nodes[0].scheduler.spawn(body)
+    b = cl.nodes[0].scheduler.spawn(body)
+    c = cl.nodes[1].scheduler.spawn(body)
+    assert (a.logical_tid, b.logical_tid, c.logical_tid) == (0, 1, 0)
+    assert a.system_tid != b.system_tid != c.system_tid
+
+
+def test_yield_cpu_round_robins():
+    cl = make_cluster(cpus=1)
+    order = []
+
+    def body(tag):
+        for _ in range(3):
+            order.append(tag)
+            yield YieldCPU()
+            yield Compute(1000)
+
+    cl.nodes[0].scheduler.spawn(body, "a", name="a")
+    cl.nodes[0].scheduler.spawn(body, "b", name="b")
+    cl.run()
+    assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_deadlock_detected():
+    cl = make_cluster()
+
+    def stuck():
+        yield Wait(Future())
+
+    cl.nodes[0].scheduler.spawn(stuck, name="stuck")
+    with pytest.raises(SimulationError, match="deadlock"):
+        cl.run()
+
+
+def test_unsupported_request_rejected():
+    cl = make_cluster()
+
+    def bad():
+        yield "not-a-request"
+
+    cl.nodes[0].scheduler.spawn(bad, name="bad")
+    with pytest.raises(SimulationError, match="unsupported request"):
+        cl.run()
+
+
+def test_zero_cpu_node_rejected():
+    with pytest.raises(SimulationError):
+        make_cluster(cpus=0)
+
+
+def test_compute_zero_is_free():
+    cl = make_cluster()
+
+    def body():
+        yield Compute(0)
+        yield Compute(0)
+
+    cl.nodes[0].scheduler.spawn(body)
+    cl.run()
+    assert cl.engine.now == 0
+
+
+def test_idle_cpus_reported():
+    cl = make_cluster(cpus=4)
+    samples = []
+
+    def body():
+        yield Compute(1_000_000)
+
+    def sampler():
+        samples.append(cl.nodes[0].scheduler.idle_cpus())
+
+    cl.nodes[0].scheduler.spawn(body)
+    cl.engine.schedule(500_000, sampler)
+    cl.run()
+    assert samples == [3]

@@ -1,0 +1,114 @@
+"""Unit tests for the SVG builder, MPI timing model, and ute-profile CLI."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.mpi.timing import MpiTiming
+from repro.viz.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_document_structure(self, tmp_path):
+        canvas = SvgCanvas(200, 100)
+        canvas.rect(10, 10, 50, 20, fill="#2a78d6", rx=2)
+        canvas.line(0, 0, 200, 100, stroke="#e8e7e4", dash="2,2")
+        canvas.text(5, 95, "label", size=10)
+        canvas.polyline([(0, 0), (10, 10), (20, 5)], stroke="#1baf7a")
+        canvas.polygon([(0, 0), (5, 5), (0, 5)], fill="#0b0b0b")
+        path = canvas.write(tmp_path / "c.svg")
+        root = ET.parse(path).getroot()
+        assert root.attrib["width"] == "200"
+        tags = [el.tag.split("}")[-1] for el in root]
+        assert tags.count("rect") == 2  # background + ours
+        assert "line" in tags and "text" in tags
+        assert "polyline" in tags and "polygon" in tags
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(0, 0, "<&>")
+        assert "&lt;&amp;&gt;" in canvas.to_string()
+
+    def test_tooltip_title_nested(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, 5, 5, fill="#fff", title='say "hi" <now>')
+        out = canvas.to_string()
+        assert "<title>" in out
+        assert "&lt;now&gt;" in out
+
+    def test_negative_sizes_clamped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, -5, -5, fill="#fff")
+        # Width/height never negative in the output.
+        assert 'width="-' not in canvas.to_string().split("svg", 1)[1]
+
+    def test_valid_xml_even_with_odd_labels(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        canvas.text(0, 10, "a & b < c > d \" e ' f")
+        path = canvas.write(tmp_path / "x.svg")
+        ET.parse(path)  # raises on malformed XML
+
+
+class TestMpiTiming:
+    def test_copy_time_scales_with_size(self):
+        timing = MpiTiming(copy_bytes_per_ns=2.0)
+        assert timing.copy_ns(2000) == 1000
+        assert timing.copy_ns(0) == 0
+
+    def test_custom_overheads_respected(self, tmp_path):
+        """A slower MPI library makes the same program take longer."""
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.mpi import MpiRuntime
+
+        def elapsed(timing):
+            cl = Cluster(ClusterSpec(n_nodes=2, cpus_per_node=1))
+            rt = MpiRuntime(cl, timing=timing)
+
+            def body(ctx):
+                for _ in range(10):
+                    if ctx.rank == 0:
+                        yield from ctx.send(1, 1024)
+                    else:
+                        yield from ctx.recv(0)
+
+            rt.launch(2, body)
+            rt.run()
+            return cl.engine.now
+
+        fast = elapsed(MpiTiming(call_overhead_ns=100))
+        slow = elapsed(MpiTiming(call_overhead_ns=1_000_000))
+        assert slow > fast + 9 * 1_000_000
+
+
+class TestProfileCli:
+    def test_ute_profile_output(self, tmp_path, capsys):
+        from repro import cli
+        from repro.core import standard_profile
+        from repro.utils.convert import convert_traces
+        from repro.utils.merge import merge_interval_files
+        from repro.workloads import run_pingpong
+
+        run = run_pingpong(tmp_path / "raw")
+        conv = convert_traces(run.raw_paths, tmp_path / "ivl")
+        merged = merge_interval_files(
+            conv.interval_paths, tmp_path / "m.ute", standard_profile()
+        )
+        assert cli.main_profile([str(merged.merged_path)]) == 0
+        out = capsys.readouterr().out
+        assert "MPI_Recv" in out
+        assert "blocked" in out.splitlines()[0]
+        # Marker regions named by their strings.
+        assert "pingpong:size-sweep" in out
+
+    def test_include_running_flag(self, tmp_path, capsys):
+        from repro import cli
+        from repro.core import standard_profile
+        from repro.utils.convert import convert_traces
+        from repro.workloads import run_pingpong
+
+        run = run_pingpong(tmp_path / "raw")
+        conv = convert_traces(run.raw_paths, tmp_path / "ivl")
+        assert cli.main_profile(
+            [str(p) for p in conv.interval_paths] + ["--include-running"]
+        ) == 0
+        assert "Running" in capsys.readouterr().out
