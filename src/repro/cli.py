@@ -89,11 +89,18 @@ def main_convert(argv: list[str] | None = None) -> int:
     parser.add_argument("raw", nargs="+", help="raw trace files (one per node)")
     parser.add_argument("-o", "--out", default="intervals", help="output directory")
     parser.add_argument("--frame-bytes", type=int, default=32 * 1024)
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="convert node files in N parallel processes (output is "
+        "byte-identical to the serial pass)",
+    )
     args = parser.parse_args(argv)
 
     from repro.utils.convert import convert_traces
 
-    result = convert_traces(args.raw, args.out, frame_bytes=args.frame_bytes)
+    result = convert_traces(
+        args.raw, args.out, frame_bytes=args.frame_bytes, jobs=args.jobs
+    )
     for path in result.interval_paths:
         print(path)
     print(
@@ -123,6 +130,10 @@ def _merge_args(prog: str) -> argparse.ArgumentParser:
         choices=[None, "mpi", "user", "system"],
         help="merge only this thread category",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="scan input files in N parallel processes",
+    )
     return parser
 
 
@@ -145,12 +156,49 @@ def _run_merge(args, slog_path):
         frame_bytes=args.frame_bytes,
         slog_path=slog_path,
         thread_types=types,
+        jobs=args.jobs,
     )
+
+
+def _check_merge_inputs(parser: argparse.ArgumentParser, args) -> None:
+    """Reject degenerate input lists with a one-line parser error.
+
+    A profile file swept in by a glob (``ivl/*.ute`` includes the convert
+    output's ``profile.ute``) is not an error: it is pulled out of the
+    interval list and, unless ``--profile`` was given, used as the profile.
+    """
+    from repro.core.profilefmt import MAGIC as PROFILE_MAGIC
+
+    if not args.intervals:
+        parser.error("no input files to merge")
+    seen: set[Path] = set()
+    intervals: list[str] = []
+    for name in args.intervals:
+        resolved = Path(name).resolve()
+        if resolved in seen:
+            parser.error(f"duplicate input file: {name}")
+        seen.add(resolved)
+        try:
+            with open(name, "rb") as handle:
+                is_profile = handle.read(8) == PROFILE_MAGIC
+        except OSError:
+            is_profile = False  # let the reader produce its usual error
+        if is_profile:
+            if args.profile and Path(args.profile).resolve() != resolved:
+                parser.error(f"conflicting profile files: {args.profile} and {name}")
+            args.profile = name
+        else:
+            intervals.append(name)
+    if not intervals:
+        parser.error("no input files to merge")
+    args.intervals = intervals
 
 
 def main_merge(argv: list[str] | None = None) -> int:
     """Merge interval files (no SLOG)."""
-    args = _merge_args("ute-merge").parse_args(argv)
+    parser = _merge_args("ute-merge")
+    args = parser.parse_args(argv)
+    _check_merge_inputs(parser, args)
     result = _run_merge(args, None)
     print(result.merged_path)
     print(
@@ -166,6 +214,7 @@ def main_slogmerge(argv: list[str] | None = None) -> int:
     parser = _merge_args("slogmerge")
     parser.add_argument("--slog", default="out.slog")
     args = parser.parse_args(argv)
+    _check_merge_inputs(parser, args)
     result = _run_merge(args, args.slog)
     print(result.merged_path)
     print(result.slog_path)

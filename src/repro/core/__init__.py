@@ -19,6 +19,13 @@ point events, with
   ``getInterval`` / ``getItemByName``).
 """
 
+from repro.core.bytesource import (
+    ByteSource,
+    FileSource,
+    MemorySource,
+    MmapSource,
+    open_source,
+)
 from repro.core.fields import DataType, FieldSpec, ATTRS
 from repro.core.profilefmt import Profile, RecordSpec, standard_profile
 from repro.core.records import BeBits, IntervalRecord, IntervalType
@@ -35,6 +42,11 @@ from repro.core.reader import (
 )
 
 __all__ = [
+    "ByteSource",
+    "FileSource",
+    "MemorySource",
+    "MmapSource",
+    "open_source",
     "DataType",
     "FieldSpec",
     "ATTRS",

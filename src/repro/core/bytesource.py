@@ -1,0 +1,202 @@
+"""Bounded-memory byte sources for the trace readers.
+
+Every reader in the pipeline (raw traces, interval files, SLOG) used to
+load its whole file with ``Path.read_bytes()``, making peak memory O(file).
+A :class:`ByteSource` replaces that with random-access *fetches* of exactly
+the ranges a reader needs — a header, one frame directory, one frame — so
+peak memory is O(largest fetched range), typically one frame.
+
+Three interchangeable backends:
+
+* :class:`MmapSource` — the file is mapped read-only; a fetch copies just
+  the requested range out of the map.  The default on platforms with mmap.
+* :class:`FileSource` — plain buffered ``seek``/``read`` with one cached
+  chunk, for filesystems where mmap is unavailable or undesirable.
+* :class:`MemorySource` — wraps a ``bytes`` object already in memory; used
+  for tests and for callers that received the data out-of-band.
+
+All backends share *fetch accounting* (``bytes_fetched`` / ``fetch_count``)
+so tests and benchmarks can assert that displaying one frame really reads
+O(frame) bytes, not O(file).
+
+Fetches are **clamped**: a range extending past end-of-file returns only
+the available bytes (possibly ``b""``).  Readers detect truncation by the
+short result and raise their own :class:`~repro.errors.FormatError` /
+:class:`~repro.errors.TraceError`; the source itself never raises for
+out-of-range requests, which also caps allocations at the file size even
+when a corrupt header asks for absurd lengths.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import os
+from pathlib import Path
+
+from repro.errors import FormatError
+
+#: Default chunk size of the buffered-file backend.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+#: Recognized ``mode`` arguments of :func:`open_source`.
+SOURCE_MODES = ("auto", "mmap", "file", "memory")
+
+
+class ByteSource:
+    """Random-access byte provider with fetch accounting (base class)."""
+
+    def __init__(self) -> None:
+        self.bytes_fetched = 0
+        self.fetch_count = 0
+
+    # ------------------------------------------------------------------ API
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def fetch(self, offset: int, size: int) -> bytes:
+        """Bytes ``[offset, offset + size)``, clamped to the file extent."""
+        if offset < 0 or size <= 0:
+            return b""
+        end = min(offset + size, len(self))
+        if offset >= end:
+            return b""
+        blob = self._read_range(offset, end - offset)
+        self.bytes_fetched += len(blob)
+        self.fetch_count += 1
+        return blob
+
+    def close(self) -> None:
+        """Release the underlying file/map (idempotent)."""
+
+    def reset_accounting(self) -> None:
+        """Zero the fetch counters (benchmarks measure deltas)."""
+        self.bytes_fetched = 0
+        self.fetch_count = 0
+
+    # ------------------------------------------------------------ internals
+
+    def _read_range(self, offset: int, size: int) -> bytes:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ByteSource":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class MemorySource(ByteSource):
+    """A byte source over data already in memory."""
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__()
+        self._data = bytes(data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _read_range(self, offset: int, size: int) -> bytes:
+        return self._data[offset : offset + size]
+
+
+class MmapSource(ByteSource):
+    """A byte source over a read-only memory-mapped file."""
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._fh: io.BufferedReader | None = open(self.path, "rb")
+        size = os.fstat(self._fh.fileno()).st_size
+        # Zero-length files cannot be mapped; serve them as empty memory.
+        self._map: mmap.mmap | None = (
+            mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ) if size else None
+        )
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _read_range(self, offset: int, size: int) -> bytes:
+        if self._map is None:
+            raise FormatError(f"{self.path}: byte source closed")
+        return self._map[offset : offset + size]
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._size = 0
+
+
+class FileSource(ByteSource):
+    """A byte source over a plain file handle with one cached chunk.
+
+    Small fetches (record prefixes, directory headers) are served from the
+    cached chunk; fetches larger than the chunk bypass it with one direct
+    read.  Memory held is ``max(chunk_bytes, largest fetch)``.
+    """
+
+    def __init__(self, path: str | Path, *, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        super().__init__()
+        if chunk_bytes < 64:
+            raise FormatError(f"chunk size too small: {chunk_bytes}")
+        self.path = Path(path)
+        self.chunk_bytes = chunk_bytes
+        self._fh: io.BufferedReader | None = open(self.path, "rb")
+        self._size = os.fstat(self._fh.fileno()).st_size
+        self._chunk_start = 0
+        self._chunk = b""
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _read_range(self, offset: int, size: int) -> bytes:
+        if self._fh is None:
+            raise FormatError(f"{self.path}: byte source closed")
+        if size > self.chunk_bytes:
+            self._fh.seek(offset)
+            return self._fh.read(size)
+        lo = offset - self._chunk_start
+        if lo < 0 or offset + size > self._chunk_start + len(self._chunk):
+            self._fh.seek(offset)
+            self._chunk = self._fh.read(max(self.chunk_bytes, size))
+            self._chunk_start = offset
+            lo = 0
+        return self._chunk[lo : lo + size]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._chunk = b""
+        self._size = 0
+
+
+def open_source(path: str | Path, mode: str = "auto") -> ByteSource:
+    """Open ``path`` as a byte source.
+
+    ``mode``:
+
+    * ``"auto"`` — mmap when possible, buffered file otherwise (default);
+    * ``"mmap"`` / ``"file"`` — force one backend;
+    * ``"memory"`` — load the whole file up front (the legacy behavior,
+      kept for parity testing and tiny files).
+    """
+    if mode not in SOURCE_MODES:
+        raise FormatError(f"unknown byte-source mode {mode!r}; pick one of {SOURCE_MODES}")
+    path = Path(path)
+    if mode == "memory":
+        return MemorySource(path.read_bytes())
+    if mode == "file":
+        return FileSource(path)
+    if mode == "mmap":
+        return MmapSource(path)
+    try:
+        return MmapSource(path)
+    except (OSError, ValueError):
+        return FileSource(path)

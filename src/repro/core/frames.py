@@ -91,6 +91,29 @@ class FrameDirectory:
         return cls(offset, prev_off, next_off, frames)
 
     @classmethod
+    def read_from(cls, source, offset: int) -> "FrameDirectory":
+        """Decode one directory from a byte source, fetching only its own
+        bytes: the fixed header first, then exactly the entry block the
+        header announces.  Fetches are clamped to the file extent, so a
+        corrupt frame count cannot trigger an oversized allocation — the
+        entry loop simply runs out of bytes and raises ``struct.error``
+        (which readers translate into :class:`FormatError`)."""
+        head = source.fetch(offset, _DIR_HEADER.size)
+        dir_size, n_frames, prev_off, next_off = _DIR_HEADER.unpack_from(head, 0)
+        expected = _DIR_HEADER.size + n_frames * _FRAME_ENTRY.size
+        if dir_size != expected:
+            raise FormatError(
+                f"frame directory at {offset}: size {dir_size} != expected {expected}"
+            )
+        body = source.fetch(offset + _DIR_HEADER.size, n_frames * _FRAME_ENTRY.size)
+        frames = []
+        pos = 0
+        for _ in range(n_frames):
+            entry, pos = FrameEntry.decode(body, pos)
+            frames.append(entry)
+        return cls(offset, prev_off, next_off, frames)
+
+    @classmethod
     def encoded_size(cls, n_frames: int) -> int:
         """On-disk size of a directory indexing ``n_frames`` frames."""
         return _DIR_HEADER.size + n_frames * _FRAME_ENTRY.size

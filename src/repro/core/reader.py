@@ -15,15 +15,25 @@ line for line::
         value = get_item_by_name(table, raw, "msgSizeSent")
         if value is not None:
             total += value
+
+The reader is **streaming**: file bytes come from a bounded-memory
+:class:`~repro.core.bytesource.ByteSource` (mmap or buffered file), and
+only the header section, one directory, or one frame is materialized at a
+time — peak memory is O(frame), not O(file).  Decoded frames are kept in a
+small LRU cache so repeated frame displays (the Figure 7 access pattern)
+skip re-parsing; cached record objects are shared between calls, so
+callers must treat them as read-only.
 """
 
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.core.bytesource import ByteSource, open_source
 from repro.core.frames import NO_DIRECTORY, FrameDirectory, FrameEntry, aggregate_totals
 from repro.core.profilefmt import Profile
 from repro.core.records import IntervalRecord, skip_record, unpack_type_word, decode_length
@@ -35,32 +45,65 @@ from repro.errors import FormatError
 #: translate them into FormatError so callers see one failure type.
 _DECODE_ERRORS = (struct.error, IndexError, ValueError, OverflowError, UnicodeDecodeError)
 
+#: Default number of decoded frames the reader keeps (LRU).
+DEFAULT_FRAME_CACHE = 16
+
 
 class IntervalReader:
     """Random- and sequential-access reader for one interval file."""
 
-    def __init__(self, path: str | Path, profile: Profile | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        profile: Profile | None = None,
+        *,
+        source: ByteSource | None = None,
+        mode: str = "auto",
+        cache_frames: int = DEFAULT_FRAME_CACHE,
+    ) -> None:
         self.path = Path(path)
-        self._data = self.path.read_bytes()
-        if len(self._data) < IntervalFileHeader.size():
+        self.source = source if source is not None else open_source(self.path, mode)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
+        self._cache_frames = max(0, cache_frames)
+        if len(self.source) < IntervalFileHeader.size():
             raise FormatError(f"{self.path}: truncated interval file")
         try:
-            self.header = IntervalFileHeader.decode(self._data)
-            offset = IntervalFileHeader.size()
+            head = self.source.fetch(0, IntervalFileHeader.size())
+            self.header = IntervalFileHeader.decode(head)
+            # The fixed tables live between the header and the first frame
+            # directory; fetch that span once (clamped to the file extent,
+            # so a corrupt directory offset cannot blow up memory).
+            tables = self.source.fetch(
+                IntervalFileHeader.size(),
+                self.header.first_dir_offset - IntervalFileHeader.size(),
+            )
             self.thread_table, offset = ThreadTable.decode(
-                self._data, offset, self.header.n_threads
+                tables, 0, self.header.n_threads
             )
             self.markers, offset = decode_marker_table(
-                self._data, offset, self.header.n_markers
+                tables, offset, self.header.n_markers
             )
             self.node_cpus, offset = decode_node_table(
-                self._data, offset, self.header.n_nodes
+                tables, offset, self.header.n_nodes
             )
         except _DECODE_ERRORS as exc:
             raise FormatError(f"{self.path}: corrupt header section ({exc})") from exc
         self.profile = profile
         if profile is not None:
             profile.check_version(self.header.profile_version, str(self.path))
+
+    def close(self) -> None:
+        """Release the underlying byte source and drop the frame cache."""
+        self._frame_cache.clear()
+        self.source.close()
+
+    def __enter__(self) -> "IntervalReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def _require_profile(self) -> Profile:
         if self.profile is None:
@@ -74,7 +117,13 @@ class IntervalReader:
 
     def first_directory(self) -> FrameDirectory:
         """The first frame directory (head of the doubly linked list)."""
-        return FrameDirectory.decode(self._data, self.header.first_dir_offset)
+        try:
+            return FrameDirectory.read_from(self.source, self.header.first_dir_offset)
+        except _DECODE_ERRORS as exc:
+            raise FormatError(
+                f"{self.path}: corrupt frame directory at "
+                f"{self.header.first_dir_offset} ({exc})"
+            ) from exc
 
     def directories(self) -> Iterator[FrameDirectory]:
         """All directories, following next pointers."""
@@ -87,7 +136,7 @@ class IntervalReader:
                 )
             seen.add(offset)
             try:
-                directory = FrameDirectory.decode(self._data, offset)
+                directory = FrameDirectory.read_from(self.source, offset)
             except _DECODE_ERRORS as exc:
                 raise FormatError(
                     f"{self.path}: corrupt frame directory at {offset} ({exc})"
@@ -120,22 +169,41 @@ class IntervalReader:
     # ---------------------------------------------------------------- records
 
     def read_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
-        """Decode every record of one frame."""
+        """Decode every record of one frame (LRU-cached by frame identity).
+
+        Cache hits return a fresh list sharing the previously decoded
+        record objects — treat them as read-only."""
+        key = (frame.offset, frame.size)
+        cached = self._frame_cache.get(key)
+        if cached is not None:
+            self._frame_cache.move_to_end(key)
+            self.cache_hits += 1
+            return list(cached)
+        self.cache_misses += 1
+        records = self._decode_frame(frame)
+        if self._cache_frames:
+            self._frame_cache[key] = records
+            while len(self._frame_cache) > self._cache_frames:
+                self._frame_cache.popitem(last=False)
+        return list(records)
+
+    def _decode_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
         profile = self._require_profile()
+        blob = self.source.fetch(frame.offset, frame.size)
         records = []
-        pos = frame.offset
-        end = frame.offset + frame.size
+        pos = 0
+        end = len(blob)
         while pos < end:
             try:
                 record, pos = IntervalRecord.decode(
-                    self._data, pos, profile, self.header.field_mask
+                    blob, pos, profile, self.header.field_mask
                 )
             except _DECODE_ERRORS as exc:
                 raise FormatError(
-                    f"{self.path}: corrupt record at offset {pos} ({exc})"
+                    f"{self.path}: corrupt record at offset {frame.offset + pos} ({exc})"
                 ) from exc
             records.append(record)
-        if len(records) != frame.n_records:
+        if len(records) != frame.n_records or len(blob) != frame.size:
             raise FormatError(
                 f"frame at {frame.offset}: decoded {len(records)} records, "
                 f"entry says {frame.n_records}"
@@ -172,11 +240,16 @@ class IntervalReader:
 
 @dataclass
 class IntervalFileHandle:
-    """Sequential-read cursor over an interval file (the simple API)."""
+    """Sequential-read cursor over an interval file (the simple API).
+
+    The cursor holds at most one frame's raw bytes at a time, fetched from
+    the reader's byte source when the previous frame is exhausted."""
 
     reader: IntervalReader
     _frames: list[FrameEntry]
     _frame_idx: int = 0
+    _blob: bytes = b""
+    _blob_base: int = 0
     _pos: int = -1
     _frame_end: int = -1
 
@@ -218,19 +291,26 @@ def read_profile(path: str | Path, mask: int) -> ProfileTable:
 def get_interval(handle: IntervalFileHandle) -> bytes | None:
     """The next raw interval record, hiding all frame and directory
     boundaries; None at end of file."""
-    reader = handle.reader
     while True:
         if handle._pos < 0 or handle._pos >= handle._frame_end:
             if handle._frame_idx >= len(handle._frames):
                 return None
             frame = handle._frames[handle._frame_idx]
             handle._frame_idx += 1
+            handle._blob = handle.reader.source.fetch(frame.offset, frame.size)
+            handle._blob_base = frame.offset
             handle._pos = frame.offset
-            handle._frame_end = frame.offset + frame.size
+            handle._frame_end = frame.offset + len(handle._blob)
             continue
-        start = handle._pos
-        handle._pos = skip_record(reader._data, start)
-        return reader._data[start : handle._pos]
+        local = handle._pos - handle._blob_base
+        try:
+            local_end = skip_record(handle._blob, local)
+        except _DECODE_ERRORS as exc:
+            raise FormatError(
+                f"{handle.reader.path}: corrupt record at offset {handle._pos} ({exc})"
+            ) from exc
+        handle._pos = handle._blob_base + local_end
+        return handle._blob[local:local_end]
 
 
 def get_item_by_name(table: ProfileTable, raw: bytes, name: str) -> Any | None:
@@ -266,13 +346,18 @@ def get_interval_at(handle: IntervalFileHandle, offset: int) -> bytes:
     paper's "retrieve an interval at a specific location" helper.  The
     offset must point at a record's length prefix (e.g. a frame entry's
     offset, or a position previously advanced with the length prefixes)."""
-    data = handle.reader._data
-    if not 0 <= offset < len(data):
+    source = handle.reader.source
+    if not 0 <= offset < len(source):
         raise FormatError(f"offset {offset} outside file")
-    end = skip_record(data, offset)
-    if end > len(data):
+    prefix = source.fetch(offset, 3)
+    try:
+        body_len, body_offset = decode_length(prefix, 0)
+    except _DECODE_ERRORS as exc:
+        raise FormatError(f"record at {offset} runs past end of file") from exc
+    length = body_offset + body_len
+    if offset + length > len(source):
         raise FormatError(f"record at {offset} runs past end of file")
-    return data[offset:end]
+    return source.fetch(offset, length)
 
 
 def is_vector_field(table: ProfileTable, itype: int, name: str) -> bool:

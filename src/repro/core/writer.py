@@ -145,6 +145,10 @@ class IntervalFileWriter:
         self.frame_bytes = frame_bytes
         self.frames_per_dir = frames_per_dir
         self.records_written = 0
+        # Accounting mirrors of the readers' fetch counters: payload bytes
+        # and frames emitted, so pipeline tests can balance both ends.
+        self.bytes_written = 0
+        self.frames_written = 0
         self._last_end: int | None = None
 
         self._fh = open(self.path, "wb")
@@ -198,6 +202,7 @@ class IntervalFileWriter:
         )
         self._frame_end = end if self._frame_end is None else max(self._frame_end, end)
         self.records_written += 1
+        self.bytes_written += len(blob)
         if len(self._frame_buf) >= self.frame_bytes:
             self._finish_frame()
 
@@ -241,6 +246,7 @@ class IntervalFileWriter:
         self._pending.append(
             (bytes(self._frame_buf), self._frame_records, self._frame_start, self._frame_end)
         )
+        self.frames_written += 1
         self._frame_buf = bytearray()
         self._frame_records = 0
         self._frame_start = None

@@ -126,36 +126,96 @@ class RawTraceWriter:
         self.close()
 
 
-class RawTraceReader:
-    """Reads a raw trace file back into :class:`RawEvent` objects."""
+#: Smallest possible encoded record: hookword + event header + text length.
+_MIN_RECORD = 4 + 16 + 2
 
-    def __init__(self, path: str | Path) -> None:
+
+class RawTraceReader:
+    """Reads a raw trace file back into :class:`RawEvent` objects.
+
+    The reader is streaming: bytes come from a bounded-memory
+    :class:`~repro.core.bytesource.ByteSource` (mmap or buffered file) and
+    only one record is materialized at a time, so peak memory is O(record)
+    regardless of trace size.
+
+    A trace whose final record is cut short — a crash mid-write, or a
+    wrap-mode buffer snapshot torn at the window edge — raises
+    :class:`~repro.errors.FormatError` ("truncated event"), never a bare
+    ``IndexError`` or ``struct.error``.
+    """
+
+    def __init__(
+        self, path: str | Path, *, source: "ByteSource | None" = None, mode: str = "auto"
+    ) -> None:
+        from repro.core.bytesource import ByteSource, open_source  # noqa: F811
+
         self.path = Path(path)
-        data = self.path.read_bytes()
-        if len(data) < RawFileHeader.size():
+        self.source: ByteSource = source if source is not None else open_source(self.path, mode)
+        head = self.source.fetch(0, RawFileHeader.size())
+        if len(head) < RawFileHeader.size():
             raise TraceError(f"{self.path}: truncated raw trace file")
-        self.header = RawFileHeader.decode(data[: RawFileHeader.size()])
-        self._data = data
+        self.header = RawFileHeader.decode(head)
         self._start = RawFileHeader.size()
 
-    def __iter__(self) -> Iterator[RawEvent]:
+    def close(self) -> None:
+        """Release the underlying byte source."""
+        self.source.close()
+
+    def __enter__(self) -> "RawTraceReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def scan(self) -> Iterator[tuple[int, int, int]]:
+        """Walk the record stream by hookword alone, yielding
+        ``(hook_id, offset, record_len)`` without decoding payloads.
+
+        This is the cheap pass the parallel convert front-end uses to
+        pre-assign marker identifiers; :meth:`event_at` decodes any record
+        the scan singled out."""
+        from repro.errors import FormatError
+        from repro.tracing.hooks import decode_hookword
+
         offset = self._start
-        data = self._data
-        end = len(data)
+        end = len(self.source)
         while offset < end:
-            try:
-                event, offset = RawEvent.decode(data, offset)
-            except TraceError:
-                raise
-            except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+            word_bytes = self.source.fetch(offset, 4)
+            if len(word_bytes) < 4:
+                raise FormatError(f"{self.path}: truncated event at offset {offset}")
+            (word,) = struct.unpack("<I", word_bytes)
+            hook_id, record_len = decode_hookword(word)
+            if record_len < _MIN_RECORD:
                 raise TraceError(
-                    f"{self.path}: corrupt event at offset {offset} ({exc})"
-                ) from exc
-            yield event
+                    f"{self.path}: corrupt event at offset {offset} "
+                    f"(record length {record_len})"
+                )
+            if offset + record_len > end:
+                raise FormatError(f"{self.path}: truncated event at offset {offset}")
+            yield hook_id, offset, record_len
+            offset += record_len
+
+    def event_at(self, offset: int, record_len: int) -> RawEvent:
+        """Decode the single record at ``offset`` (as reported by
+        :meth:`scan`)."""
+        blob = self.source.fetch(offset, record_len)
+        try:
+            event, _ = RawEvent.decode(blob, 0)
+        except TraceError:
+            raise
+        except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+            raise TraceError(
+                f"{self.path}: corrupt event at offset {offset} ({exc})"
+            ) from exc
+        return event
+
+    def __iter__(self) -> Iterator[RawEvent]:
+        for _hook, offset, record_len in self.scan():
+            yield self.event_at(offset, record_len)
 
     def events(self) -> list[RawEvent]:
         """All events in file order."""
         return list(self)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self)
+        return sum(1 for _ in self.scan())

@@ -21,6 +21,7 @@ Optionally tees the merged stream into a SLOG file for Jumpshot.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -99,6 +100,60 @@ def _adjusted_stream(
         )
 
 
+class _MergeCursor:
+    """Streaming cursor over one input file's adjusted, filtered records.
+
+    One cursor per input file feeds the k-way merge; records flow straight
+    from the reader's byte source through clock adjustment to the writer,
+    so the merge never materializes a whole file.  Each cursor binds its own
+    thread-selection set (an earlier version filtered through a generator
+    expression whose free variable was rebound every loop iteration, so all
+    files silently used the *last* file's selection).
+
+    Sort keys are ``(adjusted end, file index, record ordinal)`` — fully
+    ordered, so records with equal adjusted end times merge in a
+    deterministic order that no longer depends on AVL insertion timing.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        path: Path,
+        reader: IntervalReader,
+        adjustment,
+        keep: set[int] | None,
+    ) -> None:
+        self.index = index
+        self.path = path
+        self.reader = reader
+        self.ordinal = 0
+        self._keep = keep
+        self._stream = _adjusted_stream(reader, adjustment)
+
+    def next_record(self) -> IntervalRecord | None:
+        """The next selected record, or None at end of stream."""
+        for record in self._stream:
+            if self._keep is None or record.thread in self._keep:
+                self.ordinal += 1
+                return record
+        return None
+
+    def key(self, record: IntervalRecord) -> tuple[int, int, int]:
+        """Deterministic total-order merge key for ``record`` (which must be
+        the record :meth:`next_record` just returned)."""
+        return (record.end, self.index, self.ordinal)
+
+    def close(self) -> None:
+        self.reader.close()
+
+
+def _clock_pairs_worker(task: tuple[Path, Profile]) -> list[ClockPair]:
+    """Pool worker for the pass-1 clock-pair scan of one input file."""
+    path, profile = task
+    with IntervalReader(path, profile) as reader:
+        return collect_clock_pairs(reader)
+
+
 class _OpenStateTracker:
     """Tracks interrupted states still open in the merged stream, for
     pseudo-interval injection."""
@@ -148,28 +203,45 @@ def merge_interval_files(
     slog_path: str | Path | None = None,
     preview_bins: int = 50,
     thread_types: set[int] | None = None,
+    jobs: int = 1,
 ) -> MergeResult:
     """Merge per-node interval files into one; optionally emit SLOG too.
 
     ``thread_types`` restricts merging to specific thread categories (the
     thread-table partitioning's purpose: "a way to choose specific threads
     for merging"); None merges everything.
+
+    ``jobs > 1`` fans the pass-1 clock-pair scans (a full record walk per
+    input file) out across a process pool; the k-way merge itself stays in
+    this process and is unchanged by ``jobs``.
     """
     paths = [Path(p) for p in paths]
     if not paths:
         raise MergeError("nothing to merge")
+    seen: set[Path] = set()
+    for p in paths:
+        resolved = p.resolve()
+        if resolved in seen:
+            raise MergeError(f"duplicate input file: {p}")
+        seen.add(resolved)
     readers = [IntervalReader(p, profile) for p in paths]
 
     # Pass 1: clock pairs, adjustments, merged tables, global time range.
+    if jobs > 1 and len(paths) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        with ctx.Pool(min(jobs, len(paths))) as pool:
+            all_pairs = pool.map(_clock_pairs_worker, [(p, profile) for p in paths])
+    else:
+        all_pairs = [collect_clock_pairs(reader) for reader in readers]
     adjustments = []
     merged_table = ThreadTable()
     merged_markers: dict[int, str] = {}
     merged_nodes: dict[int, int] = {}
     selected: list[set[int] | None] = []
-    for reader in readers:
+    for reader, pairs in zip(readers, all_pairs):
         for node, cpus in reader.node_cpus.items():
             merged_nodes[node] = max(merged_nodes.get(node, 0), cpus)
-        pairs = collect_clock_pairs(reader)
         adjustments.append(_build_adjustment(pairs, sync_mode))
         keep: set[int] | None = None
         if thread_types is not None:
@@ -191,18 +263,15 @@ def merge_interval_files(
                 )
             merged_markers[marker_id] = text
 
-    # Pass 2: k-way merge via the balanced tree.
+    # Pass 2: k-way merge over streaming cursors via the balanced tree.
     tree = AVLTree()
-    streams = []
-    for i, (reader, adjustment) in enumerate(zip(readers, adjustments)):
-        stream = _adjusted_stream(reader, adjustment)
-        if selected[i] is not None:
-            keep = selected[i]
-            stream = (r for r in stream if r.thread in keep)
-        streams.append(stream)
-        first = next(streams[i], None)
+    cursors = []
+    for i, (path, reader, adjustment) in enumerate(zip(paths, readers, adjustments)):
+        cursor = _MergeCursor(i, path, reader, adjustment, selected[i])
+        cursors.append(cursor)
+        first = cursor.next_record()
         if first is not None:
-            tree.insert((first.end, first.start, i), (i, first))
+            tree.insert(cursor.key(first), (i, first))
 
     slog_writer = None
     if slog_path is not None:
@@ -253,14 +322,16 @@ def merge_interval_files(
             tracker.observe(record)
             records_out += 1
             last_end = record.end
-            nxt = next(streams[i], None)
+            nxt = cursors[i].next_record()
             if nxt is not None:
                 if nxt.end < record.end:
                     raise MergeError(
                         f"{paths[i]}: records out of end-time order after adjustment"
                     )
-                tree.insert((nxt.end, nxt.start, i), (i, nxt))
+                tree.insert(cursors[i].key(nxt), (i, nxt))
 
+    for cursor in cursors:
+        cursor.close()
     final_slog = None
     if slog_writer is not None:
         final_slog = slog_writer.close()

@@ -21,13 +21,18 @@ describing profile is embedded, so a SLOG file is fully self-contained.
 
 from __future__ import annotations
 
+import io
+import shutil
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.bytesource import ByteSource, open_source
 from repro.core.profilefmt import Profile
+from repro.core.reader import DEFAULT_FRAME_CACHE
 from repro.core.records import IntervalRecord
 from repro.core.threadtable import ThreadTable
 from repro.core.writer import (
@@ -39,6 +44,20 @@ from repro.core.writer import (
 from repro.errors import FormatError
 
 MAGIC = b"UTESLOG1"
+
+#: First metadata window fetched by the streaming reader; grown on demand.
+_INITIAL_WINDOW = 64 * 1024
+
+#: Exceptions that mean "the metadata did not fit the current window" on a
+#: valid file, or "corrupt" once the window covers the whole file.
+_PARSE_ERRORS = (
+    struct.error,
+    IndexError,
+    ValueError,
+    OverflowError,
+    UnicodeDecodeError,
+    FormatError,
+)
 
 _FRAME_ENTRY = struct.Struct("<QQQQII")  # start, end, offset, size, n_records, n_pseudo
 
@@ -100,7 +119,13 @@ class SlogWriter:
         self._bin_width = (t1 - t0) / preview_bins
         # Preview counters: itype -> per-bin accumulated duration (ticks).
         self._counters: dict[int, np.ndarray] = {}
-        self._frames: list[tuple[bytes, int, int, int, int]] = []
+        # Finished frames spill to a sidecar file as they close, so the
+        # writer holds one open frame plus the (small) index — O(frame)
+        # memory however large the trace.  Index: (start, end, size, n,
+        # n_pseudo) per frame.
+        self._frames: list[tuple[int, int, int, int, int]] = []
+        self._spill_path = self.path.with_name(self.path.name + ".frames.tmp")
+        self._spill: io.BufferedWriter | None = open(self._spill_path, "wb")
         self._buf = bytearray()
         self._buf_records = 0
         self._buf_pseudo = 0
@@ -130,12 +155,25 @@ class SlogWriter:
             self._finish_frame()
 
     def close(self) -> Path:
-        """Finalize frames, write the complete file, return its path."""
+        """Finalize frames, assemble the complete file, return its path.
+
+        The metadata and frame index are written first, then the spilled
+        frame bytes are streamed across in chunks — the whole file is never
+        materialized in memory."""
         if self._closed:
             return self.path
         self._finish_frame()
         self._closed = True
-        self.path.write_bytes(self._serialize())
+        assert self._spill is not None
+        self._spill.close()
+        self._spill = None
+        try:
+            with open(self.path, "wb") as out:
+                out.write(self._metadata_bytes())
+                with open(self._spill_path, "rb") as frames:
+                    shutil.copyfileobj(frames, out)
+        finally:
+            self._spill_path.unlink(missing_ok=True)
         return self.path
 
     # ------------------------------------------------------------ internals
@@ -161,9 +199,10 @@ class SlogWriter:
     def _finish_frame(self) -> None:
         if not self._buf_records:
             return
-        assert self._buf_start is not None
+        assert self._buf_start is not None and self._spill is not None
+        self._spill.write(self._buf)
         self._frames.append(
-            (bytes(self._buf), self._buf_start, self._buf_end, self._buf_records, self._buf_pseudo)
+            (self._buf_start, self._buf_end, len(self._buf), self._buf_records, self._buf_pseudo)
         )
         self._buf = bytearray()
         self._buf_records = 0
@@ -171,7 +210,8 @@ class SlogWriter:
         self._buf_start = None
         self._buf_end = 0
 
-    def _serialize(self) -> bytes:
+    def _metadata_bytes(self) -> bytes:
+        """Everything before the frame data: tables, preview, frame index."""
         out = bytearray()
         out += MAGIC
         profile_blob = _profile_blob(self.profile)
@@ -190,15 +230,12 @@ class SlogWriter:
         for itype in sorted(self._counters):
             out += struct.pack("<I", itype)
             out += self._counters[itype].tobytes()
-        # Frame index, then frames.
+        # Frame index; frame data follows at data_start in spill order.
         out += struct.pack("<I", len(self._frames))
-        data_start = len(out) + len(self._frames) * _FRAME_ENTRY.size
-        offset = data_start
-        for blob, start, end, n, n_pseudo in self._frames:
-            out += _FRAME_ENTRY.pack(start, end, offset, len(blob), n, n_pseudo)
-            offset += len(blob)
-        for blob, *_ in self._frames:
-            out += blob
+        offset = len(out) + len(self._frames) * _FRAME_ENTRY.size
+        for start, end, size, n, n_pseudo in self._frames:
+            out += _FRAME_ENTRY.pack(start, end, offset, size, n, n_pseudo)
+            offset += size
         return bytes(out)
 
 
@@ -211,17 +248,58 @@ def _profile_blob(profile: Profile) -> bytes:
 
 
 class SlogFile:
-    """Reader for SLOG files: preview, frame index, and frame records."""
+    """Reader for SLOG files: preview, frame index, and frame records.
 
-    def __init__(self, path: str | Path) -> None:
+    Bytes come from a bounded-memory :class:`ByteSource`.  The metadata
+    (tables, preview, frame index) is parsed from a window at the head of
+    the file that starts at ``_INITIAL_WINDOW`` and grows geometrically
+    until the metadata fits, so a valid file costs O(metadata) memory no
+    matter how large its frame data is.  Frame reads fetch exactly one
+    frame and are cached in a small LRU keyed by (offset, size) —
+    Jumpshot's scroll-back pattern revisits neighbouring frames
+    constantly, and a hit skips both the fetch and the decode.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        source: ByteSource | None = None,
+        mode: str = "auto",
+        cache_frames: int = DEFAULT_FRAME_CACHE,
+    ) -> None:
         self.path = Path(path)
-        data = self.path.read_bytes()
-        if data[:8] != MAGIC:
+        self.source: ByteSource = source if source is not None else open_source(self.path, mode)
+        self._cache_frames = max(0, cache_frames)
+        self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        head = self.source.fetch(0, 8)
+        if head != MAGIC:
             raise FormatError(f"{self.path}: not a SLOG file")
-        try:
-            self._parse(data)
-        except (struct.error, IndexError, ValueError, OverflowError, UnicodeDecodeError) as exc:
-            raise FormatError(f"{self.path}: corrupt SLOG structure ({exc})") from exc
+        window = min(max(_INITIAL_WINDOW, 8), len(self.source))
+        while True:
+            data = self.source.fetch(0, window)
+            try:
+                self._parse(data)
+                break
+            except _PARSE_ERRORS as exc:
+                if window >= len(self.source):
+                    raise FormatError(
+                        f"{self.path}: corrupt SLOG structure ({exc})"
+                    ) from exc
+                window = min(window * 4, len(self.source))
+
+    def close(self) -> None:
+        """Release the underlying byte source and drop cached frames."""
+        self._frame_cache.clear()
+        self.source.close()
+
+    def __enter__(self) -> "SlogFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def _parse(self, data: bytes) -> None:
         pos = 8
@@ -258,7 +336,6 @@ class SlogFile:
             vals = _FRAME_ENTRY.unpack_from(data, pos)
             pos += _FRAME_ENTRY.size
             self.frames.append(SlogFrameEntry(*vals))
-        self._data = data
 
     def find_frame(self, t: int) -> SlogFrameEntry | None:
         """Locate the frame containing instant ``t`` via the index alone."""
@@ -268,18 +345,41 @@ class SlogFile:
         return None
 
     def read_frame(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
-        """Decode one frame's records (pseudo-intervals included)."""
+        """Decode one frame's records (pseudo-intervals included).
+
+        Results are LRU-cached; a cached frame is returned as a fresh list
+        but the record objects are shared, so treat them as read-only."""
+        key = (frame.offset, frame.size)
+        cached = self._frame_cache.get(key)
+        if cached is not None:
+            self._frame_cache.move_to_end(key)
+            self.cache_hits += 1
+            return list(cached)
+        self.cache_misses += 1
+        records = self._decode_frame(frame)
+        if self._cache_frames:
+            self._frame_cache[key] = records
+            while len(self._frame_cache) > self._cache_frames:
+                self._frame_cache.popitem(last=False)
+        return list(records)
+
+    def _decode_frame(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
+        blob = self.source.fetch(frame.offset, frame.size)
+        if len(blob) != frame.size:
+            raise FormatError(
+                f"{self.path}: SLOG frame at {frame.offset} runs past end of file"
+            )
         records = []
-        pos = frame.offset
-        end = frame.offset + frame.size
-        while pos < end:
+        pos = 0
+        while pos < len(blob):
             try:
                 record, pos = IntervalRecord.decode(
-                    self._data, pos, self.profile, self.field_mask
+                    blob, pos, self.profile, self.field_mask
                 )
             except (struct.error, IndexError, ValueError, OverflowError) as exc:
                 raise FormatError(
-                    f"{self.path}: corrupt SLOG record at offset {pos} ({exc})"
+                    f"{self.path}: corrupt SLOG record at offset "
+                    f"{frame.offset + pos} ({exc})"
                 ) from exc
             records.append(record)
         if len(records) != frame.n_records:
@@ -331,30 +431,30 @@ def slog_from_interval_file(
     from repro.core.records import IntervalType
     from repro.utils.merge import _OpenStateTracker
 
-    reader = IntervalReader(merged_path, profile)
-    _, _, t_end = reader.totals()
-    writer = SlogWriter(
-        slog_path,
-        profile,
-        reader.thread_table,
-        markers=reader.markers,
-        node_cpus=reader.node_cpus,
-        field_mask=reader.header.field_mask,
-        frame_bytes=frame_bytes,
-        time_range=(0, max(t_end, 1)),
-        preview_bins=preview_bins,
-    )
-    tracker = _OpenStateTracker()
-    last_end = 0
-    started = False
-    for record in reader.intervals():
-        if record.itype == IntervalType.CLOCKPAIR:
-            continue
-        if started and writer._buf_records == 0:
-            for pseudo in tracker.pseudo_records(last_end):
-                writer.write(pseudo, pseudo=True)
-        writer.write(record)
-        tracker.observe(record)
-        last_end = record.end
-        started = True
-    return writer.close()
+    with IntervalReader(merged_path, profile) as reader:
+        _, _, t_end = reader.totals()
+        writer = SlogWriter(
+            slog_path,
+            profile,
+            reader.thread_table,
+            markers=reader.markers,
+            node_cpus=reader.node_cpus,
+            field_mask=reader.header.field_mask,
+            frame_bytes=frame_bytes,
+            time_range=(0, max(t_end, 1)),
+            preview_bins=preview_bins,
+        )
+        tracker = _OpenStateTracker()
+        last_end = 0
+        started = False
+        for record in reader.intervals():
+            if record.itype == IntervalType.CLOCKPAIR:
+                continue
+            if started and writer._buf_records == 0:
+                for pseudo in tracker.pseudo_records(last_end):
+                    writer.write(pseudo, pseudo=True)
+            writer.write(record)
+            tracker.observe(record)
+            last_end = record.end
+            started = True
+        return writer.close()

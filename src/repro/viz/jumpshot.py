@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.core.reader import DEFAULT_FRAME_CACHE
 from repro.core.records import IntervalRecord
 from repro.errors import FormatError
 from repro.utils.slog import SlogFile, SlogFrameEntry
@@ -45,9 +46,21 @@ VIEW_KINDS = (
 class Jumpshot:
     """Viewer over one SLOG file."""
 
-    def __init__(self, slog_path: str | Path) -> None:
-        self.slog = SlogFile(slog_path)
+    def __init__(
+        self, slog_path: str | Path, *, cache_frames: int = DEFAULT_FRAME_CACHE
+    ) -> None:
+        self.slog = SlogFile(slog_path, cache_frames=cache_frames)
         self.preview = Preview.from_slog(self.slog)
+
+    def close(self) -> None:
+        """Release the SLOG file's byte source."""
+        self.slog.close()
+
+    def __enter__(self) -> "Jumpshot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------- preview
 

@@ -1,0 +1,131 @@
+"""Byte-source backends: clamped fetches, accounting, chunk caching, and
+the open_source factory."""
+
+import pytest
+
+from repro.core.bytesource import (
+    FileSource,
+    MemorySource,
+    MmapSource,
+    SOURCE_MODES,
+    open_source,
+)
+from repro.errors import FormatError
+
+DATA = bytes(range(256)) * 5  # 1280 bytes, every value present
+
+
+@pytest.fixture
+def blob_path(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(DATA)
+    return path
+
+
+def make_source(kind, path):
+    if kind == "memory":
+        return MemorySource(path.read_bytes())
+    if kind == "mmap":
+        return MmapSource(path)
+    return FileSource(path, chunk_bytes=128)
+
+
+@pytest.mark.parametrize("kind", ["memory", "mmap", "file"])
+class TestFetch:
+    def test_exact_range(self, blob_path, kind):
+        with make_source(kind, blob_path) as src:
+            assert len(src) == len(DATA)
+            assert src.fetch(100, 50) == DATA[100:150]
+            assert src.fetch(0, len(DATA)) == DATA
+
+    def test_clamped_at_eof(self, blob_path, kind):
+        with make_source(kind, blob_path) as src:
+            assert src.fetch(len(DATA) - 10, 100) == DATA[-10:]
+            assert src.fetch(len(DATA), 10) == b""
+            assert src.fetch(len(DATA) + 5, 10) == b""
+
+    def test_degenerate_requests(self, blob_path, kind):
+        with make_source(kind, blob_path) as src:
+            assert src.fetch(-5, 10) == b""
+            assert src.fetch(10, 0) == b""
+            assert src.fetch(10, -1) == b""
+
+    def test_oversized_request_capped_at_file_size(self, blob_path, kind):
+        """A corrupt header announcing an absurd size cannot allocate more
+        than the file actually holds."""
+        with make_source(kind, blob_path) as src:
+            blob = src.fetch(0, 10**9)
+            assert blob == DATA
+            assert src.bytes_fetched == len(DATA)
+
+    def test_accounting(self, blob_path, kind):
+        with make_source(kind, blob_path) as src:
+            src.fetch(0, 100)
+            src.fetch(200, 50)
+            src.fetch(len(DATA), 10)  # empty result: not a fetch
+            assert src.fetch_count == 2
+            assert src.bytes_fetched == 150
+            src.reset_accounting()
+            assert src.fetch_count == 0
+            assert src.bytes_fetched == 0
+
+
+@pytest.mark.parametrize("kind", ["mmap", "file"])
+def test_fetch_after_close_is_empty(blob_path, kind):
+    """Closing zeroes the extent, so fetches clamp to empty instead of
+    touching the released handle."""
+    src = make_source(kind, blob_path)
+    src.close()
+    assert src.fetch(0, 10) == b""
+    src.close()  # idempotent
+
+
+def test_mmap_source_empty_file(tmp_path):
+    path = tmp_path / "empty.bin"
+    path.write_bytes(b"")
+    with MmapSource(path) as src:
+        assert len(src) == 0
+        assert src.fetch(0, 10) == b""
+
+
+class TestFileSourceChunking:
+    def test_fetches_across_chunk_boundaries(self, blob_path):
+        with FileSource(blob_path, chunk_bytes=64) as src:
+            # Walk the whole file in reads that straddle chunk edges.
+            out = b"".join(src.fetch(off, 37) for off in range(0, len(DATA), 37))
+            assert out == DATA
+
+    def test_large_fetch_bypasses_chunk(self, blob_path):
+        with FileSource(blob_path, chunk_bytes=64) as src:
+            assert src.fetch(0, 1000) == DATA[:1000]
+            # And small reads still work afterwards.
+            assert src.fetch(5, 10) == DATA[5:15]
+
+    def test_backward_seek(self, blob_path):
+        with FileSource(blob_path, chunk_bytes=64) as src:
+            assert src.fetch(1000, 16) == DATA[1000:1016]
+            assert src.fetch(3, 16) == DATA[3:19]
+
+    def test_tiny_chunk_rejected(self, blob_path):
+        with pytest.raises(FormatError):
+            FileSource(blob_path, chunk_bytes=16)
+
+
+class TestOpenSource:
+    def test_modes(self, blob_path):
+        assert isinstance(open_source(blob_path, "memory"), MemorySource)
+        assert isinstance(open_source(blob_path, "file"), FileSource)
+        assert isinstance(open_source(blob_path, "mmap"), MmapSource)
+        auto = open_source(blob_path, "auto")
+        assert isinstance(auto, (MmapSource, FileSource))
+        auto.close()
+
+    def test_unknown_mode_rejected(self, blob_path):
+        with pytest.raises(FormatError):
+            open_source(blob_path, "network")
+
+    def test_all_advertised_modes_work(self, blob_path):
+        for mode in SOURCE_MODES:
+            src = open_source(blob_path, mode)
+            assert src.fetch(0, 4) == DATA[:4]
+            src.close()

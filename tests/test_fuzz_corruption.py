@@ -126,3 +126,101 @@ def test_validator_never_crashes(artifacts, flips):
     path = artifacts["tmp"] / "v.ute"
     path.write_bytes(corrupt(artifacts["interval"], flips))
     validate_interval_file(path, PROFILE)  # must return a report, not raise
+
+
+# --------------------------------------------------------------------------
+# The streaming byte sources must honor the same contract as the legacy
+# in-memory path: corruption surfaces as ReproError, never a low-level
+# exception — whichever backend serves the bytes.
+
+STREAMING_MODES = ("mmap", "file")
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=60, deadline=None)
+def test_streaming_interval_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "cs.ute"
+    path.write_bytes(corrupt(artifacts["interval"], flips))
+    for mode in STREAMING_MODES:
+        try:
+            with IntervalReader(path, PROFILE, mode=mode) as reader:
+                for _ in reader.intervals():
+                    pass
+                reader.totals()
+        except ReproError:
+            pass
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=60, deadline=None)
+def test_streaming_raw_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "cs.raw"
+    path.write_bytes(corrupt(artifacts["raw"], flips))
+    for mode in STREAMING_MODES:
+        try:
+            with RawTraceReader(path, mode=mode) as reader:
+                for _ in reader:
+                    pass
+        except ReproError:
+            pass
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=60, deadline=None)
+def test_streaming_slog_reader_never_crashes(artifacts, flips):
+    path = artifacts["tmp"] / "cs.slog"
+    path.write_bytes(corrupt(artifacts["slog"], flips))
+    for mode in STREAMING_MODES:
+        try:
+            with SlogFile(path, mode=mode) as slog:
+                slog.records()
+                slog.preview_matrix()
+        except ReproError:
+            pass
+
+
+# --------------------------------------------------------------------------
+# Wrap-mode traces torn mid-record: a crash or buffer-window edge can cut
+# the final record short.  That must surface as FormatError ("truncated
+# event"), never IndexError / struct.error.
+
+
+def _wrap_trace(tmp_path):
+    from repro.errors import FormatError  # noqa: F401  (documented contract)
+
+    path = tmp_path / "wrap.raw"
+    with RawTraceWriter(
+        path, RawFileHeader(0, 2, 0), buffer_bytes=512, wrap=True
+    ) as writer:
+        writer.write(RawEvent(HookId.MARKER_DEFINE, 0, 5, 0, (1,), "phase"))
+        for i in range(120):
+            writer.write(dispatch_event(i * 10, 5, i % 2))
+    assert writer.records_dropped > 0  # the window really wrapped
+    return path
+
+
+@pytest.mark.parametrize("mode", ["memory", *STREAMING_MODES])
+def test_wrap_trace_truncated_final_record_raises_formaterror(tmp_path, mode):
+    from repro.errors import FormatError
+
+    path = _wrap_trace(tmp_path)
+    with RawTraceReader(path) as reader:
+        offsets = [(off, length) for _hook, off, length in reader.scan()]
+    data = path.read_bytes()
+    last_off, last_len = offsets[-1]
+    # Cut inside the hookword, just past it, and one byte short of the end.
+    for cut in (last_off + 1, last_off + 3, last_off + 5, last_off + last_len - 1):
+        torn = tmp_path / f"torn-{cut}.raw"
+        torn.write_bytes(data[:cut])
+        with pytest.raises(FormatError, match="truncated event"):
+            with RawTraceReader(torn, mode=mode) as reader:
+                for _ in reader:
+                    pass
+
+
+@pytest.mark.parametrize("mode", ["memory", *STREAMING_MODES])
+def test_intact_wrap_trace_still_reads(tmp_path, mode):
+    path = _wrap_trace(tmp_path)
+    with RawTraceReader(path, mode=mode) as reader:
+        events = reader.events()
+    assert events  # the surviving window reads cleanly
