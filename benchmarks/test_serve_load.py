@@ -1,0 +1,172 @@
+"""Load benchmark for the trace-serving daemon (``ute-serve``).
+
+Drives one shared daemon with many concurrent blocking clients — the
+multi-analyst scenario the server exists for — and checks the capacity
+story end to end:
+
+* 8 clients x 30 mixed requests each complete with **zero 5xx**;
+* repeat frame fetches revalidate via ETag (304, no body resent);
+* per-frame byte cost stays bounded by the frame size, not the file size
+  (the paper's O(frame) display-cost claim, preserved over HTTP);
+* the concurrency cap turns deliberate overload into 503 + Retry-After,
+  never into errors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+from benchmarks.conftest import report
+from repro.serve import ServeClient, ServerConfig, ServerThread, TraceSession
+
+N_CLIENTS = 8
+N_REQUESTS = 30
+
+
+def _client_script(base_url: str, worker: int, n_frames: int, statuses: Counter,
+                   lock: threading.Lock) -> None:
+    client = ServeClient(base_url)
+    local: list[int] = []
+    for step in range(N_REQUESTS):
+        slot = (worker + step) % 6
+        if slot == 0:
+            resp = client.request("/api/preview")
+        elif slot == 1:
+            resp = client.request("/api/frames")
+        elif slot == 2:
+            resp = client.request(f"/api/arrows/{step % n_frames}")
+        elif slot == 3:
+            resp = client.request(
+                '/api/stats?table=table%20name%3Dt%20x%3D%28%22node%22%2C%20node%29'
+                '%20y%3D%28%22c%22%2C%20dura%2C%20count%29'
+            )
+        else:
+            # The hot path: frame fetches, revisiting a small working set
+            # so ETag revalidation and the shared cache both matter.
+            resp = client.request(f"/api/frame/{(worker * 3 + step) % n_frames}")
+        local.append(resp.status)
+    with lock:
+        statuses.update(local)
+
+
+def test_serve_concurrent_load(flash_pipeline):
+    slog_path = flash_pipeline["merge"].slog_path
+    config = ServerConfig(port=0, max_concurrency=32)
+    statuses: Counter = Counter()
+    lock = threading.Lock()
+    with ServerThread(slog_path, config) as srv:
+        n_frames = srv.session.frame_count()
+        assert n_frames >= 2
+        threads = [
+            threading.Thread(
+                target=_client_script,
+                args=(srv.base_url, w, n_frames, statuses, lock),
+            )
+            for w in range(N_CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        elapsed = time.perf_counter() - t0
+        hist = srv.server.m_latency
+        p50 = hist.quantile(0.5)
+        p95 = hist.quantile(0.95)
+        session_stats = srv.session.stats()
+
+    total = sum(statuses.values())
+    assert total == N_CLIENTS * N_REQUESTS
+    fives = sum(n for code, n in statuses.items() if code >= 500)
+    assert fives == 0, f"5xx under normal load: {dict(statuses)}"
+    assert statuses[304] > 0, "expected ETag revalidations in the hot path"
+    assert p50 < 1.0, f"median latency {p50:.3f}s is pathological"
+    report(
+        "", "SERVE — concurrent load (ute-serve daemon, FLASH-shaped run)",
+        f"  {N_CLIENTS} clients x {N_REQUESTS} requests in {elapsed:.2f}s "
+        f"({total / elapsed:.0f} req/s)",
+        f"  statuses: {dict(sorted(statuses.items()))}  (zero 5xx)",
+        f"  latency: p50<={p50:.4f}s p95<={p95:.4f}s",
+        f"  shared cache: {session_stats['hits']} hits / "
+        f"{session_stats['misses']} misses, "
+        f"{session_stats['bytes_fetched']} bytes fetched",
+    )
+
+
+def test_serve_etag_revalidation_saves_bytes(flash_pipeline):
+    slog_path = flash_pipeline["merge"].slog_path
+    with ServerThread(slog_path, ServerConfig(port=0)) as srv:
+        client = ServeClient(srv.base_url)
+        first = client.request("/api/frame/0")
+        assert first.status == 200
+        repeats = [client.request("/api/frame/0") for _ in range(10)]
+        assert all(r.status == 304 for r in repeats)
+        # 304s carry no body: the payload moved once, then never again.
+        wire_0 = len(first.body)
+    report(
+        "", "SERVE — ETag revalidation",
+        f"  frame 0 payload {wire_0} bytes sent once; "
+        f"10 revalidations answered 304 with 0-byte bodies",
+    )
+
+
+def test_serve_frame_cost_bounded_by_frame_size(flash_pipeline):
+    """Serving any one frame fetches O(frame) bytes, not O(file)."""
+    slog_path = flash_pipeline["merge"].slog_path
+    file_size = slog_path.stat().st_size
+    session = TraceSession(slog_path)
+    try:
+        entries = session.viewer.slog.frames
+        mid = len(entries) // 2
+        before = session.stats()["bytes_fetched"]
+        session.frame_payload(mid)
+        delta = session.stats()["bytes_fetched"] - before
+        assert 0 < delta <= entries[mid].size, (
+            f"frame {mid} cost {delta}B > frame size {entries[mid].size}B"
+        )
+        assert delta < file_size / 2
+    finally:
+        session.close()
+    report(
+        "", "SERVE — per-frame byte cost",
+        f"  frame {mid}: {delta} bytes fetched vs {entries[mid].size} frame bytes "
+        f"(file is {file_size} bytes): O(frame), not O(file)",
+    )
+
+
+def test_serve_overload_degrades_to_503(flash_pipeline):
+    """Past the cap the daemon sheds load with 503 + Retry-After — no 5xx."""
+    slog_path = flash_pipeline["merge"].slog_path
+    config = ServerConfig(port=0, max_concurrency=1, retry_after=2)
+    with ServerThread(slog_path, config) as srv:
+        release = threading.Event()
+        original = srv.server._h_preview
+
+        def slow_preview(request):
+            release.wait(timeout=10.0)
+            return original(request)
+
+        srv.server._h_preview = slow_preview
+        holder = threading.Thread(
+            target=lambda: ServeClient(srv.base_url).request("/api/preview"),
+            daemon=True,
+        )
+        holder.start()
+        deadline = time.perf_counter() + 5.0
+        while srv.server._active < 1 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        overflow = [ServeClient(srv.base_url).request("/api/frames") for _ in range(5)]
+        release.set()
+        holder.join(timeout=10.0)
+        recovered = ServeClient(srv.base_url).request("/api/frames")
+    statuses = Counter(r.status for r in overflow)
+    assert statuses == {503: 5}, f"expected clean shedding, got {dict(statuses)}"
+    assert all(r.headers.get("retry-after") == "2" for r in overflow)
+    assert recovered.status == 200
+    report(
+        "", "SERVE — overload behaviour (max_concurrency=1, 5 extra clients)",
+        f"  overflow statuses: {dict(statuses)} with Retry-After: 2; "
+        f"after drain the same request answered {recovered.status}",
+    )

@@ -11,15 +11,21 @@ ute-stats      interval files + table program -> TSV tables (+ SVG viewer)
 ute-preview    SLOG -> whole-run preview SVG + interesting ranges
 ute-view       SLOG -> time-space diagram SVG (or ANSI), whole run or the
                frame containing a chosen instant
+ute-serve      SLOG -> concurrent HTTP daemon (API + lazy web viewer)
 =============  =============================================================
 
 Each ``main_*`` function doubles as a console-script entry point and a
 library helper (pass ``argv`` explicitly in tests).
+
+Every entry point validates its input paths up front: a missing or
+unreadable file produces a one-line ``prog: error: ...`` on stderr and
+exit status 2, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -31,6 +37,40 @@ def _profile_for(args) -> Profile:
     if getattr(args, "profile", None):
         return Profile.read(args.profile)
     return standard_profile()
+
+
+def _input_error(paths) -> str | None:
+    """The first problem that would make an input path unreadable."""
+    for name in paths:
+        path = Path(name)
+        if path.is_dir():
+            return f"input path is a directory: {name}"
+        if not path.exists():
+            return f"input file not found: {name}"
+        if not os.access(path, os.R_OK):
+            return f"input file not readable: {name}"
+    return None
+
+
+def _output_error(out) -> str | None:
+    """Why writing ``out`` would fail: its nearest existing ancestor must
+    be a writable directory (missing intermediate dirs are auto-created)."""
+    probe = Path(out).absolute().parent
+    while not probe.exists() and probe.parent != probe:
+        probe = probe.parent
+    if not probe.is_dir():
+        return f"output location is not a directory: {probe}"
+    if not os.access(probe, os.W_OK):
+        return f"output directory not writable: {probe}"
+    return None
+
+
+def _usage_error(prog: str, message: str | None) -> int | None:
+    """Print a one-line error and return exit status 2 (None when fine)."""
+    if message is None:
+        return None
+    print(f"{prog}: error: {message}", file=sys.stderr)
+    return 2
 
 
 def main_trace(argv: list[str] | None = None) -> int:
@@ -95,6 +135,8 @@ def main_convert(argv: list[str] | None = None) -> int:
         "byte-identical to the serial pass)",
     )
     args = parser.parse_args(argv)
+    if (code := _usage_error("ute-convert", _input_error(args.raw))) is not None:
+        return code
 
     from repro.utils.convert import convert_traces
 
@@ -199,6 +241,9 @@ def main_merge(argv: list[str] | None = None) -> int:
     parser = _merge_args("ute-merge")
     args = parser.parse_args(argv)
     _check_merge_inputs(parser, args)
+    inputs = [*args.intervals, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-merge", _input_error(inputs))) is not None:
+        return code
     result = _run_merge(args, None)
     print(result.merged_path)
     print(
@@ -215,6 +260,9 @@ def main_slogmerge(argv: list[str] | None = None) -> int:
     parser.add_argument("--slog", default="out.slog")
     args = parser.parse_args(argv)
     _check_merge_inputs(parser, args)
+    inputs = [*args.intervals, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("slogmerge", _input_error(inputs))) is not None:
+        return code
     result = _run_merge(args, args.slog)
     print(result.merged_path)
     print(result.slog_path)
@@ -232,6 +280,13 @@ def main_stats(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--out", default="stats", help="output directory")
     parser.add_argument("--svg", action="store_true", help="also render SVG viewers")
     args = parser.parse_args(argv)
+    inputs = [
+        *args.intervals,
+        *([args.program] if args.program else []),
+        *([args.profile] if args.profile else []),
+    ]
+    if (code := _usage_error("ute-stats", _input_error(inputs))) is not None:
+        return code
 
     from repro.utils.stats import generate_tables, interval_records, predefined_tables
 
@@ -275,6 +330,9 @@ def main_validate(argv: list[str] | None = None) -> int:
     parser.add_argument("intervals", nargs="+")
     parser.add_argument("--profile", default=None)
     args = parser.parse_args(argv)
+    inputs = [*args.intervals, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-validate", _input_error(inputs))) is not None:
+        return code
 
     from repro.utils.validate import validate_files
 
@@ -293,6 +351,10 @@ def main_preview(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--out", default="preview.svg")
     parser.add_argument("--threshold", type=float, default=0.05)
     args = parser.parse_args(argv)
+    if (code := _usage_error("ute-preview", _input_error([args.slog]))) is not None:
+        return code
+    if (code := _usage_error("ute-preview", _output_error(args.out))) is not None:
+        return code
 
     from repro.viz.jumpshot import Jumpshot
 
@@ -313,6 +375,9 @@ def main_profile(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", default=None)
     parser.add_argument("--include-running", action="store_true")
     args = parser.parse_args(argv)
+    inputs = [*args.intervals, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-profile", _input_error(inputs))) is not None:
+        return code
 
     from repro.analysis.blocking import call_profile, format_call_profile
     from repro.core.reader import IntervalReader
@@ -341,6 +406,9 @@ def main_dump(argv: list[str] | None = None) -> int:
     parser.add_argument("-n", "--limit", type=int, default=None,
                         help="max records per file")
     args = parser.parse_args(argv)
+    inputs = [*args.files, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-dump", _input_error(inputs))) is not None:
+        return code
 
     from repro.utils.dump import dump_any
 
@@ -364,6 +432,10 @@ def main_report(argv: list[str] | None = None) -> int:
         help="comma-separated view kinds to include",
     )
     args = parser.parse_args(argv)
+    if (code := _usage_error("ute-report", _input_error([args.slog]))) is not None:
+        return code
+    if (code := _usage_error("ute-report", _output_error(args.out))) is not None:
+        return code
 
     from repro.viz.report import build_run_report
 
@@ -401,6 +473,11 @@ def main_view(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--columns", type=int, default=100)
     args = parser.parse_args(argv)
+    if (code := _usage_error("ute-view", _input_error([args.slog]))) is not None:
+        return code
+    if not args.ansi:
+        if (code := _usage_error("ute-view", _output_error(args.out))) is not None:
+            return code
 
     from repro.viz.ansi import render_view_ansi
     from repro.viz.jumpshot import Jumpshot
@@ -432,4 +509,49 @@ def main_view(argv: list[str] | None = None) -> int:
         print(viewer.render_frame_at(args.at, args.out, kind=args.kind))
     else:
         print(viewer.render_whole_run(args.out, kind=args.kind))
+    return 0
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    """Serve a SLOG file over HTTP: API + lazy interactive viewer."""
+    parser = argparse.ArgumentParser(
+        "ute-serve",
+        description="Serve a SLOG file to many concurrent clients: JSON/SVG "
+        "API, interactive web viewer, Prometheus-style /metrics.",
+    )
+    parser.add_argument("slog")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("-p", "--port", type=int, default=8265,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--max-concurrency", type=int, default=8,
+                        help="requests beyond this get 503 + Retry-After")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request wall-clock budget (seconds)")
+    parser.add_argument("--cache-frames", type=int, default=64,
+                        help="decoded frames kept in the shared LRU cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logs")
+    args = parser.parse_args(argv)
+    if (code := _usage_error("ute-serve", _input_error([args.slog]))) is not None:
+        return code
+
+    import logging
+
+    from repro.serve.app import ServerConfig, serve_file
+
+    logging.basicConfig(
+        level=logging.WARNING if args.quiet else logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+        stream=sys.stderr,
+    )
+    serve_file(
+        args.slog,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            request_timeout=args.timeout,
+            cache_frames=args.cache_frames,
+        ),
+    )
     return 0

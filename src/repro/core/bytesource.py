@@ -75,6 +75,15 @@ class ByteSource:
         self.bytes_fetched = 0
         self.fetch_count = 0
 
+    def stats(self) -> dict[str, int]:
+        """Fetch accounting in the shared stats shape (see readers'
+        ``stats()``): consumers such as ``/metrics`` and the benchmarks
+        read one dict instead of poking backend attributes."""
+        return {
+            "fetch_count": self.fetch_count,
+            "bytes_fetched": self.bytes_fetched,
+        }
+
     # ------------------------------------------------------------ internals
 
     def _read_range(self, offset: int, size: int) -> bytes:

@@ -28,6 +28,7 @@ callers must treat them as read-only.
 from __future__ import annotations
 
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -67,6 +68,10 @@ class IntervalReader:
         self.cache_misses = 0
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
         self._cache_frames = max(0, cache_frames)
+        # Serializes frame reads: the LRU mutation (move_to_end + eviction)
+        # and the byte source's internal chunk cache are not safe under
+        # concurrent readers sharing one instance (the serving daemon does).
+        self._cache_lock = threading.Lock()
         if len(self.source) < IntervalFileHeader.size():
             raise FormatError(f"{self.path}: truncated interval file")
         try:
@@ -172,20 +177,32 @@ class IntervalReader:
         """Decode every record of one frame (LRU-cached by frame identity).
 
         Cache hits return a fresh list sharing the previously decoded
-        record objects — treat them as read-only."""
+        record objects — treat them as read-only.  Thread-safe: readers
+        shared across threads (the serving daemon) serialize on an
+        internal lock."""
         key = (frame.offset, frame.size)
-        cached = self._frame_cache.get(key)
-        if cached is not None:
-            self._frame_cache.move_to_end(key)
-            self.cache_hits += 1
-            return list(cached)
-        self.cache_misses += 1
-        records = self._decode_frame(frame)
-        if self._cache_frames:
-            self._frame_cache[key] = records
-            while len(self._frame_cache) > self._cache_frames:
-                self._frame_cache.popitem(last=False)
-        return list(records)
+        with self._cache_lock:
+            cached = self._frame_cache.get(key)
+            if cached is not None:
+                self._frame_cache.move_to_end(key)
+                self.cache_hits += 1
+                return list(cached)
+            self.cache_misses += 1
+            records = self._decode_frame(frame)
+            if self._cache_frames:
+                self._frame_cache[key] = records
+                while len(self._frame_cache) > self._cache_frames:
+                    self._frame_cache.popitem(last=False)
+            return list(records)
+
+    def stats(self) -> dict[str, int]:
+        """Cache and IO accounting in the shared stats shape:
+        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            **self.source.stats(),
+        }
 
     def _decode_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
         profile = self._require_profile()

@@ -1,0 +1,25 @@
+"""The trace-serving daemon (``ute-serve``).
+
+A dependency-free asyncio HTTP service that puts the Jumpshot workflow —
+preview, frame index, frame display, statistics — behind an API so many
+clients can explore one SLOG file concurrently.  One shared
+:class:`~repro.serve.session.TraceSession` (SlogFile + frame cache behind
+a lock) backs every request; strong ETags make repeat frame views free;
+``/metrics`` exports Prometheus-style counters built on the byte-source
+accounting.
+
+See ``docs/SERVING.md`` for the API reference.
+"""
+
+from repro.serve.app import ServerConfig, ServerThread, TraceServer, serve_file
+from repro.serve.client import ServeClient
+from repro.serve.session import TraceSession
+
+__all__ = [
+    "ServerConfig",
+    "ServerThread",
+    "TraceServer",
+    "serve_file",
+    "ServeClient",
+    "TraceSession",
+]

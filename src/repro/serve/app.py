@@ -1,0 +1,529 @@
+"""The concurrent trace-serving daemon (``ute-serve``).
+
+A dependency-free asyncio HTTP/1.1 server exposing the Jumpshot workflow
+as an API over one shared SLOG file:
+
+==============================  ============================================
+endpoint                        returns
+==============================  ============================================
+``GET /``                       the interactive viewer page (lazy fetches)
+``GET /api/preview``            state-counter bins + interesting ranges
+``GET /api/frames``             the frame directory
+``GET /api/frame/{i}``          one frame's decoded records (JSON);
+                                ``?view=kind`` adds a pre-built view payload
+``GET /api/view/{kind}?t=S``    the frame display at instant ``S`` as SVG
+``GET /api/arrows/{i}``         matched message arrows of frame ``i``
+``GET /api/stats?table=...``    a statlang table run server-side (TSV/JSON)
+``GET /metrics``                Prometheus-style counters
+==============================  ============================================
+
+Design points (the paper's scalability story, applied to serving):
+
+* **Shared session** — one SlogFile + frame cache behind a lock serves
+  every request, so hot frames decode once however many clients watch.
+* **Strong ETags** — ``mtime_ns-size-resource``; ``If-None-Match`` hits
+  return 304 before any frame is fetched or decoded.
+* **Bounded concurrency** — requests beyond ``max_concurrency`` get an
+  immediate 503 with ``Retry-After`` instead of queueing unboundedly;
+  each admitted request runs under a timeout.
+* **Strict input handling** — request line/header limits, no request
+  bodies, path-traversal rejection, bounded query params.
+* **Observability** — structured access logs and a ``/metrics`` endpoint
+  built on the byte-source fetch accounting of PR 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import logging
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import FormatError, StatsError
+from repro.serve.html import server_page
+from repro.serve.metrics import Registry
+from repro.serve.session import DEFAULT_SERVER_CACHE, TraceSession
+from repro.viz.jumpshot import VIEW_KINDS
+
+log = logging.getLogger("repro.serve")
+access_log = logging.getLogger("repro.serve.access")
+
+_REASONS = {
+    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 413: "Payload Too Large",
+    414: "URI Too Long", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Capacity and safety knobs of the daemon (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8265
+    #: Admitted requests beyond this get 503 + Retry-After.
+    max_concurrency: int = 8
+    #: Per-request wall-clock budget (seconds); exceeded -> 504.
+    request_timeout: float = 30.0
+    #: Seconds clients should wait after a 503.
+    retry_after: int = 1
+    #: Longest accepted request line (method + target + version).
+    max_target_bytes: int = 8192
+    max_header_bytes: int = 8192
+    max_headers: int = 64
+    max_query_params: int = 16
+    #: Longest accepted single query-parameter value (statlang programs).
+    max_param_bytes: int = 8192
+    #: Width of SVGs rendered by /api/view.
+    svg_width: int = 1100
+    cache_frames: int = DEFAULT_SERVER_CACHE
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with a specific status."""
+
+    def __init__(self, status: int, message: str, headers: dict[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] | None = None
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        return cls(status, json.dumps(payload).encode(), "application/json")
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, content_type: str = "text/plain") -> "Response":
+        return cls(status, text.encode(), content_type + "; charset=utf-8")
+
+
+class TraceServer:
+    """The asyncio server over one :class:`TraceSession`."""
+
+    def __init__(self, session: TraceSession, config: ServerConfig | None = None) -> None:
+        self.session = session
+        self.config = config or ServerConfig()
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._active = 0
+        self.registry = Registry()
+        self.m_requests = self.registry.counter(
+            "ute_serve_requests_total", "Requests handled.", ("route", "status")
+        )
+        self.m_latency = self.registry.histogram(
+            "ute_serve_request_seconds", "Request latency (seconds)."
+        )
+        self.m_rejected = self.registry.counter(
+            "ute_serve_rejected_total", "Requests rejected before dispatch.", ("reason",)
+        )
+        self.registry.gauge(
+            "ute_serve_inflight_requests", "Requests currently executing.",
+            lambda: self._active,
+        )
+        stats = self.session.stats  # sampled at scrape time
+        self.registry.gauge(
+            "ute_serve_frame_cache_hits_total", "Shared frame-cache hits.",
+            lambda: stats()["hits"],
+        )
+        self.registry.gauge(
+            "ute_serve_frame_cache_misses_total", "Shared frame-cache misses.",
+            lambda: stats()["misses"],
+        )
+        self.registry.gauge(
+            "ute_serve_bytes_fetched_total", "Bytes fetched from the SLOG byte source.",
+            lambda: stats()["bytes_fetched"],
+        )
+        self.registry.gauge(
+            "ute_serve_fetches_total", "Fetch calls against the SLOG byte source.",
+            lambda: stats()["fetch_count"],
+        )
+        self.registry.gauge(
+            "ute_serve_frames", "Frames in the served SLOG file.",
+            lambda: self.session.frame_count(),
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; sets :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "serving %s on http://%s:%d/", self.session.path,
+            self.config.host, self.port,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------- request cycle
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        start = time.perf_counter()
+        route = "-"
+        request: Request | None = None
+        try:
+            request = await asyncio.wait_for(self._read_request(reader), timeout=10.0)
+            route, response = await self._dispatch(request)
+        except _HttpError as exc:
+            response = Response.text(exc.message + "\n", exc.status)
+            response.headers = dict(exc.headers)
+        except asyncio.TimeoutError:
+            response = Response.text("request header timeout\n", 408)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception:  # pragma: no cover - defensive
+            log.exception("unhandled error")
+            response = Response.text("internal server error\n", 500)
+        duration = time.perf_counter() - start
+        self.m_requests.inc(route=route, status=str(response.status))
+        self.m_latency.observe(duration)
+        try:
+            head_only = request is not None and request.method == "HEAD"
+            await self._write_response(writer, response, head_only=head_only)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+        access_log.info(
+            "method=%s path=%s route=%s status=%d dur_ms=%.2f bytes=%d",
+            request.method if request else "-",
+            request.path if request else "-",
+            route, response.status, duration * 1e3, len(response.body),
+        )
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Request:
+        cfg = self.config
+        line = await reader.readline()
+        if len(line) > cfg.max_target_bytes:
+            raise _HttpError(414, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        if method not in ("GET", "HEAD"):
+            raise _HttpError(405, f"method {method} not allowed", {"Allow": "GET, HEAD"})
+        headers: dict[str, str] = {}
+        for _ in range(cfg.max_headers + 1):
+            raw = await reader.readline()
+            if len(raw) > cfg.max_header_bytes:
+                raise _HttpError(431, "header line too long")
+            text = raw.decode("latin-1").rstrip("\r\n")
+            if not text:
+                break
+            if ":" not in text:
+                raise _HttpError(400, "malformed header line")
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        if int(headers.get("content-length", "0") or 0) > 0:
+            raise _HttpError(413, "request bodies are not accepted")
+        path, query = self._parse_target(target)
+        return Request(method, path, query, headers)
+
+    def _parse_target(self, target: str) -> tuple[str, dict[str, str]]:
+        cfg = self.config
+        if len(target) > cfg.max_target_bytes:
+            raise _HttpError(414, "request target too long")
+        split = urllib.parse.urlsplit(target)
+        path = urllib.parse.unquote(split.path)
+        if not path.startswith("/") or "\x00" in path or "\\" in path:
+            raise _HttpError(400, "invalid request path")
+        if any(seg == ".." for seg in path.split("/")):
+            raise _HttpError(400, "path traversal rejected")
+        try:
+            pairs = urllib.parse.parse_qsl(
+                split.query, keep_blank_values=True,
+                max_num_fields=cfg.max_query_params,
+            )
+        except ValueError:
+            raise _HttpError(400, "too many query parameters") from None
+        query: dict[str, str] = {}
+        for key, value in pairs:
+            if len(value) > cfg.max_param_bytes:
+                raise _HttpError(414, f"query parameter {key!r} too long")
+            query[key] = value
+        return path, query
+
+    async def _dispatch(self, request: Request) -> tuple[str, Response]:
+        route, handler, etag_tag = self._route(request)
+        if handler is None:
+            raise _HttpError(404, f"no such resource: {request.path}")
+        # Saturation check before any work: the event loop is single
+        # threaded, so the counter needs no lock.
+        if self._active >= self.config.max_concurrency:
+            self.m_rejected.inc(reason="saturated")
+            raise _HttpError(
+                503, "server saturated, retry later",
+                {"Retry-After": str(self.config.retry_after)},
+            )
+        etag = self.session.etag(etag_tag) if etag_tag else None
+        if etag is not None:
+            candidates = request.headers.get("if-none-match", "")
+            if candidates.strip() == "*" or etag in [
+                c.strip() for c in candidates.split(",")
+            ]:
+                response = Response(304, b"", "application/json")
+                response.headers = {"ETag": etag}
+                return route, response
+        self._active += 1
+        try:
+            loop = asyncio.get_running_loop()
+            response = await asyncio.wait_for(
+                loop.run_in_executor(None, self._run_handler, handler, request),
+                timeout=self.config.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            raise _HttpError(504, "request timed out") from None
+        finally:
+            self._active -= 1
+        if etag is not None and response.status == 200:
+            response.headers = {**(response.headers or {}), "ETag": etag,
+                                "Cache-Control": "no-cache"}
+        return route, response
+
+    def _run_handler(self, handler: Callable[[Request], Response], request: Request) -> Response:
+        try:
+            return handler(request)
+        except (FormatError, StatsError) as exc:
+            return Response.json({"error": str(exc)}, 400)
+
+    def _route(
+        self, request: Request
+    ) -> tuple[str, Callable[[Request], Response] | None, str | None]:
+        """(metrics route label, handler, ETag tag) for one request."""
+        segs = [s for s in request.path.split("/") if s]
+        if not segs:
+            return "/", self._h_index, None
+        if segs == ["metrics"]:
+            return "/metrics", self._h_metrics, None
+        if segs == ["api", "preview"]:
+            return "/api/preview", self._h_preview, "preview"
+        if segs == ["api", "frames"]:
+            return "/api/frames", self._h_frames, "frames"
+        if len(segs) == 3 and segs[:2] == ["api", "frame"]:
+            index = self._int_seg(segs[2], "frame index")
+            view = request.query.get("view", "")
+            tag = f"frame-{index}" + (f"-{view}" if view else "")
+            return "/api/frame/{i}", lambda r: self._h_frame(r, index), tag
+        if len(segs) == 3 and segs[:2] == ["api", "arrows"]:
+            index = self._int_seg(segs[2], "frame index")
+            return "/api/arrows/{i}", lambda r: self._h_arrows(r, index), f"arrows-{index}"
+        if len(segs) == 3 and segs[:2] == ["api", "view"]:
+            kind = segs[2]
+            tag = "view-" + hashlib.sha1(
+                f"{kind}?t={request.query.get('t', '')}&w={request.query.get('width', '')}"
+                .encode()
+            ).hexdigest()[:16]
+            return "/api/view/{kind}", lambda r: self._h_view(r, kind), tag
+        if segs == ["api", "stats"]:
+            tag = "stats-" + hashlib.sha1(
+                (request.query.get("table", "") + "\x00" + request.query.get("format", ""))
+                .encode()
+            ).hexdigest()[:16]
+            return "/api/stats", self._h_stats, tag
+        return request.path, None, None
+
+    @staticmethod
+    def _int_seg(text: str, what: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise _HttpError(400, f"{what} must be an integer, got {text!r}") from None
+
+    # -------------------------------------------------------------- handlers
+    # Run on executor threads; session methods take the shared lock.
+
+    def _h_index(self, request: Request) -> Response:
+        title = f"{self.session.path.name} — ute-serve"
+        return Response.text(server_page(title, VIEW_KINDS), content_type="text/html")
+
+    def _h_metrics(self, request: Request) -> Response:
+        return Response.text(
+            self.registry.render(), content_type="text/plain; version=0.0.4"
+        )
+
+    def _h_preview(self, request: Request) -> Response:
+        return Response.json(self.session.preview_payload())
+
+    def _h_frames(self, request: Request) -> Response:
+        return Response.json(self.session.frames_payload())
+
+    def _h_frame(self, request: Request, index: int) -> Response:
+        view = request.query.get("view") or None
+        return Response.json(self.session.frame_payload(index, view=view))
+
+    def _h_arrows(self, request: Request, index: int) -> Response:
+        return Response.json(self.session.arrows_payload(index))
+
+    def _h_view(self, request: Request, kind: str) -> Response:
+        if "t" not in request.query:
+            raise _HttpError(400, "missing required query parameter 't' (seconds)")
+        try:
+            t_seconds = float(request.query["t"])
+        except ValueError:
+            raise _HttpError(400, f"bad instant {request.query['t']!r}") from None
+        width = self.config.svg_width
+        if "width" in request.query:
+            width = max(200, min(self._int_seg(request.query["width"], "width"), 4000))
+        svg = self.session.view_svg(kind, t_seconds, width=width)
+        return Response.text(svg, content_type="image/svg+xml")
+
+    def _h_stats(self, request: Request) -> Response:
+        program = request.query.get("table", "")
+        if not program.strip():
+            raise _HttpError(400, "missing required query parameter 'table'")
+        fmt = request.query.get("format", "tsv")
+        if fmt not in ("tsv", "json"):
+            raise _HttpError(400, f"unknown format {fmt!r}; pick 'tsv' or 'json'")
+        tables = self.session.stats_tables(program)
+        if fmt == "json":
+            return Response.json({
+                "tables": [
+                    {
+                        "name": t.name,
+                        "x_labels": list(t.x_labels),
+                        "y_labels": list(t.y_labels),
+                        "rows": [
+                            list(key) + list(values)
+                            for key, values in sorted(t.rows.items())
+                        ],
+                    }
+                    for t in tables
+                ]
+            })
+        text = "\n".join(f"# table {t.name}\n{t.to_tsv()}" for t in tables)
+        return Response.text(text, content_type="text/tab-separated-values")
+
+    # --------------------------------------------------------------- output
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response, *, head_only: bool = False
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        headers = {
+            "Content-Type": response.content_type,
+            "Content-Length": str(len(response.body)),
+            "Connection": "close",
+            **(response.headers or {}),
+        }
+        if response.status == 304:
+            headers.pop("Content-Type", None)
+        head = f"HTTP/1.1 {response.status} {reason}\r\n" + "".join(
+            f"{k}: {v}\r\n" for k, v in headers.items()
+        ) + "\r\n"
+        writer.write(head.encode("latin-1"))
+        if not head_only and response.status != 304:
+            writer.write(response.body)
+        await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Embedding helpers.
+
+
+def serve_file(
+    slog_path: str | Path, config: ServerConfig | None = None
+) -> None:
+    """Open a SLOG file and serve it until interrupted (the CLI's core)."""
+    config = config or ServerConfig()
+    session = TraceSession(slog_path, cache_frames=config.cache_frames)
+    server = TraceServer(session, config)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"ute-serve: http://{config.host}:{server.port}/  (Ctrl-C to stop)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.close()
+
+
+class ServerThread:
+    """Run a :class:`TraceServer` on a background thread (tests, benchmarks).
+
+    ::
+
+        with ServerThread(slog) as srv:
+            client = ServeClient(f"http://127.0.0.1:{srv.port}")
+    """
+
+    def __init__(self, slog_path: str | Path, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig(port=0)
+        self.session = TraceSession(slog_path, cache_frames=self.config.cache_frames)
+        self.server = TraceServer(self.session, self.config)
+        self.port: int | None = None
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, name="ute-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        self.port = self.server.port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self._loop.run_forever()
+        # Drain: close the listener inside the loop before it is torn down.
+        self._loop.run_until_complete(self.server.stop())
+        self._loop.close()
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+        self.session.close()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

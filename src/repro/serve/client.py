@@ -1,0 +1,134 @@
+"""A small blocking client for the serving daemon (stdlib ``urllib``).
+
+Used by the tests, the load benchmark, and scriptable exploration::
+
+    client = ServeClient("http://127.0.0.1:8265")
+    preview = client.preview()
+    frame = client.frame(0)
+    svg = client.view_svg("thread", t=0.0001)
+
+The client remembers the ETag of every 200 response and sends it back as
+``If-None-Match``; on a 304 the previously cached body is returned, so
+callers never see the difference — except in :attr:`ServeResponse.status`
+and the daemon's metrics, where the revalidation shows up as a free hit.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ServeResponse:
+    """One HTTP exchange: status, headers, body."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode())
+
+    @property
+    def text(self) -> str:
+        return self.body.decode()
+
+
+@dataclass
+class ServeClient:
+    """Blocking API client with transparent ETag revalidation."""
+
+    base_url: str
+    timeout: float = 30.0
+    use_etags: bool = True
+    _etags: dict[str, str] = field(default_factory=dict, repr=False)
+    _cache: dict[str, ServeResponse] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.base_url = self.base_url.rstrip("/")
+
+    # ------------------------------------------------------------- plumbing
+
+    def request(self, path: str, *, headers: dict[str, str] | None = None) -> ServeResponse:
+        """GET ``path`` (path + optional query, starting with ``/``).
+
+        Non-2xx responses are returned, not raised.  With ETags enabled, a
+        304 revalidation transparently yields the cached body (status stays
+        304 so callers can count cheap hits)."""
+        url = self.base_url + path
+        send = dict(headers or {})
+        if self.use_etags and path in self._etags and "If-None-Match" not in send:
+            send["If-None-Match"] = self._etags[path]
+        req = urllib.request.Request(url, headers=send, method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                response = ServeResponse(
+                    resp.status, {k.lower(): v for k, v in resp.headers.items()},
+                    resp.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            response = ServeResponse(
+                exc.code, {k.lower(): v for k, v in exc.headers.items()},
+                exc.read(),
+            )
+        if response.status == 200 and "etag" in response.headers:
+            self._etags[path] = response.headers["etag"]
+            self._cache[path] = response
+        elif response.status == 304 and path in self._cache:
+            cached = self._cache[path]
+            response = ServeResponse(304, response.headers, cached.body)
+        return response
+
+    def get_json(self, path: str) -> Any:
+        response = self.request(path)
+        if response.status not in (200, 304):
+            raise RuntimeError(f"GET {path} -> {response.status}: {response.text.strip()}")
+        return response.json()
+
+    # ------------------------------------------------------------- API calls
+
+    def preview(self) -> dict:
+        return self.get_json("/api/preview")
+
+    def frames(self) -> dict:
+        return self.get_json("/api/frames")
+
+    def frame(self, index: int, *, view: str | None = None) -> dict:
+        path = f"/api/frame/{index}"
+        if view:
+            path += "?view=" + urllib.parse.quote(view)
+        return self.get_json(path)
+
+    def arrows(self, index: int) -> dict:
+        return self.get_json(f"/api/arrows/{index}")
+
+    def view_svg(self, kind: str, t: float, *, width: int | None = None) -> str:
+        path = f"/api/view/{urllib.parse.quote(kind)}?t={t}"
+        if width is not None:
+            path += f"&width={width}"
+        response = self.request(path)
+        if response.status not in (200, 304):
+            raise RuntimeError(f"GET {path} -> {response.status}: {response.text.strip()}")
+        return response.text
+
+    def stats(self, table: str, *, format: str = "tsv") -> ServeResponse:
+        query = urllib.parse.urlencode({"table": table, "format": format})
+        return self.request(f"/api/stats?{query}")
+
+    def metrics(self) -> str:
+        response = self.request("/metrics")
+        if response.status != 200:
+            raise RuntimeError(f"GET /metrics -> {response.status}")
+        return response.text
+
+    def metric_value(self, name: str) -> float:
+        """Read one unlabelled metric's current value from ``/metrics``."""
+        for line in self.metrics().splitlines():
+            if line.startswith(name + " "):
+                return float(line.split()[1])
+        raise KeyError(name)

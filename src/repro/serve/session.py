@@ -1,0 +1,185 @@
+"""The shared trace session: one SLOG file serving many requests.
+
+A :class:`TraceSession` owns the :class:`~repro.viz.jumpshot.Jumpshot`
+viewer (and through it the SlogFile, byte source, and frame cache) that
+every request of the daemon shares.  A read lock serializes byte-source
+fetches — the reader-level frame-cache lock makes concurrent decodes
+sound, the session lock additionally keeps multi-step operations (build a
+view over a frame's records) consistent.
+
+The session also computes the ETag base: ``mtime_ns-size`` of the SLOG
+file, combined per resource with a frame id or view kind, yields strong
+ETags that change whenever the file is replaced.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.core.records import IntervalRecord, IntervalType
+from repro.errors import FormatError
+from repro.utils.stats import generate_tables
+from repro.viz.arrows import match_arrows
+from repro.viz.interactive import view_payload
+from repro.viz.jumpshot import VIEW_KINDS, Jumpshot
+from repro.viz.preview import interesting_ranges
+
+#: Default LRU capacity of the server's shared frame cache.
+DEFAULT_SERVER_CACHE = 64
+
+
+class TraceSession:
+    """One SLOG file opened for serving: viewer + lock + ETag base."""
+
+    def __init__(
+        self, path: str | Path, *, cache_frames: int = DEFAULT_SERVER_CACHE
+    ) -> None:
+        self.path = Path(path)
+        stat = os.stat(self.path)
+        self.etag_base = f"{stat.st_mtime_ns}-{stat.st_size}"
+        self.viewer = Jumpshot(self.path, cache_frames=cache_frames)
+        self.lock = threading.RLock()
+
+    def close(self) -> None:
+        """Release the underlying byte source."""
+        with self.lock:
+            self.viewer.close()
+
+    # ---------------------------------------------------------------- ETags
+
+    def etag(self, tag: str) -> str:
+        """A strong ETag for one resource of this file."""
+        return f'"{self.etag_base}-{tag}"'
+
+    # ------------------------------------------------------------- payloads
+    # Every payload method takes the session lock: handlers run them on
+    # executor threads, so one SlogFile safely backs concurrent requests.
+
+    def preview_payload(self) -> dict[str, Any]:
+        """State-counter bins plus interesting ranges (``/api/preview``)."""
+        with self.lock:
+            slog = self.viewer.slog
+            itypes, matrix = slog.preview_matrix()
+            t0, t1 = slog.time_range
+            return {
+                "bins": slog.preview_bins,
+                "time_range": [t0 / slog.ticks_per_sec, t1 / slog.ticks_per_sec],
+                "ticks_per_sec": slog.ticks_per_sec,
+                "states": [
+                    {
+                        "type": itype,
+                        "name": slog.profile.record_name(itype),
+                        "seconds": [float(v) for v in matrix[:, j]],
+                    }
+                    for j, itype in enumerate(itypes)
+                ],
+                "interesting": [
+                    [lo, hi] for lo, hi in interesting_ranges(self.viewer.preview)
+                ],
+            }
+
+    def frames_payload(self) -> dict[str, Any]:
+        """The frame directory (``/api/frames``)."""
+        with self.lock:
+            frames = self.viewer.frame_index()
+            return {
+                "file": self.path.name,
+                "ticks_per_sec": self.viewer.slog.ticks_per_sec,
+                "count": len(frames),
+                "frames": frames,
+            }
+
+    def frame_payload(self, index: int, *, view: str | None = None) -> dict[str, Any]:
+        """One frame's decoded records (``/api/frame/{i}``); with ``view``
+        set, the records also come pre-built as a view payload the HTML
+        viewer renders directly."""
+        if view is not None and view not in VIEW_KINDS:
+            raise FormatError(f"unknown view kind {view!r}; pick one of {VIEW_KINDS}")
+        with self.lock:
+            frame = self.viewer.frame_entry(index)
+            records = self.viewer.frame_records(frame)
+            slog = self.viewer.slog
+            payload: dict[str, Any] = {
+                "index": index,
+                "start": frame.start_time / slog.ticks_per_sec,
+                "end": frame.end_time / slog.ticks_per_sec,
+                "pseudo_count": frame.n_pseudo,
+                "records": [
+                    self._record_json(r, pseudo=i < frame.n_pseudo)
+                    for i, r in enumerate(records)
+                ],
+            }
+            if view is not None:
+                built = self.viewer.build_view(records, view)
+                vp = view_payload(built, ticks_per_sec=slog.ticks_per_sec)
+                vp["t0"], vp["t1"] = frame.start_time, max(frame.end_time, frame.start_time + 1)
+                payload["view"] = vp
+            return payload
+
+    def arrows_payload(self, index: int) -> dict[str, Any]:
+        """Matched message arrows of one frame (``/api/arrows/{i}``)."""
+        with self.lock:
+            frame = self.viewer.frame_entry(index)
+            records = self.viewer.frame_records(frame)
+            tps = self.viewer.slog.ticks_per_sec
+            return {
+                "index": index,
+                "arrows": [
+                    {
+                        "seqno": a.seqno,
+                        "src": list(a.src_row),
+                        "dst": list(a.dst_row),
+                        "send": a.send_time / tps,
+                        "recv": a.recv_time / tps,
+                        "bytes": a.size,
+                    }
+                    for a in match_arrows(records)
+                ],
+            }
+
+    def view_svg(self, kind: str, t_seconds: float, *, width: int = 1100) -> str:
+        """A rendered frame display (``/api/view/{kind}?t=...``)."""
+        with self.lock:
+            return self.viewer.view_svg_at(t_seconds, kind=kind, width=width)
+
+    def stats_tables(self, program: str) -> list:
+        """Run a statlang program over every record (``/api/stats``)."""
+        with self.lock:
+            slog = self.viewer.slog
+            records = (
+                r for r in slog.records() if r.itype != IntervalType.CLOCKPAIR
+            )
+            return generate_tables(
+                records,
+                program,
+                ticks_per_sec=slog.ticks_per_sec,
+                thread_table=slog.thread_table,
+            )
+
+    def stats(self) -> dict[str, int]:
+        """The SLOG file's cache/IO accounting (``/metrics`` reads this)."""
+        with self.lock:
+            return self.viewer.stats()
+
+    def frame_count(self) -> int:
+        """Number of frames in the file."""
+        return len(self.viewer.slog.frames)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _record_json(record: IntervalRecord, *, pseudo: bool) -> dict[str, Any]:
+        return {
+            "type": record.itype,
+            "bebits": int(record.bebits),
+            "start": record.start,
+            "end": record.end,
+            "node": record.node,
+            "cpu": record.cpu,
+            "thread": record.thread,
+            "pseudo": pseudo,
+            "extra": {k: v for k, v in record.extra.items()},
+        }

@@ -24,6 +24,7 @@ from __future__ import annotations
 import io
 import shutil
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -274,6 +275,10 @@ class SlogFile:
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        # Serializes frame reads so one SlogFile can back many concurrent
+        # server requests: both the LRU mutation and the byte source's
+        # chunk cache need exclusion.
+        self._cache_lock = threading.Lock()
         head = self.source.fetch(0, 8)
         if head != MAGIC:
             raise FormatError(f"{self.path}: not a SLOG file")
@@ -348,20 +353,32 @@ class SlogFile:
         """Decode one frame's records (pseudo-intervals included).
 
         Results are LRU-cached; a cached frame is returned as a fresh list
-        but the record objects are shared, so treat them as read-only."""
+        but the record objects are shared, so treat them as read-only.
+        Thread-safe: concurrent callers sharing this file serialize on an
+        internal lock."""
         key = (frame.offset, frame.size)
-        cached = self._frame_cache.get(key)
-        if cached is not None:
-            self._frame_cache.move_to_end(key)
-            self.cache_hits += 1
-            return list(cached)
-        self.cache_misses += 1
-        records = self._decode_frame(frame)
-        if self._cache_frames:
-            self._frame_cache[key] = records
-            while len(self._frame_cache) > self._cache_frames:
-                self._frame_cache.popitem(last=False)
-        return list(records)
+        with self._cache_lock:
+            cached = self._frame_cache.get(key)
+            if cached is not None:
+                self._frame_cache.move_to_end(key)
+                self.cache_hits += 1
+                return list(cached)
+            self.cache_misses += 1
+            records = self._decode_frame(frame)
+            if self._cache_frames:
+                self._frame_cache[key] = records
+                while len(self._frame_cache) > self._cache_frames:
+                    self._frame_cache.popitem(last=False)
+            return list(records)
+
+    def stats(self) -> dict[str, int]:
+        """Cache and IO accounting in the shared stats shape:
+        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            **self.source.stats(),
+        }
 
     def _decode_frame(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
         blob = self.source.fetch(frame.offset, frame.size)

@@ -26,7 +26,7 @@ seconds".
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import StatsError
@@ -52,20 +52,41 @@ class Token:
     kind: str
     text: str
     pos: int
+    line: int = field(default=1, compare=False)
+    col: int = field(default=1, compare=False)
+
+    def where(self) -> str:
+        """Human-readable location, used in every diagnostic."""
+        return f"line {self.line}, column {self.col}"
+
+
+def _line_col(text: str, pos: int) -> tuple[int, int]:
+    """1-based (line, column) of character offset ``pos``."""
+    line = text.count("\n", 0, pos) + 1
+    col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+    return line, col
 
 
 def tokenize(text: str) -> list[Token]:
-    """Split a program into tokens; raises on anything unrecognized."""
+    """Split a program into tokens; raises on anything unrecognized.
+
+    Tokens remember their 1-based line and column so parse and evaluation
+    diagnostics can point at the offending spot — these messages are API
+    surface (the serving daemon returns them as HTTP 400 bodies)."""
     tokens = []
     pos = 0
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
         if m is None:
-            raise StatsError(f"unexpected character {text[pos]!r} at position {pos}")
+            line, col = _line_col(text, pos)
+            raise StatsError(
+                f"unexpected character {text[pos]!r} at line {line}, column {col}"
+            )
         kind = m.lastgroup
         assert kind is not None
         if kind != "ws":
-            tokens.append(Token(kind, m.group(), pos))
+            line, col = _line_col(text, pos)
+            tokens.append(Token(kind, m.group(), pos, line, col))
         pos = m.end()
     return tokens
 
@@ -95,12 +116,15 @@ class Literal(Expr):
 @dataclass(frozen=True)
 class Field(Expr):
     name: str
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
     def eval(self, env: Mapping[str, Any]) -> Any:
         try:
             return env[self.name]
         except KeyError:
-            raise StatsError(f"record has no field {self.name!r}") from None
+            where = f" (line {self.line}, column {self.col})" if self.line else ""
+            raise StatsError(f"record has no field {self.name!r}{where}") from None
 
     def fields(self) -> set[str]:
         return {self.name}
@@ -199,14 +223,20 @@ class _Parser:
     def next(self) -> Token:
         tok = self.peek()
         if tok is None:
-            raise StatsError("unexpected end of program")
+            where = ""
+            if self.tokens:
+                last = self.tokens[-1]
+                where = f" after {last.text!r} at {last.where()}"
+            raise StatsError(f"unexpected end of program{where}")
         self.pos += 1
         return tok
 
     def expect(self, text: str) -> Token:
         tok = self.next()
         if tok.text != text:
-            raise StatsError(f"expected {text!r} at position {tok.pos}, got {tok.text!r}")
+            raise StatsError(
+                f"expected {text!r} at {tok.where()}, got {tok.text!r}"
+            )
         return tok
 
     def at_keyword(self, word: str) -> bool:
@@ -284,12 +314,12 @@ class _Parser:
                 n = self.parse_expr()
                 self.expect(")")
                 return Bin(operand, lo, hi, n)
-            return Field(tok.text)
+            return Field(tok.text, tok.line, tok.col)
         if tok.text == "(":
             node = self.parse_expr()
             self.expect(")")
             return node
-        raise StatsError(f"unexpected token {tok.text!r} at position {tok.pos}")
+        raise StatsError(f"unexpected token {tok.text!r} at {tok.where()}")
 
 
 # --------------------------------------------------------------- programs
@@ -330,7 +360,7 @@ def parse_program(text: str) -> list[TableProgram]:
 def _parse_table(parser: _Parser) -> TableProgram:
     tok = parser.next()
     if tok.text != "table":
-        raise StatsError(f"expected 'table' at position {tok.pos}, got {tok.text!r}")
+        raise StatsError(f"expected 'table' at {tok.where()}, got {tok.text!r}")
     name = ""
     condition: Expr | None = None
     xs: list[tuple[str, Expr]] = []
@@ -340,7 +370,7 @@ def _parse_table(parser: _Parser) -> TableProgram:
     ):
         key = parser.next()
         if key.kind != "name":
-            raise StatsError(f"expected a keyword at position {key.pos}, got {key.text!r}")
+            raise StatsError(f"expected a keyword at {key.where()}, got {key.text!r}")
         parser.expect("=")
         if key.text == "name":
             name = parser.next().text
@@ -360,13 +390,16 @@ def _parse_table(parser: _Parser) -> TableProgram:
             parser.expect(",")
             expr = parser.parse_expr()
             parser.expect(",")
-            agg = parser.next().text
-            if agg not in AGGREGATES:
-                raise StatsError(f"unknown aggregate {agg!r}; pick one of {AGGREGATES}")
-            ys.append((label, expr, agg))
+            agg_tok = parser.next()
+            if agg_tok.text not in AGGREGATES:
+                raise StatsError(
+                    f"unknown aggregate {agg_tok.text!r} at {agg_tok.where()}; "
+                    f"pick one of {AGGREGATES}"
+                )
+            ys.append((label, expr, agg_tok.text))
             parser.expect(")")
         else:
-            raise StatsError(f"unknown table keyword {key.text!r} at position {key.pos}")
+            raise StatsError(f"unknown table keyword {key.text!r} at {key.where()}")
     if not name:
         raise StatsError("table needs a name")
     if not xs:
@@ -379,5 +412,5 @@ def _parse_table(parser: _Parser) -> TableProgram:
 def _parse_label(parser: _Parser) -> str:
     tok = parser.next()
     if tok.kind != "string":
-        raise StatsError(f"expected a quoted label at position {tok.pos}")
+        raise StatsError(f"expected a quoted label at {tok.where()}")
     return tok.text[1:-1]

@@ -30,6 +30,7 @@ from repro.viz.views import (
     processor_thread_view,
     type_activity_view,
     render_view_svg,
+    view_svg_string,
 )
 from repro.viz.arrows import MessageArrow, match_arrows
 from repro.viz.preview import Preview, interesting_ranges
@@ -52,6 +53,7 @@ __all__ = [
     "processor_thread_view",
     "type_activity_view",
     "render_view_svg",
+    "view_svg_string",
     "MessageArrow",
     "match_arrows",
     "Preview",

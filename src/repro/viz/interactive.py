@@ -86,9 +86,10 @@ def render_interactive_html(
     return path
 
 
-_PAGE = """<!DOCTYPE html>
-<html><head><meta charset="utf-8"><title>__TITLE__</title>
-<style>
+#: Shared page chrome: this file's standalone viewer and the serving
+#: daemon's lazy-loading viewer (:mod:`repro.serve.html`) stay visually
+#: identical by embedding the same stylesheet.
+PAGE_CSS = """\
   :root { --surface:#fcfcfb; --ink:#0b0b0b; --ink2:#52514e; --rule:#e8e7e4; }
   body { margin:0; background:var(--surface); color:var(--ink);
          font:14px/1.4 system-ui,sans-serif; }
@@ -104,7 +105,13 @@ _PAGE = """<!DOCTYPE html>
             font-size:12px; color:var(--ink2); }
   #legend span.swatch { display:inline-block; width:10px; height:10px;
             border-radius:2px; margin-right:5px; vertical-align:-1px; }
-</style></head>
+"""
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>__TITLE__</title>
+<style>
+__CSS__
+</style></head>""".replace("__CSS__", PAGE_CSS) + """
 <body>
 <header><h1>__TITLE__</h1>
 <div class="hint">wheel = zoom &nbsp; drag = pan &nbsp; hover = details &nbsp;

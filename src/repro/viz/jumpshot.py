@@ -31,6 +31,7 @@ from repro.viz.views import (
     thread_activity_view,
     thread_processor_view,
     type_activity_view,
+    view_svg_string,
 )
 
 VIEW_KINDS = (
@@ -139,6 +140,49 @@ class Jumpshot:
         """Render the full trace in one diagram (small runs only)."""
         view = self.build_view(self.slog.records(), kind)
         return render_view_svg(view, path, ticks_per_sec=self.slog.ticks_per_sec)
+
+    # --------------------------------------------------------- server API
+
+    def frame_entry(self, index: int) -> SlogFrameEntry:
+        """Frame ``index`` of the SLOG frame directory (FormatError when
+        out of range) — the integer handle the serving API exposes."""
+        if not 0 <= index < len(self.slog.frames):
+            raise FormatError(
+                f"frame index {index} out of range 0..{len(self.slog.frames) - 1}"
+            )
+        return self.slog.frames[index]
+
+    def frame_index(self) -> list[dict]:
+        """The frame directory as JSON-ready dicts (times in seconds)."""
+        tps = self.slog.ticks_per_sec
+        return [
+            {
+                "index": i,
+                "start": f.start_time / tps,
+                "end": f.end_time / tps,
+                "bytes": f.size,
+                "records": f.n_records,
+                "pseudo": f.n_pseudo,
+            }
+            for i, f in enumerate(self.slog.frames)
+        ]
+
+    def view_svg_at(
+        self, t_seconds: float, *, kind: str = "thread", width: int = 1100
+    ) -> str:
+        """The frame display as an SVG string (no file) — what the serving
+        daemon streams for ``/api/view/{kind}?t=...``."""
+        frame = self.locate(t_seconds)
+        view = self.build_view(self.frame_records(frame), kind)
+        return view_svg_string(
+            view, width=width,
+            window=(frame.start_time, frame.end_time),
+            ticks_per_sec=self.slog.ticks_per_sec,
+        )
+
+    def stats(self) -> dict[str, int]:
+        """The underlying SLOG file's cache/IO accounting (shared shape)."""
+        return self.slog.stats()
 
     # ------------------------------------------------------------ internals
 

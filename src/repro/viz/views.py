@@ -326,6 +326,30 @@ def render_view_svg(
     ``window`` restricts the x-axis to a sub-range (frame display); bars are
     clipped to it.
     """
+    canvas = _view_canvas(view, width=width, window=window, ticks_per_sec=ticks_per_sec)
+    return canvas.write(path)
+
+
+def view_svg_string(
+    view: TimelineView,
+    *,
+    width: int = 1100,
+    window: tuple[int, int] | None = None,
+    ticks_per_sec: float = 1e9,
+) -> str:
+    """The SVG document for a timeline view, as a string (no file involved
+    — what the serving daemon streams to clients)."""
+    canvas = _view_canvas(view, width=width, window=window, ticks_per_sec=ticks_per_sec)
+    return canvas.to_string()
+
+
+def _view_canvas(
+    view: TimelineView,
+    *,
+    width: int,
+    window: tuple[int, int] | None,
+    ticks_per_sec: float,
+) -> SvgCanvas:
     t0, t1 = window if window is not None else (view.t0, view.t1)
     t1 = max(t1, t0 + 1)
     n_rows = max(len(view.rows), 1)
@@ -393,7 +417,7 @@ def render_view_svg(
         MARGIN_LEFT, MARGIN_TOP - 4, MARGIN_LEFT, MARGIN_TOP + n_rows * ROW_HEIGHT,
         stroke=AXIS,
     )
-    return canvas.write(path)
+    return canvas
 
 
 def _legend_items(view: TimelineView) -> list[tuple[object, str]]:

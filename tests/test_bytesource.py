@@ -69,6 +69,13 @@ class TestFetch:
             assert src.fetch_count == 0
             assert src.bytes_fetched == 0
 
+    def test_stats_dict(self, blob_path, kind):
+        """stats() exposes the accounting under the unified key names the
+        reader/SLOG layers and the serving daemon's /metrics build on."""
+        with make_source(kind, blob_path) as src:
+            src.fetch(0, 100)
+            assert src.stats() == {"fetch_count": 1, "bytes_fetched": 100}
+
 
 @pytest.mark.parametrize("kind", ["mmap", "file"])
 def test_fetch_after_close_is_empty(blob_path, kind):

@@ -121,3 +121,129 @@ class TestTraceKnobs:
         assert cli.main_trace(["ioheavy", "-o", str(tmp_path / "io")]) == 0
         raw = [l for l in capsys.readouterr().out.splitlines() if l]
         assert len(raw) == 2  # 4 tasks / 2 per node
+
+
+
+@pytest.fixture(scope="module")
+def run_slog(traced, tmp_path_factory):
+    """A SLOG file built from the shared traced run."""
+    from repro import cli
+
+    tmp, intervals = traced
+    slog = tmp / "run.slog"
+    if not slog.exists():
+        import contextlib
+        import io
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            cli.main_slogmerge([*intervals, "-o", str(tmp / "m.ute"),
+                                "--slog", str(slog)])
+    return slog
+
+
+class TestInputValidation:
+    """Every entry point reports missing/unreadable inputs as one-line
+    errors with exit code 2 instead of a traceback."""
+
+    ENTRY_POINTS = [
+        ("main_convert", ["missing.trc"]),
+        ("main_merge", ["missing.ute"]),
+        ("main_slogmerge", ["missing.ute"]),
+        ("main_stats", ["missing.ute"]),
+        ("main_validate", ["missing.ute"]),
+        ("main_preview", ["missing.slog"]),
+        ("main_profile", ["missing.ute"]),
+        ("main_dump", ["missing.ute"]),
+        ("main_report", ["missing.slog"]),
+        ("main_view", ["missing.slog"]),
+        ("main_serve", ["missing.slog"]),
+    ]
+
+    @pytest.mark.parametrize("entry,args", ENTRY_POINTS)
+    def test_missing_input_is_one_line_error(self, entry, args, capsys):
+        from repro import cli
+
+        code = getattr(cli, entry)(args)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err and "missing" in err
+        assert "Traceback" not in err
+
+    def test_directory_as_input_rejected(self, tmp_path, capsys):
+        from repro import cli
+
+        code = cli.main_dump([str(tmp_path)])
+        assert code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_unreadable_input_rejected(self, tmp_path, capsys):
+        import os
+
+        from repro import cli
+
+        locked = tmp_path / "locked.ute"
+        locked.write_bytes(b"")
+        locked.chmod(0)
+        if os.access(locked, os.R_OK):  # running as root: not enforceable
+            pytest.skip("permissions are not enforced for this user")
+        code = cli.main_dump([str(locked)])
+        assert code == 2
+        assert "not readable" in capsys.readouterr().err
+
+    def test_profile_path_checked(self, traced, capsys):
+        from repro import cli
+
+        _, intervals = traced
+        code = cli.main_validate([*intervals, "--profile", "missing-profile.ute"])
+        assert code == 2
+        assert "missing-profile.ute" in capsys.readouterr().err
+
+
+class TestOutputValidation:
+    """ute-view / ute-preview / ute-report validate --out up front."""
+
+    def test_view_output_under_file_rejected(self, run_slog, tmp_path, capsys):
+        from repro import cli
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        code = cli.main_view([str(run_slog), "-o", str(blocker / "view.svg")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_preview_output_under_file_rejected(self, run_slog, tmp_path, capsys):
+        from repro import cli
+
+        blocker = tmp_path / "blocker2"
+        blocker.write_text("x")
+        code = cli.main_preview([str(run_slog), "-o", str(blocker / "p.svg")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_report_output_under_file_rejected(self, run_slog, tmp_path, capsys):
+        from repro import cli
+
+        blocker = tmp_path / "blocker3"
+        blocker.write_text("x")
+        code = cli.main_report([str(run_slog), "-o", str(blocker / "r.html")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_nested_missing_dirs_still_allowed(self, run_slog, tmp_path, capsys):
+        from repro import cli
+
+        out = tmp_path / "deep" / "er" / "view.svg"
+        code = cli.main_view([str(run_slog), "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_ansi_view_skips_output_check(self, run_slog, tmp_path, capsys):
+        from repro import cli
+
+        blocker = tmp_path / "blocker4"
+        blocker.write_text("x")
+        # --ansi prints to stdout; the unused -o must not be validated.
+        code = cli.main_view([str(run_slog), "--ansi", "-o", str(blocker / "v.svg")])
+        assert code == 0
+        assert capsys.readouterr().out

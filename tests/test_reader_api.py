@@ -85,3 +85,47 @@ class TestAggregation:
         elapsed, count = total_elapsed_and_records(handle)
         assert count == 30
         assert elapsed == 29 * 100 + 50  # first start 0 to last end
+
+
+class TestSharedReaderThreadSafety:
+    """Regression: one IntervalReader shared by a thread pool (the serving
+    daemon's executor) must not corrupt its LRU frame cache."""
+
+    def test_concurrent_frame_reads_agree(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.reader import IntervalReader
+
+        path = tmp_path / "shared.ute"
+        table = ThreadTable([ThreadEntry(0, 1, 1, 0, 0, 0, "t")])
+        with IntervalFileWriter(
+            path, PROFILE, table, field_mask=MASK_ALL_PER_NODE, frame_bytes=256
+        ) as writer:
+            for i in range(200):
+                writer.write(
+                    IntervalRecord(
+                        IntervalType.RUNNING, BeBits.COMPLETE, i * 100, 50, 0, 0, 0
+                    )
+                )
+        # Tiny cache so concurrent readers constantly evict each other.
+        reader = IntervalReader(path, PROFILE, cache_frames=2)
+        frames = list(reader.frames())
+        assert len(frames) >= 8
+        expected = {
+            i: [(r.start, r.duration) for r in reader.read_frame(f)]
+            for i, f in enumerate(frames)
+        }
+
+        def hammer(worker: int) -> bool:
+            for step in range(120):
+                i = (worker * 7 + step) % len(frames)
+                got = [(r.start, r.duration) for r in reader.read_frame(frames[i])]
+                if got != expected[i]:
+                    return False
+            return True
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(hammer, range(8)))
+        assert all(results)
+        stats = reader.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 120 + len(frames)

@@ -160,3 +160,46 @@ class TestExpressionEvaluation:
         )
         got = table.xs[0][1].eval({"start": a, "dura": b})
         assert got == pytest.approx(a + b * a - b, nan_ok=True)
+
+
+class TestDiagnostics:
+    """Failure modes must point at the offending line and column."""
+
+    def test_tokenizer_reports_line_and_column(self):
+        with pytest.raises(StatsError, match=r"line 2, column 8"):
+            tokenize("table\nname=t @")
+
+    def test_malformed_table_clause(self):
+        with pytest.raises(StatsError, match=r"line \d+, column \d+"):
+            parse_program("table name=t x=(")
+
+    def test_unknown_table_keyword_located(self):
+        with pytest.raises(StatsError, match=r"line 1, column \d+"):
+            parse_program('table name=t z=("a", node)')
+
+    def test_unknown_aggregate_located(self):
+        with pytest.raises(StatsError) as excinfo:
+            parse_program('table name=t x=("a", node) y=("y", dura, median)')
+        message = str(excinfo.value)
+        assert "unknown aggregate" in message
+        assert "line 1" in message and "column" in message
+
+    def test_unterminated_condition(self):
+        program = "table name=t condition=(start <\n"
+        with pytest.raises(StatsError) as excinfo:
+            parse_program(program)
+        message = str(excinfo.value)
+        assert "line" in message and "column" in message
+
+    def test_unterminated_string_located(self):
+        with pytest.raises(StatsError, match=r"line 1, column \d+"):
+            tokenize('table name=t x=("oops')
+
+    def test_unknown_field_reports_location(self):
+        (table,) = parse_program('table name=t\n  x=("a", no_such_field)\n'
+                                 '  y=("c", dura, count)')
+        with pytest.raises(StatsError) as excinfo:
+            table.xs[0][1].eval({"start": 1})
+        message = str(excinfo.value)
+        assert "no field 'no_such_field'" in message
+        assert "line 2" in message
