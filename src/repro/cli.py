@@ -12,6 +12,7 @@ ute-preview    SLOG -> whole-run preview SVG + interesting ranges
 ute-view       SLOG -> time-space diagram SVG (or ANSI), whole run or the
                frame containing a chosen instant
 ute-serve      SLOG -> concurrent HTTP daemon (API + lazy web viewer)
+ute-recover    damaged .ute/.slog/raw trace -> clean validated file + report
 =============  =============================================================
 
 Each ``main_*`` function doubles as a console-script entry point and a
@@ -340,6 +341,58 @@ def main_validate(argv: list[str] | None = None) -> int:
     for report in reports:
         print(report.summary())
     return 0 if all(r.ok for r in reports) else 1
+
+
+def main_recover(argv: list[str] | None = None) -> int:
+    """Rewrite a damaged trace file into a clean, validated one."""
+    parser = argparse.ArgumentParser(
+        "ute-recover",
+        description=(
+            "Salvage a damaged interval (.ute), SLOG (.slog), or raw trace "
+            "file into a clean file that passes validation, plus a recovery "
+            "report."
+        ),
+    )
+    parser.add_argument("input", help="damaged trace file")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="recovered output path (default: <input>.recovered<suffix>)",
+    )
+    parser.add_argument(
+        "--profile", default=None, help="profile file (required for .ute inputs)"
+    )
+    parser.add_argument("--frame-bytes", type=int, default=32 * 1024)
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    inputs = [args.input, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-recover", _input_error(inputs))) is not None:
+        return code
+
+    from repro.errors import ReproError
+    from repro.utils.recover import default_output_path, recover_file, sniff_kind
+
+    out = args.out if args.out is not None else default_output_path(args.input)
+    if (code := _usage_error("ute-recover", _output_error(out))) is not None:
+        return code
+    try:
+        kind = sniff_kind(args.input)
+        profile = _profile_for(args) if kind == "interval" else None
+        report = recover_file(
+            args.input, out, profile=profile, frame_bytes=args.frame_bytes
+        )
+    except ReproError as exc:
+        return _usage_error("ute-recover", str(exc)) or 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main_preview(argv: list[str] | None = None) -> int:

@@ -75,6 +75,26 @@ class ByteSource:
         self.bytes_fetched = 0
         self.fetch_count = 0
 
+    def find(self, needle: bytes, start: int = 0, end: int | None = None) -> int:
+        """Lowest offset ``>= start`` where ``needle`` occurs, or -1.
+
+        Scans in bounded chunks with needle-sized overlap, so memory stays
+        O(chunk) however large the file — the salvage-mode directory resync
+        (searching for frame-directory back-links) is built on this."""
+        if not needle:
+            return max(0, start)
+        stop = len(self) if end is None else min(end, len(self))
+        overlap = len(needle) - 1
+        chunk = max(DEFAULT_CHUNK_BYTES, len(needle) * 2)
+        pos = max(0, start)
+        while stop - pos >= len(needle):
+            take = min(chunk, stop - pos)
+            idx = self.fetch(pos, take).find(needle)
+            if idx != -1:
+                return pos + idx
+            pos += take - overlap
+        return -1
+
     def stats(self) -> dict[str, int]:
         """Fetch accounting in the shared stats shape (see readers'
         ``stats()``): consumers such as ``/metrics`` and the benchmarks

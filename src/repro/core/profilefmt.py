@@ -134,11 +134,13 @@ class Profile:
         return bytes(out)
 
     def write(self, path: str | Path) -> Path:
-        """Write the profile file; returns its path."""
-        path = Path(path)
+        """Write the profile file crash-safely; returns its path."""
+        from repro.core.atomicio import atomic_write_bytes
+
         body = self._body_bytes()
-        path.write_bytes(MAGIC + struct.pack("<I", zlib.crc32(body)) + body)
-        return path
+        return atomic_write_bytes(
+            path, MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+        )
 
     @classmethod
     def read(cls, path: str | Path) -> "Profile":

@@ -38,6 +38,12 @@ from repro.core.bytesource import ByteSource, open_source
 from repro.core.frames import NO_DIRECTORY, FrameDirectory, FrameEntry, aggregate_totals
 from repro.core.profilefmt import Profile
 from repro.core.records import IntervalRecord, skip_record, unpack_type_word, decode_length
+from repro.core.salvage import (
+    SalvageReport,
+    check_error_mode,
+    salvage_frame_records,
+    salvage_stats,
+)
 from repro.core.threadtable import ThreadTable
 from repro.core.writer import IntervalFileHeader, decode_marker_table, decode_node_table
 from repro.errors import FormatError
@@ -48,6 +54,10 @@ _DECODE_ERRORS = (struct.error, IndexError, ValueError, OverflowError, UnicodeDe
 
 #: Default number of decoded frames the reader keeps (LRU).
 DEFAULT_FRAME_CACHE = 16
+
+#: Nominal byte length charged to the salvage report for a damaged frame
+#: directory — its true extent is unknowable once the header lies.
+_DIR_NOMINAL = 24
 
 
 class IntervalReader:
@@ -61,8 +71,13 @@ class IntervalReader:
         source: ByteSource | None = None,
         mode: str = "auto",
         cache_frames: int = DEFAULT_FRAME_CACHE,
+        errors: str = "strict",
     ) -> None:
         self.path = Path(path)
+        self._salvage_mode = check_error_mode(errors)
+        self.salvage: SalvageReport | None = (
+            SalvageReport(path=self.path) if self._salvage_mode else None
+        )
         self.source = source if source is not None else open_source(self.path, mode)
         self.cache_hits = 0
         self.cache_misses = 0
@@ -131,7 +146,16 @@ class IntervalReader:
             ) from exc
 
     def directories(self) -> Iterator[FrameDirectory]:
-        """All directories, following next pointers."""
+        """All directories, following next pointers.
+
+        In salvage mode a broken link or damaged directory is survivable:
+        the reader searches the file for the next directory whose
+        *back-link* (``prev_offset``) points at a directory it already
+        trusts — the doubly linked list means every genuine successor
+        carries that exact byte pattern — and resumes the chain there."""
+        if self._salvage_mode:
+            yield from self._salvage_directories()
+            return
         offset = self.header.first_dir_offset
         seen: set[int] = set()
         while offset != NO_DIRECTORY:
@@ -148,6 +172,81 @@ class IntervalReader:
                 ) from exc
             yield directory
             offset = directory.next_offset
+
+    def _salvage_directories(self) -> Iterator[FrameDirectory]:
+        report = self.salvage
+        assert report is not None
+        offset = self.header.first_dir_offset
+        seen: set[int] = set()
+        last_good = NO_DIRECTORY
+        while offset != NO_DIRECTORY:
+            if offset in seen:
+                report.skip(offset, _DIR_NOMINAL, "frame-directory cycle")
+                return
+            seen.add(offset)
+            directory = self._try_directory(offset)
+            if directory is None:
+                report.skip(offset, _DIR_NOMINAL, "corrupt frame directory")
+                found = self._resync_directory({offset, last_good}, seen)
+                if found is None:
+                    return
+                offset, directory = found
+                seen.add(offset)
+            yield directory
+            last_good = offset
+            offset = directory.next_offset
+
+    def _try_directory(self, offset: int, *, strict: bool = False) -> FrameDirectory | None:
+        """Read and sanity-check one directory; None if it is implausible.
+
+        Chain reads (``strict=False``) tolerate frame entries overrunning
+        end-of-file — that is frame-level damage (a truncated tail) the
+        per-frame salvage handles, not a lying directory.  Resync
+        *candidates* (``strict=True``) must pass the full screen, since a
+        back-link byte pattern can occur in record payload by chance."""
+        size = len(self.source)
+        if not IntervalFileHeader.size() <= offset < size:
+            return None
+        try:
+            directory = FrameDirectory.read_from(self.source, offset)
+        except _DECODE_ERRORS + (FormatError,):
+            return None
+        for frame in directory.frames:
+            if frame.start_time > frame.end_time:
+                return None
+            if strict and frame.offset + frame.size > size:
+                return None
+        return directory
+
+    def _resync_directory(
+        self, targets: set[int], seen: set[int]
+    ) -> tuple[int, FrameDirectory] | None:
+        """Search the file for a directory whose back-link names one of
+        ``targets`` (the last trusted directory, or the offset the broken
+        chain pointed at).  The prev_offset field sits 8 bytes into the
+        directory header, so a needle hit at ``p`` means a candidate
+        directory at ``p - 8``."""
+        # Only in-file offsets make usable needles: a corrupt header can
+        # name a target no i64 back-link could ever equal.
+        needles = [
+            struct.pack("<q", t)
+            for t in sorted(targets)
+            if t != NO_DIRECTORY and 0 <= t < len(self.source)
+        ]
+        for needle in needles:
+            pos = IntervalFileHeader.size()
+            while True:
+                hit = self.source.find(needle, pos)
+                if hit == -1:
+                    break
+                candidate = hit - 8
+                pos = hit + 1
+                if candidate in seen or candidate < IntervalFileHeader.size():
+                    continue
+                directory = self._try_directory(candidate, strict=True)
+                if directory is not None:
+                    return candidate, directory
+        return None
 
     def frames(self) -> Iterator[FrameEntry]:
         """All frame entries, in file order."""
@@ -197,16 +296,33 @@ class IntervalReader:
 
     def stats(self) -> dict[str, int]:
         """Cache and IO accounting in the shared stats shape:
-        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``."""
+        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``, extended
+        with the salvage counters (zero in strict mode)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             **self.source.stats(),
+            **salvage_stats(self.salvage),
         }
 
     def _decode_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
         profile = self._require_profile()
         blob = self.source.fetch(frame.offset, frame.size)
+        if self._salvage_mode:
+            assert self.salvage is not None
+            records = salvage_frame_records(
+                blob,
+                profile,
+                self.header.field_mask,
+                base_offset=frame.offset,
+                report=self.salvage,
+                expected_records=frame.n_records,
+                expected_size=frame.size,
+                time_span=(frame.start_time, frame.end_time),
+            )
+            if not records and frame.n_records:
+                self.salvage.frames_quarantined += 1
+            return records
         records = []
         pos = 0
         end = len(blob)

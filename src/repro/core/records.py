@@ -191,6 +191,15 @@ class IntervalRecord:
                 f"record length mismatch for type {itype}: "
                 f"consumed {pos - body_start}, length says {body_len}"
             )
+        # A mask that strips any core field is structurally invalid (a
+        # corrupt header, not a legitimate selection) — fail as a format
+        # error, not a KeyError.
+        missing = [n for n in ("start", "dura", "node", "cpu", "thread") if n not in common]
+        if missing:
+            raise FormatError(
+                f"record type {itype} is missing core fields {missing}; "
+                "corrupt field selection mask?"
+            )
         return (
             cls(
                 itype=itype,
@@ -231,3 +240,24 @@ def skip_record(data: bytes, offset: int) -> int:
     """Advance past one record using only its length prefix."""
     body_len, body_start = decode_length(data, offset)
     return body_start + body_len
+
+
+def plausible_record_at(data: bytes, offset: int, profile: Profile) -> bool:
+    """Cheap structural screen for "a record could start here": the length
+    prefix must decode, the body must fit inside ``data`` and hold at least
+    a type word, and the type word must name a record type the profile
+    describes.  The salvage-mode resync scan uses this to discard almost
+    every candidate offset before paying for a full decode."""
+    try:
+        body_len, body_start = decode_length(data, offset)
+    except (IndexError, struct.error):
+        return False
+    if body_len < 4 or body_start + body_len > len(data):
+        return False
+    (type_word,) = struct.unpack_from("<I", data, body_start)
+    itype, _bebits = unpack_type_word(type_word)
+    try:
+        profile.spec_for(itype)
+    except FormatError:
+        return False
+    return True

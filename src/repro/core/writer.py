@@ -15,6 +15,7 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.atomicio import AtomicFile
 from repro.core.frames import NO_DIRECTORY, FrameDirectory, FrameEntry
 from repro.core.profilefmt import Profile
 from repro.core.records import IntervalRecord
@@ -151,7 +152,10 @@ class IntervalFileWriter:
         self.frames_written = 0
         self._last_end: int | None = None
 
-        self._fh = open(self.path, "wb")
+        # Bytes stage in a temp sibling and replace the final name only in
+        # close() — a crash mid-write never leaves a half-written .ute that
+        # a later pipeline stage (or another convert job) would trust.
+        self._fh = AtomicFile(self.path)
         table_blob = thread_table.encode()
         marker_blob = encode_marker_table(self.markers)
         node_blob = encode_node_table(self.node_cpus)
@@ -220,22 +224,34 @@ class IntervalFileWriter:
             self._finish_frame()
 
     def close(self) -> Path:
-        """Flush everything and finalize the directory chain."""
+        """Flush everything, finalize the directory chain, and atomically
+        publish the file at its final name."""
         if self._closed:
             return self.path
         self._finish_frame()
         if self._pending or self._prev_dir_offset == NO_DIRECTORY:
             # Final (possibly partial or empty) directory.
             self._flush_directory()
-        self._fh.close()
+        self._fh.commit()
         self._closed = True
         return self.path
+
+    def abort(self) -> None:
+        """Discard the output without publishing anything at the final
+        name (idempotent; a no-op after close)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.abort()
 
     def __enter__(self) -> "IntervalFileWriter":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     # ------------------------------------------------------------ internals
 

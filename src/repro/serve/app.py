@@ -48,7 +48,7 @@ from typing import Any, Callable
 from repro.errors import FormatError, StatsError
 from repro.serve.html import server_page
 from repro.serve.metrics import Registry
-from repro.serve.session import DEFAULT_SERVER_CACHE, TraceSession
+from repro.serve.session import DEFAULT_SERVER_CACHE, FrameDecodeError, TraceSession
 from repro.viz.jumpshot import VIEW_KINDS
 
 log = logging.getLogger("repro.serve")
@@ -57,7 +57,8 @@ access_log = logging.getLogger("repro.serve.access")
 _REASONS = {
     200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout", 413: "Payload Too Large",
-    414: "URI Too Long", 431: "Request Header Fields Too Large",
+    414: "URI Too Long", 422: "Unprocessable Content",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
@@ -139,6 +140,10 @@ class TraceServer:
         )
         self.m_rejected = self.registry.counter(
             "ute_serve_rejected_total", "Requests rejected before dispatch.", ("reason",)
+        )
+        self.m_frame_salvage = self.registry.counter(
+            "ute_serve_frame_salvage_total",
+            "Frames that failed strict decode and were answered with a salvage payload.",
         )
         self.registry.gauge(
             "ute_serve_inflight_requests", "Requests currently executing.",
@@ -323,6 +328,14 @@ class TraceServer:
     def _run_handler(self, handler: Callable[[Request], Response], request: Request) -> Response:
         try:
             return handler(request)
+        except FrameDecodeError as exc:
+            # One frame is damaged: degrade that frame only.  The payload
+            # carries the salvage probe so clients can show what survives;
+            # every sibling frame keeps serving 200s.
+            self.m_frame_salvage.inc()
+            return Response.json(
+                {"error": str(exc), "frame": exc.index, "salvage": exc.salvage}, 422
+            )
         except (FormatError, StatsError) as exc:
             return Response.json({"error": str(exc)}, 400)
 

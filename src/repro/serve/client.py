@@ -16,6 +16,7 @@ and the daemon's metrics, where the revalidation shows up as a free hit.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -46,6 +47,11 @@ class ServeClient:
     base_url: str
     timeout: float = 30.0
     use_etags: bool = True
+    #: Extra attempts after a 503 or a connection-level failure (0 = off,
+    #: so load tests still observe every rejection).
+    retries: int = 0
+    #: First retry delay (seconds); doubles per attempt, capped at 2s.
+    backoff: float = 0.05
     _etags: dict[str, str] = field(default_factory=dict, repr=False)
     _cache: dict[str, ServeResponse] = field(default_factory=dict, repr=False)
 
@@ -59,23 +65,47 @@ class ServeClient:
 
         Non-2xx responses are returned, not raised.  With ETags enabled, a
         304 revalidation transparently yields the cached body (status stays
-        304 so callers can count cheap hits)."""
+        304 so callers can count cheap hits).
+
+        With :attr:`retries` set, a 503 (saturated server) or a
+        connection-level failure is retried with exponential backoff —
+        honouring ``Retry-After`` when the server sends one — before the
+        last response (or error) is surfaced."""
         url = self.base_url + path
         send = dict(headers or {})
         if self.use_etags and path in self._etags and "If-None-Match" not in send:
             send["If-None-Match"] = self._etags[path]
-        req = urllib.request.Request(url, headers=send, method="GET")
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(url, headers=send, method="GET")
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    response = ServeResponse(
+                        resp.status, {k.lower(): v for k, v in resp.headers.items()},
+                        resp.read(),
+                    )
+            except urllib.error.HTTPError as exc:
+                # HTTPError is a URLError subclass: handle it first, as a
+                # response — only 503 is worth another attempt.
                 response = ServeResponse(
-                    resp.status, {k.lower(): v for k, v in resp.headers.items()},
-                    resp.read(),
+                    exc.code, {k.lower(): v for k, v in exc.headers.items()},
+                    exc.read(),
                 )
-        except urllib.error.HTTPError as exc:
-            response = ServeResponse(
-                exc.code, {k.lower(): v for k, v in exc.headers.items()},
-                exc.read(),
-            )
+            except urllib.error.URLError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(min(delay, 2.0))
+                delay *= 2
+                continue
+            if response.status != 503 or attempt >= self.retries:
+                break
+            retry_after = response.headers.get("retry-after")
+            try:
+                wait = float(retry_after) if retry_after else delay
+            except ValueError:
+                wait = delay
+            time.sleep(min(wait, 2.0))
+            delay *= 2
         if response.status == 200 and "etag" in response.headers:
             self._etags[path] = response.headers["etag"]
             self._cache[path] = response

@@ -31,6 +31,20 @@ from repro.viz.preview import interesting_ranges
 DEFAULT_SERVER_CACHE = 64
 
 
+class FrameDecodeError(FormatError):
+    """One frame of a served SLOG failed strict decode.
+
+    Carries the frame index and a salvage probe of the damaged frame
+    (:meth:`~repro.utils.slog.SlogFile.salvage_frame` output, as a dict),
+    so the daemon can answer with a structured per-frame error payload —
+    and keep serving every other frame — instead of failing the file."""
+
+    def __init__(self, index: int, message: str, salvage: dict) -> None:
+        super().__init__(message)
+        self.index = index
+        self.salvage = salvage
+
+
 class TraceSession:
     """One SLOG file opened for serving: viewer + lock + ETag base."""
 
@@ -100,7 +114,7 @@ class TraceSession:
             raise FormatError(f"unknown view kind {view!r}; pick one of {VIEW_KINDS}")
         with self.lock:
             frame = self.viewer.frame_entry(index)
-            records = self.viewer.frame_records(frame)
+            records = self._frame_records_or_degrade(index, frame)
             slog = self.viewer.slog
             payload: dict[str, Any] = {
                 "index": index,
@@ -123,7 +137,7 @@ class TraceSession:
         """Matched message arrows of one frame (``/api/arrows/{i}``)."""
         with self.lock:
             frame = self.viewer.frame_entry(index)
-            records = self.viewer.frame_records(frame)
+            records = self._frame_records_or_degrade(index, frame)
             tps = self.viewer.slog.ticks_per_sec
             return {
                 "index": index,
@@ -169,6 +183,16 @@ class TraceSession:
         return len(self.viewer.slog.frames)
 
     # ------------------------------------------------------------ internals
+
+    def _frame_records_or_degrade(self, index: int, frame) -> list[IntervalRecord]:
+        """Strictly decode one frame; on corruption, raise a
+        :class:`FrameDecodeError` carrying the salvage probe instead of a
+        bare FormatError, so only this frame degrades."""
+        try:
+            return self.viewer.frame_records(frame)
+        except FormatError as exc:
+            _records, probe = self.viewer.slog.salvage_frame(frame)
+            raise FrameDecodeError(index, str(exc), probe.as_dict()) from exc
 
     @staticmethod
     def _record_json(record: IntervalRecord, *, pseudo: bool) -> dict[str, Any]:

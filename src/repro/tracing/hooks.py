@@ -93,6 +93,20 @@ def is_mpi_end(hook_id: int) -> bool:
     return MPI_END_BASE <= hook_id < MPI_END_BASE + len(MPI_FN_NAMES)
 
 
+def is_known_hook(hook_id: int) -> bool:
+    """Whether ``hook_id`` is in the registry (system hooks or either MPI
+    range).  Salvage-mode resync uses this as its hookword sanity check: a
+    random byte pattern rarely decodes to a registered hook ID."""
+    if is_mpi_begin(hook_id) or is_mpi_end(hook_id):
+        return True
+    return hook_id in _HOOK_ID_VALUES
+
+
+#: Materialized once; ``HookId(x)`` raising ValueError per probe would make
+#: the salvage scan exception-bound.
+_HOOK_ID_VALUES = frozenset(int(h) for h in HookId)
+
+
 def mpi_fn_of_hook(hook_id: int) -> int:
     """The MPI function ID encoded in an MPI begin/end hook ID."""
     if is_mpi_begin(hook_id):

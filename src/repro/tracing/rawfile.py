@@ -7,12 +7,12 @@ hookword.  One file per node (paper abstract: "one for each SMP node").
 
 from __future__ import annotations
 
-import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.core.atomicio import AtomicFile
 from repro.errors import TraceError
 from repro.tracing.events import RawEvent
 
@@ -81,7 +81,10 @@ class RawTraceWriter:
         self.records_dropped = 0
         self._buffer: list[bytes] = []
         self._buffered = 0
-        self._fh: io.BufferedWriter | None = open(self.path, "wb")
+        # Bytes stage in a temp sibling; the final name appears only on a
+        # clean close, so a node dying mid-run never leaves a torn raw file
+        # under the name the convert stage trusts.
+        self._fh: AtomicFile | None = AtomicFile(self.path)
         self._fh.write(header.encode())
 
     def write(self, event: RawEvent) -> None:
@@ -112,18 +115,27 @@ class RawTraceWriter:
         self._buffered = 0
 
     def close(self) -> Path:
-        """Flush remaining records and close; returns the file path."""
+        """Flush remaining records and atomically publish the file."""
         if self._fh is not None:
             self._flush()
-            self._fh.close()
+            self._fh.commit()
             self._fh = None
         return self.path
+
+    def abort(self) -> None:
+        """Discard the output without publishing anything (idempotent)."""
+        if self._fh is not None:
+            self._fh.abort()
+            self._fh = None
 
     def __enter__(self) -> "RawTraceWriter":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 #: Smallest possible encoded record: hookword + event header + text length.
@@ -142,15 +154,32 @@ class RawTraceReader:
     wrap-mode buffer snapshot torn at the window edge — raises
     :class:`~repro.errors.FormatError` ("truncated event"), never a bare
     ``IndexError`` or ``struct.error``.
+
+    With ``errors="salvage"`` damage is survivable instead of fatal: the
+    scan resynchronizes on the next plausible record boundary (a registered
+    hookword, a length that fits the file, a record that decodes in full,
+    and a timestamp that does not run backwards) and accounts for whatever
+    it stepped over in :attr:`salvage` (a
+    :class:`~repro.core.salvage.SalvageReport`).
     """
 
     def __init__(
-        self, path: str | Path, *, source: "ByteSource | None" = None, mode: str = "auto"
+        self,
+        path: str | Path,
+        *,
+        source: "ByteSource | None" = None,
+        mode: str = "auto",
+        errors: str = "strict",
     ) -> None:
         from repro.core.bytesource import ByteSource, open_source  # noqa: F811
+        from repro.core.salvage import SalvageReport, check_error_mode
 
         self.path = Path(path)
+        self._salvage_mode = check_error_mode(errors)
         self.source: ByteSource = source if source is not None else open_source(self.path, mode)
+        self.salvage: "SalvageReport | None" = (
+            SalvageReport(path=self.path) if self._salvage_mode else None
+        )
         head = self.source.fetch(0, RawFileHeader.size())
         if len(head) < RawFileHeader.size():
             raise TraceError(f"{self.path}: truncated raw trace file")
@@ -173,10 +202,17 @@ class RawTraceReader:
 
         This is the cheap pass the parallel convert front-end uses to
         pre-assign marker identifiers; :meth:`event_at` decodes any record
-        the scan singled out."""
+        the scan singled out.
+
+        In salvage mode the scan never raises for damaged bytes: it yields
+        only records that decode in full and steps over everything else,
+        accounting the damage to :attr:`salvage`."""
         from repro.errors import FormatError
         from repro.tracing.hooks import decode_hookword
 
+        if self._salvage_mode:
+            yield from self._scan_salvage()
+            return
         offset = self._start
         end = len(self.source)
         while offset < end:
@@ -194,6 +230,65 @@ class RawTraceReader:
                 raise FormatError(f"{self.path}: truncated event at offset {offset}")
             yield hook_id, offset, record_len
             offset += record_len
+
+    def _plausible_event(
+        self, offset: int, end: int, last_ts: int | None, *, resync: bool
+    ) -> tuple[int, int, int] | None:
+        """``(hook_id, record_len, local_ts)`` if a plausible record starts
+        at ``offset``, else None.  Plausibility: a registered hookword, a
+        length that fits the file, and a record that decodes in full;
+        resync candidates additionally must not run the clock backwards."""
+        from repro.tracing.hooks import decode_hookword, is_known_hook
+
+        word_bytes = self.source.fetch(offset, 4)
+        if len(word_bytes) < 4:
+            return None
+        (word,) = struct.unpack("<I", word_bytes)
+        hook_id, record_len = decode_hookword(word)
+        if not is_known_hook(hook_id):
+            return None
+        if record_len < _MIN_RECORD or offset + record_len > end:
+            return None
+        try:
+            event = self.event_at(offset, record_len)
+        except TraceError:
+            return None
+        if resync and last_ts is not None and event.local_ts < last_ts:
+            return None
+        return hook_id, record_len, event.local_ts
+
+    def _scan_salvage(self) -> Iterator[tuple[int, int, int]]:
+        report = self.salvage
+        assert report is not None
+        offset = self._start
+        end = len(self.source)
+        last_ts: int | None = None
+        while offset < end:
+            found = self._plausible_event(offset, end, last_ts, resync=False)
+            if found is not None:
+                hook_id, record_len, ts = found
+                last_ts = ts if last_ts is None else max(last_ts, ts)
+                yield hook_id, offset, record_len
+                offset += record_len
+                continue
+            probe = offset + 1
+            while probe < end:
+                if self._plausible_event(probe, end, last_ts, resync=True) is not None:
+                    break
+                probe += 1
+            report.records_dropped += 1
+            if probe >= end:
+                report.skip(offset, end - offset, "no further event boundary")
+                break
+            report.skip(offset, probe - offset, "corrupt event")
+            offset = probe
+
+    def stats(self) -> dict[str, int]:
+        """IO accounting plus the salvage counters (zero in strict mode), in
+        the shared stats shape the other readers use."""
+        from repro.core.salvage import salvage_stats
+
+        return {**self.source.stats(), **salvage_stats(self.salvage)}
 
     def event_at(self, offset: int, record_len: int) -> RawEvent:
         """Decode the single record at ``offset`` (as reported by

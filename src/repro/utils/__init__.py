@@ -14,11 +14,15 @@
   index, pseudo-intervals, preview state counters) Jumpshot consumes.
 * :mod:`repro.utils.statlang` / :mod:`repro.utils.stats` — the declarative
   statistics language and the statistics generation utility.
+* :mod:`repro.utils.validate` / :mod:`repro.utils.recover` — the invariant
+  checker behind ``ute-validate`` and the salvage-based recovery engine
+  behind ``ute-recover``.
 """
 
 from repro.utils.avltree import AVLTree
 from repro.utils.convert import ConvertResult, convert_traces, convert_one
 from repro.utils.merge import MergeResult, merge_interval_files
+from repro.utils.recover import RecoveryReport, recover_file
 from repro.utils.slog import SlogFile, SlogWriter, slog_from_interval_file
 from repro.utils.statlang import TableProgram, parse_program
 from repro.utils.stats import StatsTable, generate_tables, predefined_tables
@@ -38,4 +42,6 @@ __all__ = [
     "StatsTable",
     "generate_tables",
     "predefined_tables",
+    "RecoveryReport",
+    "recover_file",
 ]

@@ -298,37 +298,45 @@ def merge_interval_files(
     pseudo_count = 0
     records_out = 0
     last_end = 0
-    with IntervalFileWriter(
-        out_path,
-        profile,
-        merged_table,
-        markers=merged_markers,
-        node_cpus=merged_nodes,
-        field_mask=MASK_ALL_MERGED,
-        frame_bytes=frame_bytes,
-        frames_per_dir=frames_per_dir,
-    ) as writer:
-        while tree:
-            _, (i, record) = tree.pop_min()
-            if writer.frame_fill == 0 and records_out > 0:
-                for pseudo in tracker.pseudo_records(last_end):
-                    writer.write(pseudo)
-                    if slog_writer is not None:
-                        slog_writer.write(pseudo, pseudo=True)
-                    pseudo_count += 1
-            writer.write(record)
-            if slog_writer is not None:
-                slog_writer.write(record)
-            tracker.observe(record)
-            records_out += 1
-            last_end = record.end
-            nxt = cursors[i].next_record()
-            if nxt is not None:
-                if nxt.end < record.end:
-                    raise MergeError(
-                        f"{paths[i]}: records out of end-time order after adjustment"
-                    )
-                tree.insert(cursors[i].key(nxt), (i, nxt))
+    try:
+        with IntervalFileWriter(
+            out_path,
+            profile,
+            merged_table,
+            markers=merged_markers,
+            node_cpus=merged_nodes,
+            field_mask=MASK_ALL_MERGED,
+            frame_bytes=frame_bytes,
+            frames_per_dir=frames_per_dir,
+        ) as writer:
+            while tree:
+                _, (i, record) = tree.pop_min()
+                if writer.frame_fill == 0 and records_out > 0:
+                    for pseudo in tracker.pseudo_records(last_end):
+                        writer.write(pseudo)
+                        if slog_writer is not None:
+                            slog_writer.write(pseudo, pseudo=True)
+                        pseudo_count += 1
+                writer.write(record)
+                if slog_writer is not None:
+                    slog_writer.write(record)
+                tracker.observe(record)
+                records_out += 1
+                last_end = record.end
+                nxt = cursors[i].next_record()
+                if nxt is not None:
+                    if nxt.end < record.end:
+                        raise MergeError(
+                            f"{paths[i]}: records out of end-time order after adjustment"
+                        )
+                    tree.insert(cursors[i].key(nxt), (i, nxt))
+    except BaseException:
+        # The interval writer's context already aborted itself; the SLOG
+        # writer is not context-managed here, so discard it explicitly —
+        # a failed merge must leave neither output half-written.
+        if slog_writer is not None:
+            slog_writer.abort()
+        raise
 
     for cursor in cursors:
         cursor.close()

@@ -31,10 +31,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.atomicio import AtomicFile, temp_path_for
 from repro.core.bytesource import ByteSource, open_source
 from repro.core.profilefmt import Profile
 from repro.core.reader import DEFAULT_FRAME_CACHE
 from repro.core.records import IntervalRecord
+from repro.core.salvage import (
+    SalvageReport,
+    check_error_mode,
+    salvage_frame_records,
+    salvage_stats,
+)
 from repro.core.threadtable import ThreadTable
 from repro.core.writer import (
     decode_marker_table,
@@ -123,9 +130,11 @@ class SlogWriter:
         # Finished frames spill to a sidecar file as they close, so the
         # writer holds one open frame plus the (small) index — O(frame)
         # memory however large the trace.  Index: (start, end, size, n,
-        # n_pseudo) per frame.
+        # n_pseudo) per frame.  The spill is named like the other writers'
+        # temp siblings, so a crash leaves only recognizably-ignorable
+        # artifacts behind.
         self._frames: list[tuple[int, int, int, int, int]] = []
-        self._spill_path = self.path.with_name(self.path.name + ".frames.tmp")
+        self._spill_path = temp_path_for(self.path.with_name(self.path.name + ".frames"))
         self._spill: io.BufferedWriter | None = open(self._spill_path, "wb")
         self._buf = bytearray()
         self._buf_records = 0
@@ -160,7 +169,9 @@ class SlogWriter:
 
         The metadata and frame index are written first, then the spilled
         frame bytes are streamed across in chunks — the whole file is never
-        materialized in memory."""
+        materialized in memory.  Assembly happens in a temp sibling that
+        atomically replaces the final name, so a crash mid-assembly leaves
+        the destination untouched."""
         if self._closed:
             return self.path
         self._finish_frame()
@@ -169,13 +180,33 @@ class SlogWriter:
         self._spill.close()
         self._spill = None
         try:
-            with open(self.path, "wb") as out:
+            with AtomicFile(self.path) as out:
                 out.write(self._metadata_bytes())
                 with open(self._spill_path, "rb") as frames:
                     shutil.copyfileobj(frames, out)
         finally:
             self._spill_path.unlink(missing_ok=True)
         return self.path
+
+    def abort(self) -> None:
+        """Discard everything written so far without touching the final
+        name (idempotent; a no-op after close)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+        self._spill_path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "SlogWriter":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     # ------------------------------------------------------------ internals
 
@@ -268,8 +299,13 @@ class SlogFile:
         source: ByteSource | None = None,
         mode: str = "auto",
         cache_frames: int = DEFAULT_FRAME_CACHE,
+        errors: str = "strict",
     ) -> None:
         self.path = Path(path)
+        self._salvage_mode = check_error_mode(errors)
+        self.salvage: SalvageReport | None = (
+            SalvageReport(path=self.path) if self._salvage_mode else None
+        )
         self.source: ByteSource = source if source is not None else open_source(self.path, mode)
         self._cache_frames = max(0, cache_frames)
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
@@ -373,15 +409,60 @@ class SlogFile:
 
     def stats(self) -> dict[str, int]:
         """Cache and IO accounting in the shared stats shape:
-        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``."""
+        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``, extended
+        with the salvage counters (zero in strict mode)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             **self.source.stats(),
+            **salvage_stats(self.salvage),
         }
+
+    def salvage_frame(
+        self, frame: SlogFrameEntry
+    ) -> tuple[list[IntervalRecord], SalvageReport]:
+        """Probe one frame in salvage fashion regardless of the reader's
+        configured mode, into a *fresh* report.
+
+        The serving daemon uses this after a strict decode fails, to build
+        the structured error payload (what exactly is damaged, how many
+        records survive) without flipping the whole reader into salvage
+        mode or polluting its counters.  Thread-safe; does not touch the
+        frame cache."""
+        report = SalvageReport(path=self.path)
+        with self._cache_lock:
+            blob = self.source.fetch(frame.offset, frame.size)
+        records = salvage_frame_records(
+            blob,
+            self.profile,
+            self.field_mask,
+            base_offset=frame.offset,
+            report=report,
+            expected_records=frame.n_records,
+            expected_size=frame.size,
+            time_span=(frame.start_time, frame.end_time),
+        )
+        if not records and frame.n_records:
+            report.frames_quarantined += 1
+        return records, report
 
     def _decode_frame(self, frame: SlogFrameEntry) -> list[IntervalRecord]:
         blob = self.source.fetch(frame.offset, frame.size)
+        if self._salvage_mode:
+            assert self.salvage is not None
+            records = salvage_frame_records(
+                blob,
+                self.profile,
+                self.field_mask,
+                base_offset=frame.offset,
+                report=self.salvage,
+                expected_records=frame.n_records,
+                expected_size=frame.size,
+                time_span=(frame.start_time, frame.end_time),
+            )
+            if not records and frame.n_records:
+                self.salvage.frames_quarantined += 1
+            return records
         if len(blob) != frame.size:
             raise FormatError(
                 f"{self.path}: SLOG frame at {frame.offset} runs past end of file"
@@ -450,7 +531,9 @@ def slog_from_interval_file(
 
     with IntervalReader(merged_path, profile) as reader:
         _, _, t_end = reader.totals()
-        writer = SlogWriter(
+        # The writer context aborts on exception: a failure mid-build (a
+        # corrupt merged file, a full disk) leaves no half-written SLOG.
+        with SlogWriter(
             slog_path,
             profile,
             reader.thread_table,
@@ -460,18 +543,18 @@ def slog_from_interval_file(
             frame_bytes=frame_bytes,
             time_range=(0, max(t_end, 1)),
             preview_bins=preview_bins,
-        )
-        tracker = _OpenStateTracker()
-        last_end = 0
-        started = False
-        for record in reader.intervals():
-            if record.itype == IntervalType.CLOCKPAIR:
-                continue
-            if started and writer._buf_records == 0:
-                for pseudo in tracker.pseudo_records(last_end):
-                    writer.write(pseudo, pseudo=True)
-            writer.write(record)
-            tracker.observe(record)
-            last_end = record.end
-            started = True
-        return writer.close()
+        ) as writer:
+            tracker = _OpenStateTracker()
+            last_end = 0
+            started = False
+            for record in reader.intervals():
+                if record.itype == IntervalType.CLOCKPAIR:
+                    continue
+                if started and writer._buf_records == 0:
+                    for pseudo in tracker.pseudo_records(last_end):
+                        writer.write(pseudo, pseudo=True)
+                writer.write(record)
+                tracker.observe(record)
+                last_end = record.end
+                started = True
+            return writer.close()

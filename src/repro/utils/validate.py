@@ -97,64 +97,112 @@ def validate_interval_file(path: str | Path, profile: Profile) -> ValidationRepo
         return report
 
     # Records: ordering, thread refs, bebits, markers.
-    open_states: dict[tuple, int] = {}
+    checker = RecordInvariantChecker(reader.thread_table, reader.markers)
     try:
-        _scan_records(reader, report, open_states)
+        _scan_records(reader, report, checker)
     except FormatError as exc:
         report.errors.append(str(exc))
         return report
-    leftover = [k for k, v in open_states.items() if v]
-    for key in leftover:
+    for key in checker.leftover_open():
         report.warnings.append(f"state left open at end of file: {key}")
     return report
 
 
-def _scan_records(reader: IntervalReader, report: ValidationReport, open_states: dict) -> None:
-    last_end: int | None = None
-    for record in reader.intervals():
-        report.records += 1
-        if last_end is not None and record.end < last_end:
-            report.errors.append(
-                f"record order violation: end {record.end} after {last_end}"
-            )
-        last_end = record.end
-        if record.itype != IntervalType.CLOCKPAIR:
-            try:
-                reader.thread_table.lookup(record.node, record.thread)
-            except FormatError:
-                report.errors.append(
-                    f"record references unknown thread node={record.node} "
-                    f"ltid={record.thread}"
-                )
-        if record.itype == IntervalType.MARKER:
-            marker_id = record.extra.get("markerId", 0)
-            if marker_id not in reader.markers:
-                report.errors.append(
-                    f"marker record references unknown marker id {marker_id}"
-                )
-        key = (
+class RecordInvariantChecker:
+    """The per-record invariants, factored so the validator and the
+    recovery engine judge records identically.
+
+    :meth:`problems` is non-mutating — what errors/warnings would this
+    record add given everything accepted so far; :meth:`accept` folds the
+    record into the tracked state (ordering watermark, open bebits states,
+    pseudo count).  The validator calls both for every record; recovery
+    calls ``accept`` only for records with no errors, so whatever it keeps
+    replays cleanly through the validator."""
+
+    def __init__(self, thread_table, markers: dict[int, str]) -> None:
+        self.thread_table = thread_table
+        self.markers = markers
+        self.open_states: dict[tuple, int] = {}
+        self.last_end: int | None = None
+        self.pseudo_records = 0
+
+    @staticmethod
+    def state_key(record) -> tuple:
+        """The bebits-balance key: (node, thread, type, marker id)."""
+        return (
             record.node,
             record.thread,
             record.itype,
             record.extra.get("markerId", 0),
         )
+
+    def problems(self, record) -> tuple[list[str], list[str]]:
+        """``(errors, warnings)`` this record would contribute, judged
+        against the state accumulated by prior :meth:`accept` calls."""
+        errors: list[str] = []
+        warnings: list[str] = []
+        if self.last_end is not None and record.end < self.last_end:
+            errors.append(
+                f"record order violation: end {record.end} after {self.last_end}"
+            )
+        if record.itype != IntervalType.CLOCKPAIR:
+            try:
+                self.thread_table.lookup(record.node, record.thread)
+            except FormatError:
+                errors.append(
+                    f"record references unknown thread node={record.node} "
+                    f"ltid={record.thread}"
+                )
+        if record.itype == IntervalType.MARKER:
+            marker_id = record.extra.get("markerId", 0)
+            if marker_id not in self.markers:
+                errors.append(
+                    f"marker record references unknown marker id {marker_id}"
+                )
+        key = self.state_key(record)
         if record.bebits is BeBits.BEGIN:
-            if open_states.get(key):
-                report.errors.append(f"nested begin for state {key}")
-            open_states[key] = 1
+            if self.open_states.get(key):
+                errors.append(f"nested begin for state {key}")
         elif record.bebits is BeBits.END:
-            if not open_states.get(key):
-                report.errors.append(f"end without begin for state {key}")
-            open_states[key] = 0
+            if not self.open_states.get(key):
+                errors.append(f"end without begin for state {key}")
         elif record.bebits is BeBits.CONTINUATION:
             if record.duration == 0:
-                report.pseudo_records += 1
-                if not open_states.get(key):
-                    report.warnings.append(
+                if not self.open_states.get(key):
+                    warnings.append(
                         f"pseudo-interval for state {key} that is not open"
                     )
-            elif not open_states.get(key):
-                report.errors.append(f"orphan continuation for state {key}")
+            elif not self.open_states.get(key):
+                errors.append(f"orphan continuation for state {key}")
+        return errors, warnings
+
+    def accept(self, record) -> None:
+        """Fold one record into the tracked state."""
+        self.last_end = record.end
+        key = self.state_key(record)
+        if record.bebits is BeBits.BEGIN:
+            self.open_states[key] = 1
+        elif record.bebits is BeBits.END:
+            self.open_states[key] = 0
+        elif record.bebits is BeBits.CONTINUATION and record.duration == 0:
+            self.pseudo_records += 1
+
+    def leftover_open(self) -> list[tuple]:
+        """State keys still open (warning-level: a trace may legitimately
+        end mid-state)."""
+        return [k for k, v in self.open_states.items() if v]
+
+
+def _scan_records(
+    reader: IntervalReader, report: ValidationReport, checker: RecordInvariantChecker
+) -> None:
+    for record in reader.intervals():
+        report.records += 1
+        errors, warnings = checker.problems(record)
+        report.errors.extend(errors)
+        report.warnings.extend(warnings)
+        checker.accept(record)
+    report.pseudo_records = checker.pseudo_records
 
 
 def validate_files(

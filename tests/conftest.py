@@ -1,0 +1,67 @@
+"""Shared fixtures: the golden corpus and hypothesis CI profiles.
+
+The corpus (``tests/data/``) is a set of committed known-good and
+known-damaged trace artifacts with a manifest describing each file's
+damage and expected recovery outcome — see ``tests/data/generate_corpus.py``
+for how it was built and how to regenerate it.
+
+Hypothesis profiles: the default settings run on every PR; the scheduled
+fuzz job selects the deeper ``ci-long`` profile with
+``--hypothesis-profile=ci-long``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from hypothesis import settings
+
+settings.register_profile("ci-long", max_examples=1500, deadline=None)
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """The golden corpus: artifact paths plus their manifest entries."""
+
+    root: Path
+    manifest: dict
+
+    def path(self, name: str) -> Path:
+        """Absolute path of one committed artifact."""
+        target = self.root / name
+        assert target.exists(), f"corpus artifact missing: {name}"
+        return target
+
+    def damaged(self, kind: str | None = None) -> list[str]:
+        """Names of damaged artifacts, optionally of one kind."""
+        return sorted(
+            name
+            for name, info in self.manifest.items()
+            if info["damage"] is not None
+            and (kind is None or info["kind"] == kind)
+        )
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """The committed golden corpus (read-only — copy before mutating)."""
+    manifest = json.loads((DATA_DIR / "manifest.json").read_text())
+    return Corpus(DATA_DIR, manifest)
+
+
+@pytest.fixture()
+def corpus_copy(corpus, tmp_path):
+    """Copy one corpus artifact into ``tmp_path`` for tests that write."""
+
+    def _copy(name: str) -> Path:
+        dest = tmp_path / name
+        shutil.copyfile(corpus.path(name), dest)
+        return dest
+
+    return _copy

@@ -1,0 +1,280 @@
+"""Regenerate the golden corpus (``python tests/data/generate_corpus.py``).
+
+The corpus is a set of small committed trace artifacts — known-good files
+plus known-damaged variants with precisely placed corruption — that pin
+the salvage and recovery behaviour byte-for-byte:
+
+==========================  ===============================================
+artifact                    damage
+==========================  ===============================================
+``good.ute``                none (100 records, 6 frames, 2 directories)
+``trunc-tail.ute``          final 150 bytes cut (mid-frame truncation)
+``flip-dirlink.ute``        first directory's next pointer overwritten
+``cut-254.ute``             file cut mid-record; records encode to exactly
+``cut-255.ute``             254 / 255 / 256 bytes — the 1-byte-prefix /
+``cut-256.ute``             escaped-length boundary (needs boundary.profile)
+``good.raw``                none (51 events)
+``trunc.raw``               final 25 bytes cut (mid-event truncation)
+``midflip.raw``             30 bytes smashed mid-file
+``good.slog``               none
+``flip-frame.slog``         one frame's first record type word smashed
+``boundary.profile``        the tunable-length profile of the cut-* files
+``manifest.json``           per-artifact damage notes + expected recovery
+==========================  ===============================================
+
+Damage targets *structure* (length prefixes, type words, directory links,
+truncation), not record values — value flips decode as different-but-valid
+records and exercise nothing.  Regenerating rewrites every artifact and
+``manifest.json``; the files are deterministic, so an unchanged generator
+reproduces identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent
+
+sys.path.insert(0, str(DATA_DIR.parents[1] / "src"))
+
+from repro.core import IntervalFileWriter, IntervalReader, standard_profile
+from repro.core.fields import DataType, FieldSpec, MASK_ALL_PER_NODE, MASK_CORE
+from repro.core.frames import FrameDirectory
+from repro.core.profilefmt import Profile, RecordSpec
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.tracing.events import RawEvent, dispatch_event
+from repro.tracing.hooks import HookId
+from repro.tracing.rawfile import RawFileHeader, RawTraceReader, RawTraceWriter
+from repro.utils.recover import recover_file
+from repro.utils.slog import SlogFile, SlogWriter
+
+PROFILE = standard_profile()
+TABLE = ThreadTable([ThreadEntry(0, 1, 1, 0, 0, 0, "t")])
+
+#: Fixed body bytes of the boundary profile's record (six common fields
+#: plus the label vector's 2-byte counter) — see tests/test_length_escape.py.
+_FIXED_BODY = 28
+
+
+def boundary_profile() -> Profile:
+    """Single record type with a char-vector label: encoded length tunable
+    byte-by-byte, so records can sit exactly on the length-escape edge."""
+    names = ["rectype", "start", "dura", "node", "cpu", "thread", "label"]
+    f = names.index
+    u64 = dict(dtype=DataType.UINT, elem_len=8)
+    u16 = dict(dtype=DataType.UINT, elem_len=2)
+    fields = (
+        FieldSpec(f("rectype"), dtype=DataType.UINT, elem_len=4),
+        FieldSpec(f("start"), **u64),
+        FieldSpec(f("dura"), **u64),
+        FieldSpec(f("node"), **u16),
+        FieldSpec(f("cpu"), **u16),
+        FieldSpec(f("thread"), **u16),
+        FieldSpec(f("label"), dtype=DataType.CHAR, elem_len=1, vector=True, counter_len=2),
+    )
+    return Profile(["Padded"], names, {0: RecordSpec(0, 0, fields)})
+
+
+# ---------------------------------------------------------------- builders
+
+
+def build_good_ute(path: Path) -> int:
+    with IntervalFileWriter(
+        path, PROFILE, TABLE, field_mask=MASK_ALL_PER_NODE,
+        markers={1: "phase"}, frame_bytes=512, frames_per_dir=3,
+    ) as writer:
+        for i in range(100):
+            writer.write(
+                IntervalRecord(
+                    IntervalType.MARKER if i % 5 else IntervalType.RUNNING,
+                    BeBits.COMPLETE, i * 100, 50, 0, 0, 0,
+                    {"markerId": 1} if i % 5 else {},
+                )
+            )
+    return 100
+
+
+def build_trunc_tail(good: Path, path: Path) -> None:
+    data = good.read_bytes()
+    path.write_bytes(data[:-150])
+
+
+def build_flip_dirlink(good: Path, path: Path) -> None:
+    with IntervalReader(good, PROFILE) as reader:
+        first = next(iter(reader.directories()))
+    data = bytearray(good.read_bytes())
+    # A plausible-looking but wrong in-file offset: the chain walk must
+    # reject it and resynchronize via the next directory's back link.
+    struct.pack_into(
+        "<q", data, FrameDirectory.next_offset_position(first.offset), len(data) // 2
+    )
+    path.write_bytes(bytes(data))
+
+
+def build_cut(path: Path, profile: Profile, encoded_len: int) -> tuple[int, int]:
+    """A boundary-profile file of records encoding to exactly
+    ``encoded_len`` bytes, cut mid-way through a record in the last frame.
+    Returns (records written, cut position)."""
+    prefix = 1 if encoded_len <= 256 else 3
+    body = encoded_len - prefix
+    records = [
+        IntervalRecord(
+            0, BeBits.COMPLETE, i * 1000, 500, 0, 0, 0,
+            {"label": chr(ord("a") + i % 26) * (body - _FIXED_BODY)},
+        )
+        for i in range(30)
+    ]
+    assert len(records[0].encode(profile, MASK_CORE)) == encoded_len
+    with IntervalFileWriter(
+        path, profile, TABLE, field_mask=MASK_CORE,
+        frame_bytes=4 * encoded_len, frames_per_dir=3,
+    ) as writer:
+        for record in records:
+            writer.write(record)
+    with IntervalReader(path, profile) as reader:
+        last_frame = list(reader.frames())[-1]
+    # Cut one full record plus one byte into the last frame: the cut lands
+    # mid-record, exactly one byte past the length-escape-sensitive edge.
+    cut = last_frame.offset + encoded_len + 1
+    path.write_bytes(path.read_bytes()[:cut])
+    return len(records), cut
+
+
+def build_good_raw(path: Path) -> int:
+    with RawTraceWriter(path, RawFileHeader(0, 2, 0)) as writer:
+        writer.write(RawEvent(HookId.MARKER_DEFINE, 0, 5, 0, (1,), "phase"))
+        for i in range(50):
+            writer.write(dispatch_event(i * 10, 5, i % 2))
+    return 51
+
+
+def build_trunc_raw(good: Path, path: Path) -> None:
+    path.write_bytes(good.read_bytes()[:-25])
+
+
+def build_midflip_raw(good: Path, path: Path) -> None:
+    with RawTraceReader(good) as reader:
+        offsets = [off for _hook, off, _len in reader.scan()]
+    data = bytearray(good.read_bytes())
+    target = offsets[len(offsets) // 2]
+    data[target : target + 30] = b"\xaa" * 30
+    path.write_bytes(bytes(data))
+
+
+def build_good_slog(path: Path) -> int:
+    writer = SlogWriter(
+        path, PROFILE, TABLE, field_mask=MASK_ALL_PER_NODE,
+        time_range=(0, 10000), frame_bytes=512,
+    )
+    for i in range(100):
+        writer.write(
+            IntervalRecord(IntervalType.RUNNING, BeBits.COMPLETE, i * 100, 50, 0, 0, 0)
+        )
+    writer.close()
+    return 100
+
+
+def build_flip_frame_slog(good: Path, path: Path) -> int:
+    slog = SlogFile(good)
+    target = slog.frames[1]
+    slog.close()
+    data = bytearray(good.read_bytes())
+    # Smash the first record's type word (after its 1-byte length prefix):
+    # an unknown record type fails strict decode without shifting offsets.
+    data[target.offset + 1 : target.offset + 5] = b"\xff" * 4
+    path.write_bytes(bytes(data))
+    return 1  # index of the damaged frame
+
+
+# -------------------------------------------------------------------- main
+
+
+def main() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    boundary = boundary_profile()
+    boundary_path = DATA_DIR / "boundary.profile"
+    boundary.write(boundary_path)
+
+    good_ute = DATA_DIR / "good.ute"
+    good_raw = DATA_DIR / "good.raw"
+    good_slog = DATA_DIR / "good.slog"
+    n_ute = build_good_ute(good_ute)
+    n_raw = build_good_raw(good_raw)
+    n_slog = build_good_slog(good_slog)
+
+    build_trunc_tail(good_ute, DATA_DIR / "trunc-tail.ute")
+    build_flip_dirlink(good_ute, DATA_DIR / "flip-dirlink.ute")
+    build_trunc_raw(good_raw, DATA_DIR / "trunc.raw")
+    build_midflip_raw(good_raw, DATA_DIR / "midflip.raw")
+    damaged_frame = build_flip_frame_slog(good_slog, DATA_DIR / "flip-frame.slog")
+
+    artifacts: dict[str, dict] = {
+        "good.ute": {"kind": "interval", "damage": None, "records": n_ute},
+        "good.raw": {"kind": "raw", "damage": None, "records": n_raw},
+        "good.slog": {"kind": "slog", "damage": None, "records": n_slog},
+        "trunc-tail.ute": {
+            "kind": "interval", "source": "good.ute", "profile": "standard",
+            "damage": "final 150 bytes cut (mid-frame truncation)",
+        },
+        "flip-dirlink.ute": {
+            "kind": "interval", "source": "good.ute", "profile": "standard",
+            "damage": "first directory next pointer overwritten with a bogus offset",
+        },
+        "trunc.raw": {
+            "kind": "raw", "source": "good.raw",
+            "damage": "final 25 bytes cut (mid-event truncation)",
+        },
+        "midflip.raw": {
+            "kind": "raw", "source": "good.raw",
+            "damage": "30 bytes smashed mid-file",
+        },
+        "flip-frame.slog": {
+            "kind": "slog", "source": "good.slog",
+            "damage": "first record type word of one frame smashed",
+            "damaged_frame": damaged_frame,
+        },
+    }
+    for encoded_len in (254, 255, 256):
+        name = f"cut-{encoded_len}.ute"
+        n, cut = build_cut(DATA_DIR / name, boundary, encoded_len)
+        artifacts[name] = {
+            "kind": "interval", "profile": "boundary.profile",
+            "records": n, "encoded_record_len": encoded_len,
+            "damage": f"cut mid-record at byte {cut} "
+                      f"({encoded_len}-byte records, length-escape boundary)",
+        }
+
+    # Record the expected recovery outcome of every damaged artifact: the
+    # files are frozen and salvage is deterministic, so tests assert these
+    # counts exactly.
+    scratch = DATA_DIR / ".scratch"
+    scratch.mkdir(exist_ok=True)
+    for name, info in artifacts.items():
+        if info["damage"] is None:
+            continue
+        profile = None
+        if info.get("profile") == "standard":
+            profile = PROFILE
+        elif info.get("profile"):
+            profile = Profile.read(DATA_DIR / info["profile"])
+        report = recover_file(
+            DATA_DIR / name, scratch / (name + ".rec"), profile=profile
+        )
+        assert report.ok, f"{name}: recovery must validate clean"
+        info["recovered_records"] = report.records_out
+    for leftover in scratch.iterdir():
+        leftover.unlink()
+    scratch.rmdir()
+
+    manifest = DATA_DIR / "manifest.json"
+    manifest.write_text(json.dumps(artifacts, indent=2, sort_keys=True) + "\n")
+    for name in sorted([*artifacts, "boundary.profile", "manifest.json"]):
+        print(f"  {name}: {(DATA_DIR / name).stat().st_size} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -180,6 +180,99 @@ def test_streaming_slog_reader_never_crashes(artifacts, flips):
 
 
 # --------------------------------------------------------------------------
+# Recovery properties: whatever the corruption, ``recover_file`` must either
+# refuse with ReproError (unrecoverable — e.g. a smashed header) or produce
+# an output that validates with zero errors.  Truncation additionally
+# guarantees the output is a subset of the original records: nothing is
+# invented past the cut.
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=60, deadline=None)
+def test_recover_flipped_interval_validates_or_refuses(artifacts, flips):
+    from repro.utils.recover import recover_file
+
+    path = artifacts["tmp"] / "rf.ute"
+    out = artifacts["tmp"] / "rf.rec.ute"
+    path.write_bytes(corrupt(artifacts["interval"], flips))
+    out.unlink(missing_ok=True)
+    try:
+        report = recover_file(path, out, profile=PROFILE)
+    except ReproError:
+        return  # unrecoverable damage must still be a framework error
+    assert report.ok, report.summary()
+    # The recovered file replays cleanly through the strict reader.
+    with IntervalReader(out, PROFILE) as reader:
+        assert sum(1 for _ in reader.intervals()) == report.records_out
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=40, deadline=None)
+def test_recover_flipped_slog_validates_or_refuses(artifacts, flips):
+    from repro.utils.recover import recover_file
+
+    path = artifacts["tmp"] / "rf.slog"
+    out = artifacts["tmp"] / "rf.rec.slog"
+    path.write_bytes(corrupt(artifacts["slog"], flips))
+    out.unlink(missing_ok=True)
+    try:
+        report = recover_file(path, out)
+    except ReproError:
+        return
+    assert report.ok, report.summary()
+    with SlogFile(out) as slog:
+        assert len(slog.records()) == report.records_out
+
+
+@given(cut=st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=60, deadline=None)
+def test_recover_truncated_interval_yields_record_subset(artifacts, cut):
+    from repro.utils.recover import recover_file
+
+    original_bytes = artifacts["interval"]
+    path = artifacts["tmp"] / "rt.ute"
+    out = artifacts["tmp"] / "rt.rec.ute"
+    path.write_bytes(original_bytes[: cut % len(original_bytes)])
+    out.unlink(missing_ok=True)
+    try:
+        report = recover_file(path, out, profile=PROFILE)
+    except ReproError:
+        return  # cut inside the header: nothing to recover
+    assert report.ok, report.summary()
+    full = artifacts["tmp"] / "rt-full.ute"
+    full.write_bytes(original_bytes)
+    with IntervalReader(full, PROFILE) as reader:
+        original = set(map(repr, reader.intervals()))
+    with IntervalReader(out, PROFILE) as reader:
+        recovered = [repr(r) for r in reader.intervals()]
+    assert all(r in original for r in recovered)
+
+
+@given(flips=flip_strategy)
+@settings(max_examples=40, deadline=None)
+def test_salvage_readers_never_crash(artifacts, flips):
+    """Salvage mode holds the same contract as strict: corruption may cost
+    records, but never surfaces a low-level exception (header damage still
+    raises ReproError)."""
+    tmp = artifacts["tmp"]
+    for name, blob in (("interval", "sv.ute"), ("raw", "sv.raw"), ("slog", "sv.slog")):
+        path = tmp / blob
+        path.write_bytes(corrupt(artifacts[name], flips))
+        try:
+            if name == "interval":
+                with IntervalReader(path, PROFILE, errors="salvage") as reader:
+                    list(reader.intervals())
+            elif name == "raw":
+                with RawTraceReader(path, errors="salvage") as reader:
+                    reader.events()
+            else:
+                with SlogFile(path, errors="salvage") as slog:
+                    slog.records()
+        except ReproError:
+            pass
+
+
+# --------------------------------------------------------------------------
 # Wrap-mode traces torn mid-record: a crash or buffer-window edge can cut
 # the final record short.  That must surface as FormatError ("truncated
 # event"), never IndexError / struct.error.

@@ -1,0 +1,145 @@
+"""``ute-recover`` against the golden corpus (utils/recover.py).
+
+The acceptance bar: every damaged corpus artifact recovers into a file
+that the strict readers accept and — for interval files — ``ute-validate``
+passes with zero errors.  The manifest pins the exact record counts, so a
+salvage regression that silently loses more records fails here.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main_recover
+from repro.core import IntervalReader, standard_profile
+from repro.core.profilefmt import Profile
+from repro.errors import FormatError
+from repro.tracing.rawfile import RawTraceReader
+from repro.utils.recover import default_output_path, recover_file, sniff_kind
+from repro.utils.slog import SlogFile
+from repro.utils.validate import validate_interval_file
+
+PROFILE = standard_profile()
+
+
+def _profile_for(corpus, name: str) -> Profile | None:
+    ref = corpus.manifest[name].get("profile")
+    if ref is None or ref == "standard":
+        return PROFILE if corpus.manifest[name]["kind"] == "interval" else None
+    return Profile.read(corpus.path(ref))
+
+
+def _strict_count(kind: str, path, profile) -> int:
+    if kind == "interval":
+        with IntervalReader(path, profile) as reader:
+            return sum(1 for _ in reader.intervals())
+    if kind == "slog":
+        with SlogFile(path) as slog:
+            return len(slog.records())
+    with RawTraceReader(path) as reader:
+        return len(reader.events())
+
+
+class TestSniffing:
+    def test_kinds(self, corpus):
+        assert sniff_kind(corpus.path("good.ute")) == "interval"
+        assert sniff_kind(corpus.path("good.slog")) == "slog"
+        assert sniff_kind(corpus.path("good.raw")) == "raw"
+
+    def test_unknown_magic(self, tmp_path):
+        junk = tmp_path / "junk.ute"
+        junk.write_bytes(b"NOTATRACE")
+        with pytest.raises(FormatError, match="not a recoverable trace file"):
+            sniff_kind(junk)
+
+    def test_default_output_path(self):
+        assert default_output_path("a/b/trace.ute").name == "trace.recovered.ute"
+
+    def test_refuses_to_overwrite_the_input(self, corpus_copy):
+        path = corpus_copy("good.ute")
+        with pytest.raises(FormatError, match="onto itself"):
+            recover_file(path, path, profile=PROFILE)
+
+
+class TestGoldenCorpusRecovery:
+    def test_every_damaged_artifact_recovers_clean(self, corpus, tmp_path):
+        """The acceptance criterion, literally: ute-recover on every
+        damaged corpus artifact yields a validating file with the exact
+        record counts the manifest pins."""
+        for name in corpus.damaged():
+            info = corpus.manifest[name]
+            out = tmp_path / (name + ".rec")
+            report = recover_file(
+                corpus.path(name), out, profile=_profile_for(corpus, name)
+            )
+            assert report.ok, f"{name}: {report.summary()}"
+            assert report.kind == info["kind"]
+            assert report.records_out == info["recovered_records"], name
+            assert not report.salvage.clean, name
+            # The output must satisfy the strict readers.
+            assert _strict_count(info["kind"], out, _profile_for(corpus, name)) \
+                == report.records_out, name
+
+    def test_recovered_interval_files_validate_with_zero_errors(self, corpus, tmp_path):
+        for name in corpus.damaged("interval"):
+            out = tmp_path / (name + ".rec")
+            profile = _profile_for(corpus, name)
+            recover_file(corpus.path(name), out, profile=profile)
+            validation = validate_interval_file(out, profile)
+            assert validation.ok, f"{name}: {validation.errors}"
+            assert not validation.errors
+
+    def test_good_file_recovers_losslessly(self, corpus, tmp_path):
+        report = recover_file(
+            corpus.path("good.ute"), tmp_path / "good.rec.ute", profile=PROFILE
+        )
+        assert report.ok and report.salvage.clean
+        assert report.records_out == corpus.manifest["good.ute"]["records"]
+        assert report.records_rejected == 0
+
+    def test_recovered_records_subset_of_original(self, corpus, tmp_path):
+        with IntervalReader(corpus.path("good.ute"), PROFILE) as reader:
+            original = set(map(repr, reader.intervals()))
+        out = tmp_path / "trunc.rec.ute"
+        recover_file(corpus.path("trunc-tail.ute"), out, profile=PROFILE)
+        with IntervalReader(out, PROFILE) as reader:
+            recovered = [repr(r) for r in reader.intervals()]
+        assert recovered and all(r in original for r in recovered)
+
+    def test_interval_recovery_requires_a_profile(self, corpus, tmp_path):
+        with pytest.raises(FormatError, match="profile"):
+            recover_file(corpus.path("trunc-tail.ute"), tmp_path / "x.ute")
+
+    def test_report_as_dict_is_json_ready(self, corpus, tmp_path):
+        report = recover_file(
+            corpus.path("midflip.raw"), tmp_path / "m.rec.raw"
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["kind"] == "raw"
+        assert payload["records_out"] == report.records_out
+        assert payload["salvage"]["bytes_skipped"] > 0
+
+
+class TestRecoverCli:
+    def test_recover_damaged_slog(self, corpus, tmp_path, capsys):
+        out = tmp_path / "f.rec.slog"
+        code = main_recover([str(corpus.path("flip-frame.slog")), "-o", str(out)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_recover_with_profile_and_json(self, corpus, tmp_path, capsys):
+        out = tmp_path / "c.rec.ute"
+        code = main_recover([
+            str(corpus.path("cut-255.ute")), "-o", str(out),
+            "--profile", str(corpus.path("boundary.profile")), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records_out"] \
+            == corpus.manifest["cut-255.ute"]["recovered_records"]
+
+    def test_missing_input_is_a_usage_error(self, tmp_path, capsys):
+        code = main_recover([str(tmp_path / "absent.ute")])
+        assert code == 2
+        assert "ute-recover" in capsys.readouterr().err

@@ -1,0 +1,202 @@
+"""Salvage-mode readers against the golden corpus (core/salvage.py).
+
+Strict mode must stay byte-for-byte what it always was: damaged artifacts
+raise.  Salvage mode must read past the damage, recover every record the
+corruption didn't touch, and account for what it gave up in the
+:class:`SalvageReport` that ``stats()`` and the ``salvage`` attribute
+expose.
+"""
+
+import pytest
+
+from repro.core import IntervalReader, standard_profile
+from repro.core.profilefmt import Profile
+from repro.core.salvage import (
+    MAX_REGIONS,
+    SalvageReport,
+    check_error_mode,
+    salvage_stats,
+)
+from repro.errors import FormatError, ReproError
+from repro.tracing.rawfile import RawTraceReader
+from repro.utils.slog import SlogFile
+
+PROFILE = standard_profile()
+
+
+def _profile_for(corpus, name: str) -> Profile:
+    ref = corpus.manifest[name].get("profile", "standard")
+    if ref == "standard":
+        return PROFILE
+    return Profile.read(corpus.path(ref))
+
+
+class TestErrorMode:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FormatError, match="unknown errors mode"):
+            check_error_mode("lenient")
+
+    def test_known_modes(self):
+        assert check_error_mode("salvage") is True
+        assert check_error_mode("strict") is False
+
+    def test_readers_reject_unknown_mode(self, corpus):
+        with pytest.raises(FormatError, match="unknown errors mode"):
+            IntervalReader(corpus.path("good.ute"), PROFILE, errors="lenient")
+        with pytest.raises(FormatError, match="unknown errors mode"):
+            RawTraceReader(corpus.path("good.raw"), errors="lenient")
+        with pytest.raises(FormatError, match="unknown errors mode"):
+            SlogFile(corpus.path("good.slog"), errors="lenient")
+
+
+class TestSalvageReport:
+    def test_clean_until_damage(self):
+        report = SalvageReport()
+        assert report.clean
+        report.skip(10, 5, "corrupt record")
+        assert not report.clean
+        assert report.bytes_skipped == 5
+        assert report.regions[0].offset == 10
+
+    def test_zero_length_skip_ignored(self):
+        report = SalvageReport()
+        report.skip(10, 0, "nothing")
+        assert report.clean and not report.regions
+
+    def test_region_list_is_bounded(self):
+        report = SalvageReport()
+        for i in range(MAX_REGIONS + 7):
+            report.skip(i * 10, 1, "corrupt record")
+        assert len(report.regions) == MAX_REGIONS
+        assert report.regions_truncated == 7
+        assert report.bytes_skipped == MAX_REGIONS + 7  # counters keep growing
+
+    def test_quarantine_counts_frame_and_bytes(self):
+        report = SalvageReport()
+        report.quarantine_frame(100, 512, "nothing decodable")
+        assert report.frames_quarantined == 1
+        assert report.bytes_skipped == 512
+
+    def test_stats_shape_is_mode_independent(self):
+        report = SalvageReport()
+        report.skip(0, 3, "x")
+        assert salvage_stats(None).keys() == salvage_stats(report).keys()
+        assert salvage_stats(None) == {
+            "bytes_skipped": 0, "records_dropped": 0, "frames_quarantined": 0,
+        }
+
+    def test_summary_mentions_the_loss(self):
+        report = SalvageReport()
+        assert "clean" in report.summary()
+        report.records_dropped = 3
+        report.skip(0, 7, "x")
+        assert "3 records dropped" in report.summary()
+
+
+class TestIntervalSalvage:
+    def test_good_file_reads_clean(self, corpus):
+        with IntervalReader(corpus.path("good.ute"), PROFILE, errors="salvage") as r:
+            records = list(r.intervals())
+            assert len(records) == corpus.manifest["good.ute"]["records"]
+            assert r.salvage.clean
+            stats = r.stats()
+        assert stats["bytes_skipped"] == 0
+
+    def test_strict_stats_have_the_same_keys(self, corpus):
+        with IntervalReader(corpus.path("good.ute"), PROFILE) as strict:
+            list(strict.intervals())
+            strict_keys = set(strict.stats())
+        with IntervalReader(corpus.path("good.ute"), PROFILE, errors="salvage") as s:
+            list(s.intervals())
+            assert set(s.stats()) == strict_keys
+
+    @pytest.mark.parametrize(
+        "name", ["trunc-tail.ute", "flip-dirlink.ute",
+                 "cut-254.ute", "cut-255.ute", "cut-256.ute"],
+    )
+    def test_damaged_file_strict_vs_salvage(self, corpus, name):
+        path = corpus.path(name)
+        profile = _profile_for(corpus, name)
+        # Strict: the damage is fatal.
+        with pytest.raises(ReproError):
+            with IntervalReader(path, profile) as reader:
+                list(reader.intervals())
+        # Salvage: reads through, accounts for the loss.
+        with IntervalReader(path, profile, errors="salvage") as reader:
+            records = list(reader.intervals())
+            report = reader.salvage
+        assert not report.clean
+        assert records, f"{name}: salvage recovered nothing"
+
+    def test_flipped_dirlink_recovers_every_record(self, corpus):
+        """The back-link resync finds the genuine next directory, so a
+        smashed forward pointer loses zero records."""
+        good = corpus.path("good.ute")
+        with IntervalReader(good, PROFILE) as reader:
+            original = list(reader.intervals())
+        with IntervalReader(
+            corpus.path("flip-dirlink.ute"), PROFILE, errors="salvage"
+        ) as reader:
+            assert list(reader.intervals()) == original
+            assert reader.salvage.bytes_skipped > 0  # the bad directory
+
+    def test_salvaged_records_are_a_subset_of_the_original(self, corpus):
+        with IntervalReader(corpus.path("good.ute"), PROFILE) as reader:
+            original = set(map(repr, reader.intervals()))
+        with IntervalReader(
+            corpus.path("trunc-tail.ute"), PROFILE, errors="salvage"
+        ) as reader:
+            salvaged = [repr(r) for r in reader.intervals()]
+        assert salvaged and all(r in original for r in salvaged)
+
+
+class TestRawSalvage:
+    def test_good_file_reads_clean(self, corpus):
+        with RawTraceReader(corpus.path("good.raw"), errors="salvage") as reader:
+            events = reader.events()
+            assert len(events) == corpus.manifest["good.raw"]["records"]
+            assert reader.salvage.clean
+
+    @pytest.mark.parametrize("name", ["trunc.raw", "midflip.raw"])
+    def test_damaged_file_strict_vs_salvage(self, corpus, name):
+        path = corpus.path(name)
+        with pytest.raises(ReproError):
+            with RawTraceReader(path) as reader:
+                reader.events()
+        with RawTraceReader(path, errors="salvage") as reader:
+            events = reader.events()
+            report = reader.salvage
+        assert not report.clean
+        assert len(events) >= corpus.manifest["good.raw"]["records"] - 5
+        assert "records_dropped" in reader.stats()
+
+
+class TestSlogSalvage:
+    def test_damaged_frame_strict_vs_salvage(self, corpus):
+        path = corpus.path("flip-frame.slog")
+        with SlogFile(path) as slog:
+            with pytest.raises(ReproError):
+                slog.records()
+        with SlogFile(path, errors="salvage") as slog:
+            records = slog.records()
+            assert not slog.salvage.clean
+            assert len(records) >= corpus.manifest["good.slog"]["records"] - 2
+
+    def test_salvage_frame_probe_on_strict_reader(self, corpus):
+        """``salvage_frame`` inspects one frame without switching the file
+        to salvage mode or touching the shared cache — the serving daemon's
+        per-frame degradation path."""
+        damaged_index = corpus.manifest["flip-frame.slog"]["damaged_frame"]
+        with SlogFile(corpus.path("flip-frame.slog")) as slog:
+            bad = slog.frames[damaged_index]
+            records, probe = slog.salvage_frame(bad)
+            assert not probe.clean
+            assert len(records) < bad.n_records
+            # An undamaged sibling probes clean.
+            sibling = slog.frames[0]
+            records, probe = slog.salvage_frame(sibling)
+            assert probe.clean
+            assert len(records) == sibling.n_records
+            # The file itself is still in strict mode.
+            with pytest.raises(ReproError):
+                slog.records()
