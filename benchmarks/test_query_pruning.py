@@ -1,0 +1,113 @@
+"""Index pruning: the bytes a windowed query does NOT read.
+
+The query subsystem's acceptance bar: a windowed single-thread query over
+the merged sPPM trace, answered through the ``.uteidx`` sidecar, must read
+at least 10x fewer bytes than the same query as a full scan — with
+byte-identical rows.  Bytes are counted by the byte source itself
+(:meth:`ByteSource.stats`), not estimated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.utils.convert import convert_traces
+from repro.utils.merge import merge_interval_files
+from repro.query import (
+    MODE_FULL_SCAN,
+    MODE_INDEXED,
+    Query,
+    ThreadSel,
+    build_index,
+    index_path_for,
+    open_trace,
+    run_query,
+    write_index,
+)
+
+
+@pytest.fixture(scope="module")
+def long_trace(workspace, profile):
+    """A longer sPPM run merged with small frames, so a narrow window
+    actually has frames to skip (the shared pipeline's 4-iteration trace
+    fits in two 8 KiB frames — nothing to prune)."""
+    from repro.workloads import run_sppm
+    from repro.workloads.sppm import SppmConfig
+
+    out = workspace / "query-pruning"
+    run = run_sppm(out / "raw", SppmConfig(iterations=40))
+    conv = convert_traces(run.raw_paths, out / "ivl")
+    merged = merge_interval_files(
+        conv.interval_paths, out / "merged.ute", profile,
+        slog_path=out / "run.slog", frame_bytes=2 * 1024,
+    )
+    return merged.merged_path
+
+
+def _narrow_query(path, profile):
+    """A 2%-of-the-run window over one MPI thread — the 'zoom into one
+    rank's hiccup' shape the index exists for."""
+    with open_trace(path, profile) as handle:
+        t_lo = min(f.start_time for f in handle.frames)
+        t_hi = max(f.end_time for f in handle.frames)
+        tps = handle.ticks_per_sec
+        entry = handle.thread_table.entries[0]
+    mid = (t_lo + t_hi) / 2
+    span = (t_hi - t_lo) * 0.02
+    window = (mid / tps, (mid + span) / tps)
+    return Query(threads=(ThreadSel(entry.node, entry.logical_tid),)), window
+
+
+def test_windowed_query_reads_10x_fewer_bytes(long_trace, profile):
+    merged = long_trace
+    with open_trace(merged, profile) as handle:
+        index = build_index(handle)
+        n_frames = len(handle.frames)
+    write_index(index, index_path_for(merged))
+
+    query, window = _narrow_query(merged, profile)
+    indexed = run_query(merged, query, profile=profile, window=window)
+    full = run_query(merged, query, profile=profile, index=False, window=window)
+
+    assert indexed.plan.mode == MODE_INDEXED
+    assert full.plan.mode == MODE_FULL_SCAN
+    assert indexed.to_tsv() == full.to_tsv(), "pruning changed query results"
+    assert indexed.io["bytes_read"] > 0
+    assert indexed.io["bytes_read"] * 10 <= full.io["bytes_read"], (
+        f"indexed scan read {indexed.io['bytes_read']} bytes, full scan "
+        f"{full.io['bytes_read']} — less than the required 10x saving"
+    )
+
+    ratio = full.io["bytes_read"] / indexed.io["bytes_read"]
+    report(
+        "query pruning (sPPM merged, 2% window x 1 thread): "
+        f"{indexed.io['bytes_read']} bytes indexed vs "
+        f"{full.io['bytes_read']} full scan ({ratio:.1f}x fewer), "
+        f"{len(indexed.plan.frames)}/{n_frames} frames decoded, "
+        f"{len(indexed.rows)} identical rows",
+    )
+
+
+def test_grouped_query_parity_and_savings(long_trace, profile):
+    """Group-by over a narrow window: still byte-identical, still pruned."""
+    merged = long_trace
+    query, window = _narrow_query(merged, profile)
+    from dataclasses import replace
+
+    from repro.query import Aggregate
+
+    grouped = replace(
+        query,
+        group_by=("node", "type"),
+        aggregates=(Aggregate.parse("count"), Aggregate.parse("sum:dura")),
+    )
+    indexed = run_query(merged, grouped, profile=profile, window=window)
+    full = run_query(merged, grouped, profile=profile, index=False, window=window)
+    assert indexed.to_tsv() == full.to_tsv()
+    assert indexed.io["bytes_read"] < full.io["bytes_read"]
+    report(
+        "query pruning (grouped node x type): "
+        f"{len(indexed.rows)} groups, "
+        f"{indexed.io['bytes_read']} vs {full.io['bytes_read']} bytes",
+    )

@@ -15,12 +15,18 @@ on the interval records (no access to the simulator or raw traces):
   fractions and the overlap timeline.
 * :mod:`repro.analysis.messages` — message latency/size statistics from
   the sequence-number-matched arrows.
+* :mod:`repro.analysis.source` — index-aware record loading: every
+  analysis takes a record iterable, and :func:`~repro.analysis.source.
+  load_records` produces one from a trace file while pruning the scan
+  through the ``.uteidx`` sidecar index (time window, thread, node, and
+  type predicates).
 """
 
 from repro.analysis.spans import StateSpan, state_spans
 from repro.analysis.blocking import CallProfileRow, call_profile
 from repro.analysis.utilization import thread_utilization, cpu_utilization
 from repro.analysis.messages import MessageStats, message_stats
+from repro.analysis.source import load_records
 
 __all__ = [
     "StateSpan",
@@ -31,4 +37,5 @@ __all__ = [
     "cpu_utilization",
     "MessageStats",
     "message_stats",
+    "load_records",
 ]

@@ -13,6 +13,8 @@ ute-view       SLOG -> time-space diagram SVG (or ANSI), whole run or the
                frame containing a chosen instant
 ute-serve      SLOG -> concurrent HTTP daemon (API + lazy web viewer)
 ute-recover    damaged .ute/.slog/raw trace -> clean validated file + report
+ute-query      interval/SLOG (+ .uteidx sidecar) -> pruned, filtered scans;
+               --build-index writes the sidecar
 =============  =============================================================
 
 Each ``main_*`` function doubles as a console-script entry point and a
@@ -31,7 +33,6 @@ import sys
 from pathlib import Path
 
 from repro.core.profilefmt import Profile, standard_profile
-from repro.core.reader import IntervalReader
 
 
 def _profile_for(args) -> Profile:
@@ -72,6 +73,35 @@ def _usage_error(prog: str, message: str | None) -> int | None:
         return None
     print(f"{prog}: error: {message}", file=sys.stderr)
     return 2
+
+
+def _parse_window(text: str) -> tuple[float | None, float | None]:
+    """Parse a ``T0:T1`` time window in seconds; either side may be empty
+    to leave it open (``:2.5``, ``1.0:``)."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise ValueError(f"bad window {text!r}; expected T0:T1 in seconds")
+    try:
+        t0 = float(lo) if lo.strip() else None
+        t1 = float(hi) if hi.strip() else None
+    except ValueError:
+        raise ValueError(f"bad window {text!r}; expected T0:T1 in seconds") from None
+    if t0 is not None and t1 is not None and t1 < t0:
+        raise ValueError(f"empty window {text!r}")
+    return t0, t1
+
+
+def _resolve_type(text: str, profile: Profile) -> int:
+    """An interval type given as a number or a profile record name."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    wanted = text.strip().lower()
+    for itype in profile.record_types():
+        if profile.record_name(itype).lower() == wanted:
+            return itype
+    raise ValueError(f"unknown interval type {text!r}")
 
 
 def main_trace(argv: list[str] | None = None) -> int:
@@ -280,6 +310,14 @@ def main_stats(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", default=None)
     parser.add_argument("-o", "--out", default="stats", help="output directory")
     parser.add_argument("--svg", action="store_true", help="also render SVG viewers")
+    parser.add_argument("--window", default=None, metavar="T0:T1",
+                        help="only records overlapping this window (seconds); "
+                        "frames outside it are pruned via the sidecar index")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print tables plus per-file read accounting as JSON on stdout "
+        "instead of writing TSV files",
+    )
     args = parser.parse_args(argv)
     inputs = [
         *args.intervals,
@@ -291,15 +329,44 @@ def main_stats(argv: list[str] | None = None) -> int:
 
     from repro.utils.stats import generate_tables, interval_records, predefined_tables
 
+    try:
+        window = _parse_window(args.window) if args.window else None
+    except ValueError as exc:
+        return _usage_error("ute-stats", str(exc)) or 2
     profile = _profile_for(args)
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    records = list(interval_records(args.intervals, profile))
+    io_log: dict[str, dict] = {}
+    records = list(
+        interval_records(args.intervals, profile, window=window, io_log=io_log)
+    )
     if args.program:
         tables = generate_tables(records, Path(args.program).read_text())
     else:
         total = max((r.end for r in records), default=1) / 1e9
         tables = predefined_tables(records, total_seconds=total)
+    if args.json:
+        import json
+
+        doc = {
+            "files": list(args.intervals),
+            "window": list(window) if window else None,
+            "records": len(records),
+            "tables": {
+                t.name: {
+                    "columns": list(t.x_labels + t.y_labels),
+                    "rows": [
+                        list(k) + list(t.rows[k]) for k in sorted(t.rows)
+                    ],
+                }
+                for t in tables
+            },
+            # Per-file accounting: each input's own bytes/fetches/plan,
+            # not one aggregate blurred across the run.
+            "io": io_log,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
     for table in tables:
         path = table.write(out / f"{table.name}.tsv")
         print(path)
@@ -427,21 +494,39 @@ def main_profile(argv: list[str] | None = None) -> int:
     parser.add_argument("intervals", nargs="+")
     parser.add_argument("--profile", default=None)
     parser.add_argument("--include-running", action="store_true")
+    parser.add_argument("--window", default=None, metavar="T0:T1",
+                        help="profile only this window (seconds); frames "
+                        "outside it are pruned via the sidecar index")
     args = parser.parse_args(argv)
     inputs = [*args.intervals, *([args.profile] if args.profile else [])]
     if (code := _usage_error("ute-profile", _input_error(inputs))) is not None:
         return code
 
     from repro.analysis.blocking import call_profile, format_call_profile
-    from repro.core.reader import IntervalReader
+    from repro.query import (
+        Query,
+        open_trace,
+        plan_query,
+        planned_records,
+        resolve_index,
+        window_to_ticks,
+    )
 
+    try:
+        window = _parse_window(args.window) if args.window else None
+    except ValueError as exc:
+        return _usage_error("ute-profile", str(exc)) or 2
     profile = _profile_for(args)
     records = []
     markers: dict[int, str] = {}
     for path in args.intervals:
-        reader = IntervalReader(path, profile)
-        markers.update(reader.markers)
-        records.extend(reader.intervals())
+        loaded, reason = resolve_index(path, "auto")
+        with open_trace(path, profile) as handle:
+            markers.update(handle.markers)
+            t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
+            query = Query(t0=t0, t1=t1)
+            plan = plan_query(query, handle.frames, loaded, index_reason=reason)
+            records.extend(planned_records(handle, query, plan))
     rows = call_profile(
         records, profile, markers=markers, include_running=args.include_running
     )
@@ -458,17 +543,160 @@ def main_dump(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", default=None)
     parser.add_argument("-n", "--limit", type=int, default=None,
                         help="max records per file")
+    parser.add_argument("--frame", type=int, default=None,
+                        help="dump only this frame ordinal (seeks, no full decode)")
+    parser.add_argument("--window", default=None, metavar="T0:T1",
+                        help="dump only frames overlapping this window (seconds)")
     args = parser.parse_args(argv)
     inputs = [*args.files, *([args.profile] if args.profile else [])]
     if (code := _usage_error("ute-dump", _input_error(inputs))) is not None:
         return code
 
+    from repro.errors import ReproError
     from repro.utils.dump import dump_any
 
+    try:
+        window = _parse_window(args.window) if args.window else None
+    except ValueError as exc:
+        return _usage_error("ute-dump", str(exc)) or 2
     profile = _profile_for(args)
     for path in args.files:
-        for line in dump_any(path, profile, limit=args.limit):
-            print(line)
+        try:
+            for line in dump_any(
+                path, profile, limit=args.limit, frame=args.frame, window=window
+            ):
+                print(line)
+        except ReproError as exc:
+            return _usage_error("ute-dump", str(exc)) or 2
+    return 0
+
+
+def main_query(argv: list[str] | None = None) -> int:
+    """Query a trace file through the sidecar index (or build the index)."""
+    parser = argparse.ArgumentParser(
+        "ute-query",
+        description="Indexed queries over interval/SLOG files: build a "
+        ".uteidx sidecar, then run windowed/filtered/grouped scans that "
+        "decode only the frames the index admits.",
+    )
+    parser.add_argument("trace", help="interval (.ute) or SLOG (.slog) file")
+    parser.add_argument("--profile", default=None, help="profile file for .ute inputs")
+    parser.add_argument(
+        "--build-index", action="store_true",
+        help="build and write the sidecar index, then exit",
+    )
+    parser.add_argument("--bins", type=int, default=None,
+                        help="time bins in a built index (default 64)")
+    parser.add_argument("--index", default=None, metavar="PATH",
+                        help="sidecar path (default: <trace>.uteidx)")
+    parser.add_argument("--no-index", action="store_true",
+                        help="ignore any sidecar; force the full scan")
+    parser.add_argument("--window", default=None, metavar="T0:T1",
+                        help="time window in seconds (either side may be empty)")
+    parser.add_argument("--thread", action="append", default=[],
+                        metavar="[NODE:]TID", help="thread predicate (repeatable)")
+    parser.add_argument("--node", action="append", default=[], type=int,
+                        help="node predicate (repeatable)")
+    parser.add_argument("--type", action="append", default=[], dest="types",
+                        metavar="TYPE", help="state type id or name (repeatable)")
+    parser.add_argument("--select", default=None, metavar="COLS",
+                        help="comma-separated projection (default: core fields)")
+    parser.add_argument("--group-by", default=None, metavar="COLS",
+                        help="comma-separated group-by fields")
+    parser.add_argument("--agg", action="append", default=[],
+                        metavar="FN[:FIELD]", help="aggregate column (repeatable)")
+    parser.add_argument("--limit", type=int, default=None, help="max result rows")
+    parser.add_argument("--format", default="tsv", choices=["tsv", "json"])
+    parser.add_argument("--explain", action="store_true",
+                        help="print the frame plan and IO accounting on stderr")
+    parser.add_argument("--errors", default="strict", choices=["strict", "salvage"])
+    args = parser.parse_args(argv)
+    inputs = [args.trace, *([args.profile] if args.profile else [])]
+    if args.index and not args.build_index:
+        inputs.append(args.index)
+    if (code := _usage_error("ute-query", _input_error(inputs))) is not None:
+        return code
+
+    from repro.errors import ReproError
+    from repro.query import (
+        DEFAULT_TIME_BINS,
+        Aggregate,
+        Query,
+        ThreadSel,
+        build_index,
+        index_path_for,
+        open_trace,
+        run_query,
+        write_index,
+    )
+    from repro.query.model import CORE_COLUMNS
+
+    profile = _profile_for(args)
+    sidecar = Path(args.index) if args.index else index_path_for(args.trace)
+
+    if args.build_index:
+        if (code := _usage_error("ute-query", _output_error(sidecar))) is not None:
+            return code
+        try:
+            with open_trace(args.trace, profile, errors=args.errors) as handle:
+                index = build_index(handle, n_bins=args.bins or DEFAULT_TIME_BINS)
+            write_index(index, sidecar)
+        except ReproError as exc:
+            return _usage_error("ute-query", str(exc)) or 2
+        print(sidecar)
+        info = index.summary()
+        print(
+            f"indexed {info['frames']} frames, {info['threads']} threads, "
+            f"{info['records']} records over {info['time_bins']} bins",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        window = _parse_window(args.window) if args.window else None
+        query = Query(
+            threads=tuple(ThreadSel.parse(t) for t in args.thread),
+            nodes=frozenset(args.node),
+            types=frozenset(_resolve_type(t, profile) for t in args.types),
+            columns=(
+                tuple(c.strip() for c in args.select.split(",") if c.strip())
+                if args.select
+                else CORE_COLUMNS
+            ),
+            group_by=(
+                tuple(c.strip() for c in args.group_by.split(",") if c.strip())
+                if args.group_by
+                else ()
+            ),
+            aggregates=tuple(Aggregate.parse(a) for a in args.agg),
+            limit=args.limit,
+        )
+    except (ReproError, ValueError) as exc:
+        return _usage_error("ute-query", str(exc)) or 2
+    index_arg: object = False if args.no_index else (args.index or "auto")
+    try:
+        result = run_query(
+            args.trace, query,
+            profile=profile, index=index_arg, errors=args.errors, window=window,
+        )
+    except ReproError as exc:
+        return _usage_error("ute-query", str(exc)) or 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.to_payload(), indent=2))
+    else:
+        sys.stdout.write(result.to_tsv())
+    if args.explain:
+        plan = result.plan
+        print(
+            f"plan: {plan.mode} ({plan.reason}); decoded "
+            f"{len(plan.frames)}/{plan.total_frames} frames; "
+            f"read {result.io['bytes_read']} bytes in {result.io['fetches']} fetches",
+            file=sys.stderr,
+        )
+        for step in plan.steps:
+            print(f"plan:   {step}", file=sys.stderr)
     return 0
 
 

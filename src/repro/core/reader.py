@@ -81,6 +81,7 @@ class IntervalReader:
         self.source = source if source is not None else open_source(self.path, mode)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
         self._cache_frames = max(0, cache_frames)
         # Serializes frame reads: the LRU mutation (move_to_end + eviction)
@@ -292,15 +293,17 @@ class IntervalReader:
                 self._frame_cache[key] = records
                 while len(self._frame_cache) > self._cache_frames:
                     self._frame_cache.popitem(last=False)
+                    self.cache_evictions += 1
             return list(records)
 
     def stats(self) -> dict[str, int]:
         """Cache and IO accounting in the shared stats shape:
-        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``, extended
-        with the salvage counters (zero in strict mode)."""
+        ``{"hits", "misses", "evictions", "fetch_count", "bytes_fetched"}``,
+        extended with the salvage counters (zero in strict mode)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
             **self.source.stats(),
             **salvage_stats(self.salvage),
         }

@@ -1,0 +1,70 @@
+"""Indexed trace queries: sidecar indexes, a frame-pruning planner, and a
+predicate-pushdown executor.
+
+The paper's frame directory (section 2) was designed so tools could *seek*
+instead of scan; this subsystem is the layer that exploits it.  A
+versioned ``.uteidx`` sidecar (:mod:`repro.query.indexfile`) records
+per-frame summaries — time ranges, state-type bitmaps, thread-key sets —
+plus per-thread posting lists and coarse time-binned aggregates.  The
+planner (:mod:`repro.query.planner`) intersects a declarative
+:class:`~repro.query.model.Query` against those summaries to produce a
+pruned frame plan, falling back to a full scan whenever the sidecar is
+missing, stale, or damaged; the executor (:mod:`repro.query.engine`)
+decodes only the planned frames and pushes the same predicates down onto
+each record, so indexed and unindexed runs return identical rows — the
+index only changes how many bytes are read.
+
+``ute-query`` is the CLI face; ``ute-stats``, ``ute-serve`` (``/api/query``)
+and :mod:`repro.analysis` reuse the same planner to prune their scans.
+"""
+
+from repro.query.engine import (
+    QueryResult,
+    execute,
+    planned_records,
+    resolve_index,
+    run_query,
+    window_to_ticks,
+)
+from repro.query.indexfile import (
+    DEFAULT_TIME_BINS,
+    SIDECAR_SUFFIX,
+    FrameSummary,
+    TraceIndex,
+    build_index,
+    index_path_for,
+    load_fresh_index,
+    load_index,
+    write_index,
+)
+from repro.query.model import Aggregate, Query, ThreadSel
+from repro.query.planner import MODE_FULL_SCAN, MODE_INDEXED, QueryPlan, plan_query
+from repro.query.trace import TraceHandle, open_trace, trace_kind
+
+__all__ = [
+    "Aggregate",
+    "DEFAULT_TIME_BINS",
+    "FrameSummary",
+    "MODE_FULL_SCAN",
+    "MODE_INDEXED",
+    "Query",
+    "QueryPlan",
+    "QueryResult",
+    "SIDECAR_SUFFIX",
+    "ThreadSel",
+    "TraceHandle",
+    "TraceIndex",
+    "build_index",
+    "execute",
+    "index_path_for",
+    "load_fresh_index",
+    "load_index",
+    "open_trace",
+    "plan_query",
+    "planned_records",
+    "resolve_index",
+    "run_query",
+    "trace_kind",
+    "window_to_ticks",
+    "write_index",
+]

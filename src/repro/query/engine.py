@@ -1,0 +1,189 @@
+"""The query executor: pruned frame scans with predicate pushdown.
+
+:func:`run_query` is the one-call API — open the file, load a fresh
+sidecar index when one exists, plan, scan only the planned frames, push
+the query's predicates down onto each decoded record, and return rows (or
+grouped aggregates) plus the plan and the exact bytes-read accounting from
+the byte source.  :func:`execute` and :func:`planned_records` are the
+lower-level pieces the serving daemon and the stats/analysis integrations
+reuse over an already-open handle.
+
+Result discipline: rows come back in file order (frame order, record
+order within a frame) and grouped output is sorted by group key — so two
+executions of the same query over the same file bytes produce identical
+output, indexed or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.records import IntervalRecord
+from repro.query.indexfile import TraceIndex, load_fresh_index
+from repro.query.model import (
+    Aggregate,
+    Query,
+    accumulate,
+    finalize,
+    new_accumulator,
+    record_value,
+)
+from repro.query.planner import QueryPlan, plan_query
+from repro.query.trace import TraceHandle, open_trace
+
+
+def format_value(value: Any) -> str:
+    """One cell as TSV text (floats via ``%.9g``, ``None`` empty)."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)
+
+
+def _sort_key(group: tuple) -> tuple:
+    """Deterministic ordering for possibly mixed-type group keys."""
+    return tuple(
+        (0, v, "") if isinstance(v, (int, float)) else (1, 0, str(v))
+        for v in group
+    )
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything needed to explain how they were produced."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    plan: QueryPlan
+    io: dict[str, int]
+    ticks_per_sec: float
+    path: str
+
+    def to_tsv(self) -> str:
+        """Header line plus one tab-separated line per row."""
+        lines = ["\t".join(self.columns)]
+        for row in self.rows:
+            lines.append("\t".join(format_value(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-friendly form (``ute-query --format json``, ``/api/query``)."""
+        return {
+            "file": self.path,
+            "ticks_per_sec": self.ticks_per_sec,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "plan": self.plan.describe(),
+            "io": dict(self.io),
+        }
+
+
+def planned_records(
+    handle: TraceHandle, query: Query, plan: QueryPlan
+) -> Iterator[IntervalRecord]:
+    """Records of the planned frames that pass the query's predicates."""
+    for ordinal in plan.frames:
+        for record in handle.read_frame(ordinal):
+            if query.matches(record):
+                yield record
+
+
+def execute(handle: TraceHandle, query: Query, plan: QueryPlan) -> list[tuple]:
+    """Run one planned query over an open handle; returns result rows."""
+    if query.grouped:
+        groups: dict[tuple, list] = {}
+        for record in planned_records(handle, query, plan):
+            key = tuple(record_value(record, name) for name in query.group_by)
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = new_accumulator(query.aggregates)
+            accumulate(state, query.aggregates, record)
+        rows = [
+            key + finalize(state, query.aggregates)
+            for key, state in sorted(groups.items(), key=lambda kv: _sort_key(kv[0]))
+        ]
+        return rows[: query.limit] if query.limit is not None else rows
+    rows = []
+    for record in planned_records(handle, query, plan):
+        rows.append(tuple(record_value(record, name) for name in query.columns))
+        if query.limit is not None and len(rows) >= query.limit:
+            break
+    return rows
+
+
+def resolve_index(
+    path: str | Path, index: Any
+) -> tuple[TraceIndex | None, str]:
+    """Normalize the ``index`` argument accepted across the query API.
+
+    * ``"auto"`` — load the sidecar next to ``path`` if it exists and is
+      fresh (the default everywhere);
+    * ``None`` / ``False`` — ignore any sidecar: force the full scan;
+    * a :class:`TraceIndex` — use it as-is (caller vouches for freshness);
+    * a path — load that specific sidecar, still freshness-checked.
+    """
+    if index is None or index is False:
+        return None, "disabled"
+    if isinstance(index, TraceIndex):
+        return index, "fresh"
+    if index == "auto":
+        return load_fresh_index(path)
+    return load_fresh_index(path, index)
+
+
+def run_query(
+    path: str | Path,
+    query: Query,
+    *,
+    profile=None,
+    index: Any = "auto",
+    errors: str = "strict",
+    mode: str = "auto",
+    window: tuple[float | None, float | None] | None = None,
+) -> QueryResult:
+    """Open, plan, and execute one query; the one-call API.
+
+    ``window`` is an optional (t0, t1) in **seconds**; it is converted with
+    the file's own ``ticks_per_sec`` and overrides the query's tick bounds —
+    the convenience the CLI and server need, since they see seconds but the
+    file's tick rate only exists after open.
+
+    ``io`` in the result is the byte-source fetch delta across the scan
+    itself (directories and header tables are read at open, before the
+    snapshot), so it measures exactly what the plan chose to decode.
+    """
+    loaded, reason = resolve_index(path, index)
+    with open_trace(path, profile, errors=errors, mode=mode) as handle:
+        if window is not None:
+            t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
+            query = replace(query, t0=t0, t1=t1)
+        plan = plan_query(query, handle.frames, loaded, index_reason=reason)
+        before = handle.stats()
+        rows = execute(handle, query, plan)
+        after = handle.stats()
+        io = {
+            "bytes_read": after["bytes_fetched"] - before["bytes_fetched"],
+            "fetches": after["fetch_count"] - before["fetch_count"],
+            "cache_hits": after["hits"] - before["hits"],
+            "frames_decoded": len(plan.frames),
+        }
+        return QueryResult(
+            query.output_columns(), rows, plan, io,
+            handle.ticks_per_sec, str(path),
+        )
+
+
+def window_to_ticks(
+    window: tuple[float, float] | None, ticks_per_sec: float
+) -> tuple[int | None, int | None]:
+    """Convert a (t0, t1) window in seconds to ticks (None passes through)."""
+    if window is None:
+        return None, None
+    t0, t1 = window
+    return (
+        None if t0 is None else int(t0 * ticks_per_sec),
+        None if t1 is None else int(t1 * ticks_per_sec),
+    )

@@ -1,0 +1,351 @@
+"""The ``.uteidx`` sidecar index (docs/FORMAT.md section 7).
+
+A trace file's frame directory already answers "which frames overlap this
+time window" — but nothing else.  The sidecar index extends that with the
+per-frame facts the planner needs to prune on every other predicate:
+
+* a **state-type bitmap** (256 bits) — which interval types occur in the
+  frame, with an overflow bit for types beyond the bitmap's range;
+* the **thread-key set** — every (node, thread) pair that has a record in
+  the frame (node sets are derived from these);
+* global **posting lists** — per thread key, the sorted frame ordinals
+  containing it, so a single-thread query intersects one list instead of
+  testing every frame;
+* **coarse time-binned aggregates** — record counts and summed durations
+  in fixed bins over the run, for instant order-of-magnitude answers.
+
+The index never changes query *results* — only which frames get decoded.
+Every byte is a pure function of the trace file's content (no timestamps),
+so rebuilding an unchanged file reproduces the sidecar bit for bit; the
+builder publishes through :mod:`repro.core.atomicio` so a crash never
+leaves a torn sidecar under the final name.
+
+**Staleness** is decided in three steps (cheapest first): the recorded
+source size must match; then, if the source's mtime is not newer than the
+sidecar's, the index is trusted; otherwise the recorded SHA-256 of the
+source content is re-verified — an atomic replace with identical bytes
+keeps the index valid, any content change invalidates it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.atomicio import AtomicFile
+from repro.errors import FormatError
+from repro.query.trace import TraceHandle
+
+MAGIC = b"UTEIDX1\x00"
+FORMAT_VERSION = 1
+
+#: Suffix appended to the trace file's full name (``run.slog.uteidx``).
+SIDECAR_SUFFIX = ".uteidx"
+
+#: Size of the per-frame state-type bitmap.  Types ``0..254`` get a bit
+#: each; bit 255 is the overflow marker ("types beyond the bitmap occur
+#: here", which disables type pruning for the frame).
+TYPE_BITMAP_BYTES = 32
+_OVERFLOW_BIT = TYPE_BITMAP_BYTES * 8 - 1
+
+#: Default number of coarse time bins.
+DEFAULT_TIME_BINS = 64
+
+_HEADER = struct.Struct("<8sII")          # magic, version, flags
+_SOURCE = struct.Struct("<Q32s")          # source size, sha256
+_SPAN = struct.Struct("<qqIIII")          # t_min, t_max, n_frames, n_bins, n_postings, reserved
+_FRAME = struct.Struct("<QQQQII")         # offset, size, start, end, n_records, n_thread_keys
+_BIN = struct.Struct("<QQ")               # record count, summed duration
+_POSTING = struct.Struct("<QI")           # thread key, n_frames
+
+_DECODE_ERRORS = (struct.error, IndexError, ValueError, OverflowError)
+
+
+def thread_key(node: int, thread: int) -> int:
+    """Pack a (node, thread) pair into the index's 64-bit thread key."""
+    return ((node & 0xFFFFFFFF) << 32) | (thread & 0xFFFFFFFF)
+
+
+def split_thread_key(key: int) -> tuple[int, int]:
+    """Unpack a 64-bit thread key back into (node, thread)."""
+    return key >> 32, key & 0xFFFFFFFF
+
+
+def type_bit_set(bitmap: bytearray, itype: int) -> None:
+    """Mark ``itype`` present (or the overflow bit when out of range)."""
+    bit = itype if 0 <= itype < _OVERFLOW_BIT else _OVERFLOW_BIT
+    bitmap[bit // 8] |= 1 << (bit % 8)
+
+
+@dataclass(frozen=True)
+class FrameSummary:
+    """Everything the planner knows about one frame without decoding it."""
+
+    ordinal: int
+    offset: int
+    size: int
+    n_records: int
+    start_time: int
+    end_time: int
+    type_bits: bytes
+    thread_keys: tuple[int, ...]
+
+    def may_have_type(self, itype: int) -> bool:
+        """Whether records of ``itype`` can occur here (bitmap test; an
+        overflow frame answers True for out-of-range types)."""
+        bit = itype if 0 <= itype < _OVERFLOW_BIT else _OVERFLOW_BIT
+        return bool(self.type_bits[bit // 8] & (1 << (bit % 8)))
+
+    def nodes(self) -> set[int]:
+        """Node ids with at least one record in this frame."""
+        return {key >> 32 for key in self.thread_keys}
+
+    def overlaps(self, t0: int | None, t1: int | None) -> bool:
+        """Whether the frame's time range intersects the (closed) window."""
+        if t0 is not None and self.end_time < t0:
+            return False
+        if t1 is not None and self.start_time > t1:
+            return False
+        return True
+
+
+@dataclass
+class TraceIndex:
+    """A parsed (or freshly built) sidecar index."""
+
+    source_size: int
+    source_sha256: bytes
+    t_min: int
+    t_max: int
+    n_bins: int
+    bins: tuple[tuple[int, int], ...]
+    frames: list[FrameSummary]
+    postings: dict[int, tuple[int, ...]]
+    version: int = FORMAT_VERSION
+
+    # -------------------------------------------------------------- queries
+
+    def frames_for_threads(self, keys: list[int]) -> set[int] | None:
+        """Union of the posting lists for exact thread ``keys``; ``None``
+        when a key is unknown to the index (no record anywhere — the
+        caller can prune everything)."""
+        out: set[int] = set()
+        for key in keys:
+            out.update(self.postings.get(key, ()))
+        return out
+
+    def frames_for_thread_id(self, thread: int) -> set[int]:
+        """Union of posting lists whose key carries ``thread`` on any node."""
+        out: set[int] = set()
+        for key, ordinals in self.postings.items():
+            if key & 0xFFFFFFFF == thread:
+                out.update(ordinals)
+        return out
+
+    def summary(self) -> dict:
+        """JSON-friendly overview (``ute-query --build-index`` prints it)."""
+        return {
+            "version": self.version,
+            "frames": len(self.frames),
+            "threads": len(self.postings),
+            "time_bins": self.n_bins,
+            "time_range": [self.t_min, self.t_max],
+            "records": sum(count for count, _ in self.bins),
+            "source_sha256": self.source_sha256.hex(),
+        }
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self) -> bytes:
+        """Serialize; deterministic for a given trace content."""
+        out = bytearray()
+        out += _HEADER.pack(MAGIC, self.version, 0)
+        out += _SOURCE.pack(self.source_size, self.source_sha256)
+        out += _SPAN.pack(
+            self.t_min, self.t_max, len(self.frames), self.n_bins,
+            len(self.postings), 0,
+        )
+        for f in self.frames:
+            out += _FRAME.pack(
+                f.offset, f.size, f.start_time, f.end_time,
+                f.n_records, len(f.thread_keys),
+            )
+            out += f.type_bits
+            for key in f.thread_keys:
+                out += struct.pack("<Q", key)
+        for count, duration in self.bins:
+            out += _BIN.pack(count, duration)
+        for key in sorted(self.postings):
+            ordinals = self.postings[key]
+            out += _POSTING.pack(key, len(ordinals))
+            out += struct.pack(f"<{len(ordinals)}I", *ordinals)
+        out += struct.pack("<I", zlib.crc32(bytes(out)))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TraceIndex":
+        """Parse sidecar bytes; :class:`FormatError` on any damage."""
+        try:
+            if len(data) < _HEADER.size + 4:
+                raise FormatError("sidecar index truncated")
+            magic, version, _flags = _HEADER.unpack_from(data, 0)
+            if magic != MAGIC:
+                raise FormatError(f"not a sidecar index (magic {magic!r})")
+            if version != FORMAT_VERSION:
+                raise FormatError(f"unsupported index version {version}")
+            (crc,) = struct.unpack_from("<I", data, len(data) - 4)
+            if zlib.crc32(data[:-4]) != crc:
+                raise FormatError("sidecar index checksum mismatch")
+            pos = _HEADER.size
+            source_size, sha = _SOURCE.unpack_from(data, pos)
+            pos += _SOURCE.size
+            t_min, t_max, n_frames, n_bins, n_postings, _ = _SPAN.unpack_from(data, pos)
+            pos += _SPAN.size
+            frames: list[FrameSummary] = []
+            for ordinal in range(n_frames):
+                offset, size, start, end, n_records, n_keys = _FRAME.unpack_from(data, pos)
+                pos += _FRAME.size
+                bits = bytes(data[pos : pos + TYPE_BITMAP_BYTES])
+                if len(bits) != TYPE_BITMAP_BYTES:
+                    raise FormatError("sidecar index truncated in type bitmap")
+                pos += TYPE_BITMAP_BYTES
+                keys = struct.unpack_from(f"<{n_keys}Q", data, pos)
+                pos += n_keys * 8
+                frames.append(
+                    FrameSummary(ordinal, offset, size, n_records, start, end, bits, keys)
+                )
+            bins = []
+            for _ in range(n_bins):
+                bins.append(_BIN.unpack_from(data, pos))
+                pos += _BIN.size
+            postings: dict[int, tuple[int, ...]] = {}
+            for _ in range(n_postings):
+                key, count = _POSTING.unpack_from(data, pos)
+                pos += _POSTING.size
+                ordinals = struct.unpack_from(f"<{count}I", data, pos)
+                pos += count * 4
+                postings[key] = ordinals
+            if pos != len(data) - 4:
+                raise FormatError("sidecar index has trailing bytes")
+        except _DECODE_ERRORS as exc:
+            raise FormatError(f"corrupt sidecar index ({exc})") from exc
+        return cls(source_size, sha, t_min, t_max, n_bins, tuple(bins), frames, postings)
+
+
+# ---------------------------------------------------------------------------
+# Building.
+
+
+def hash_file(path: str | Path, *, chunk: int = 1 << 20) -> bytes:
+    """SHA-256 of a file's content, read in bounded chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while block := fh.read(chunk):
+            digest.update(block)
+    return digest.digest()
+
+
+def build_index(handle: TraceHandle, *, n_bins: int = DEFAULT_TIME_BINS) -> TraceIndex:
+    """Build the index by one full pass over an open trace.
+
+    Deterministic: frames are visited in file order, thread keys and
+    posting lists are emitted sorted, and nothing time- or
+    environment-dependent is recorded.
+    """
+    if n_bins < 1:
+        raise FormatError(f"need at least one time bin, got {n_bins}")
+    frames = handle.frames
+    t_min = min((f.start_time for f in frames), default=0)
+    t_max = max((f.end_time for f in frames), default=0)
+    span = max(t_max - t_min, 1)
+    bin_counts = [0] * n_bins
+    bin_durations = [0] * n_bins
+    summaries: list[FrameSummary] = []
+    postings: dict[int, list[int]] = {}
+    for frame in frames:
+        bits = bytearray(TYPE_BITMAP_BYTES)
+        keys: set[int] = set()
+        for record in handle.read_frame(frame.ordinal):
+            type_bit_set(bits, record.itype)
+            keys.add(thread_key(record.node, record.thread))
+            b = min((record.start - t_min) * n_bins // span, n_bins - 1)
+            b = max(b, 0)
+            bin_counts[b] += 1
+            bin_durations[b] += record.duration
+        sorted_keys = tuple(sorted(keys))
+        summaries.append(
+            FrameSummary(
+                frame.ordinal, frame.offset, frame.size, frame.n_records,
+                frame.start_time, frame.end_time, bytes(bits), sorted_keys,
+            )
+        )
+        for key in sorted_keys:
+            postings.setdefault(key, []).append(frame.ordinal)
+    return TraceIndex(
+        source_size=os.stat(handle.path).st_size,
+        source_sha256=hash_file(handle.path),
+        t_min=t_min,
+        t_max=t_max,
+        n_bins=n_bins,
+        bins=tuple(zip(bin_counts, bin_durations)),
+        frames=summaries,
+        postings={k: tuple(v) for k, v in postings.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sidecar files.
+
+
+def index_path_for(path: str | Path) -> Path:
+    """The sidecar path of a trace file (``run.slog`` -> ``run.slog.uteidx``)."""
+    path = Path(path)
+    return path.with_name(path.name + SIDECAR_SUFFIX)
+
+
+def write_index(index: TraceIndex, sidecar: str | Path) -> Path:
+    """Publish the sidecar crash-safely (temp sibling + atomic replace)."""
+    with AtomicFile(sidecar) as fh:
+        fh.write(index.encode())
+    return Path(sidecar)
+
+
+def load_index(sidecar: str | Path) -> TraceIndex:
+    """Parse one sidecar file (:class:`FormatError` on damage)."""
+    return TraceIndex.decode(Path(sidecar).read_bytes())
+
+
+def load_fresh_index(
+    source: str | Path, sidecar: str | Path | None = None
+) -> tuple[TraceIndex | None, str]:
+    """The sidecar index of ``source`` if it exists and is fresh.
+
+    Returns ``(index, "fresh")`` or ``(None, reason)`` with reason one of
+    ``missing``, ``corrupt:...``, ``stale:size``, ``stale:content`` — the
+    planner treats every ``None`` as "fall back to full scan".
+    """
+    source = Path(source)
+    sidecar = index_path_for(source) if sidecar is None else Path(sidecar)
+    if not sidecar.exists():
+        return None, "missing"
+    try:
+        index = load_index(sidecar)
+    except (FormatError, OSError) as exc:
+        return None, f"corrupt:{exc}"
+    try:
+        src_stat = os.stat(source)
+        side_stat = os.stat(sidecar)
+    except OSError as exc:
+        return None, f"stale:{exc}"
+    if src_stat.st_size != index.source_size:
+        return None, "stale:size"
+    if src_stat.st_mtime_ns > side_stat.st_mtime_ns:
+        # The trace was replaced after the index was built; only identical
+        # content (e.g. an atomic rewrite of the same bytes) keeps it valid.
+        if hash_file(source) != index.source_sha256:
+            return None, "stale:content"
+    return index, "fresh"

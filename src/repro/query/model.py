@@ -1,0 +1,218 @@
+"""The query model: what a trace query asks for.
+
+A :class:`Query` is a declarative description of a scan over one interval
+or SLOG file — a time window, predicates on thread / node / state type, a
+projection (which fields come back), and an optional group-by/aggregate
+step.  The model is deliberately small: everything in it can be answered
+by intersecting the predicates against the sidecar index
+(:mod:`repro.query.indexfile`) to prune whole frames, then pushing the
+same predicates down onto each decoded record.
+
+Times are in **ticks** (the file's native unit); the CLI and server
+convert from seconds using the file's ``ticks_per_sec`` before building
+the query, so the engine never guesses units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import FormatError
+
+#: Fields every record answers, in the default projection order.
+CORE_COLUMNS = ("start", "end", "dura", "node", "cpu", "thread", "type", "bebits")
+
+#: Recognized aggregate functions for the y side of a group-by.
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class ThreadSel:
+    """One thread predicate: an exact (node, thread) pair, or a thread id
+    on any node (``node is None``)."""
+
+    node: int | None
+    thread: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ThreadSel":
+        """Parse ``"TID"`` or ``"NODE:TID"``."""
+        try:
+            if ":" in text:
+                node_s, tid_s = text.split(":", 1)
+                return cls(int(node_s), int(tid_s))
+            return cls(None, int(text))
+        except ValueError:
+            raise FormatError(
+                f"bad thread selector {text!r}; expected TID or NODE:TID"
+            ) from None
+
+    def matches(self, node: int, thread: int) -> bool:
+        return self.thread == thread and (self.node is None or self.node == node)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate column: ``fn`` over ``source`` labelled ``label``."""
+
+    fn: str
+    source: str
+    label: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Aggregate":
+        """Parse ``"count"`` or ``"fn:field"`` (e.g. ``sum:dura``)."""
+        fn, _, source = text.partition(":")
+        if fn == "count" and not source:
+            return cls("count", "dura", "count")
+        if fn not in AGGREGATES:
+            raise FormatError(
+                f"unknown aggregate {fn!r}; pick one of {AGGREGATES}"
+            )
+        if not source:
+            raise FormatError(f"aggregate {fn!r} needs a field: {fn}:FIELD")
+        return cls(fn, source, f"{fn}({source})")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One declarative scan over a trace file.
+
+    ``t0``/``t1`` bound a closed time window in ticks (records *overlapping*
+    the window match, the :meth:`~repro.core.reader.IntervalReader.
+    intervals_between` convention); ``None`` leaves that side open.
+    ``threads`` / ``nodes`` / ``types`` are disjunctive within themselves
+    and conjunctive across predicates.  ``columns`` is the projection;
+    ``group_by`` + ``aggregates`` switch the result from raw rows to an
+    aggregation keyed by the group-by fields.
+    """
+
+    t0: int | None = None
+    t1: int | None = None
+    threads: tuple[ThreadSel, ...] = ()
+    nodes: frozenset[int] = frozenset()
+    types: frozenset[int] = frozenset()
+    columns: tuple[str, ...] = CORE_COLUMNS
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = ()
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.t0 is not None and self.t1 is not None and self.t1 < self.t0:
+            raise FormatError(f"empty time window [{self.t0}, {self.t1}]")
+        if self.group_by and not self.aggregates:
+            raise FormatError("group_by requires at least one aggregate")
+        if self.aggregates and not self.group_by:
+            raise FormatError("aggregates require group_by fields")
+        if self.limit is not None and self.limit < 0:
+            raise FormatError(f"negative limit {self.limit}")
+
+    # ----------------------------------------------------------- predicates
+
+    @property
+    def windowed(self) -> bool:
+        """Whether any time bound is set."""
+        return self.t0 is not None or self.t1 is not None
+
+    @property
+    def grouped(self) -> bool:
+        """Whether the query aggregates instead of returning raw rows."""
+        return bool(self.group_by)
+
+    def matches(self, record) -> bool:
+        """Predicate pushdown: whether one decoded record satisfies every
+        predicate of this query."""
+        if self.t0 is not None and record.end < self.t0:
+            return False
+        if self.t1 is not None and record.start > self.t1:
+            return False
+        if self.nodes and record.node not in self.nodes:
+            return False
+        if self.threads and not any(
+            sel.matches(record.node, record.thread) for sel in self.threads
+        ):
+            return False
+        if self.types and record.itype not in self.types:
+            return False
+        return True
+
+    def output_columns(self) -> tuple[str, ...]:
+        """The labels of the result columns (projection or aggregation)."""
+        if self.grouped:
+            return self.group_by + tuple(a.label for a in self.aggregates)
+        return self.columns
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly summary (the ``query`` half of an explain)."""
+        return {
+            "window": [self.t0, self.t1] if self.windowed else None,
+            "threads": [
+                f"{s.node}:{s.thread}" if s.node is not None else str(s.thread)
+                for s in self.threads
+            ],
+            "nodes": sorted(self.nodes),
+            "types": sorted(self.types),
+            "columns": list(self.output_columns()),
+            "group_by": list(self.group_by),
+            "limit": self.limit,
+        }
+
+
+def record_value(record, name: str) -> Any:
+    """Read one projected field off a record; ``None`` when the record's
+    type does not carry that field (different types carry different
+    extras)."""
+    if name == "end":
+        return record.end
+    if name == "type":
+        return record.itype
+    if name == "bebits":
+        return int(record.bebits)
+    if name == "dura":
+        return record.duration
+    try:
+        return record.get(name)
+    except FormatError:
+        return None
+
+
+_AccState = dict
+
+
+def new_accumulator(aggregates: tuple[Aggregate, ...]) -> list[_AccState]:
+    """Fresh aggregation state, one slot per aggregate column."""
+    return [{"n": 0, "sum": 0, "min": None, "max": None} for _ in aggregates]
+
+
+def accumulate(state: list[_AccState], aggregates: tuple[Aggregate, ...], record) -> None:
+    """Fold one record into a group's aggregation state (records whose
+    type lacks the source field are skipped for that column)."""
+    for slot, agg in zip(state, aggregates):
+        value = record_value(record, agg.source)
+        if value is None:
+            continue
+        slot["n"] += 1
+        if agg.fn in ("sum", "avg"):
+            slot["sum"] += value
+        elif agg.fn == "min":
+            slot["min"] = value if slot["min"] is None else min(slot["min"], value)
+        elif agg.fn == "max":
+            slot["max"] = value if slot["max"] is None else max(slot["max"], value)
+
+
+def finalize(state: list[_AccState], aggregates: tuple[Aggregate, ...]) -> tuple:
+    """Render a group's aggregation state as result values."""
+    out = []
+    for slot, agg in zip(state, aggregates):
+        if agg.fn == "count":
+            out.append(slot["n"])
+        elif agg.fn == "sum":
+            out.append(slot["sum"])
+        elif agg.fn == "avg":
+            out.append(slot["sum"] / slot["n"] if slot["n"] else 0.0)
+        elif agg.fn == "min":
+            out.append(slot["min"] if slot["min"] is not None else 0)
+        else:
+            out.append(slot["max"] if slot["max"] is not None else 0)
+    return tuple(out)

@@ -1,0 +1,141 @@
+"""A uniform frame-level handle over interval (.ute) and SLOG files.
+
+The query engine and the index builder work frame by frame: enumerate the
+frame directory, decode chosen frames, account the bytes read.  Interval
+files (:class:`~repro.core.reader.IntervalReader`) and SLOG files
+(:class:`~repro.utils.slog.SlogFile`) both support exactly that, with
+slightly different surfaces; :class:`TraceHandle` papers over the
+difference so everything above it is format-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.records import IntervalRecord
+from repro.errors import FormatError
+
+#: Magic prefixes of the two frame-indexed formats.
+_INTERVAL_MAGIC = b"UTEIVL1\x00"
+_SLOG_MAGIC = b"UTESLOG1"
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One frame as the query layer sees it: where it lives, what the
+    directory entry promises about it."""
+
+    ordinal: int
+    offset: int
+    size: int
+    n_records: int
+    start_time: int
+    end_time: int
+
+    def overlaps(self, t0: int | None, t1: int | None) -> bool:
+        """Whether the frame's time range intersects the (closed) window."""
+        if t0 is not None and self.end_time < t0:
+            return False
+        if t1 is not None and self.start_time > t1:
+            return False
+        return True
+
+
+class TraceHandle:
+    """One open trace file presented as an ordered list of frames."""
+
+    def __init__(self, path: str | Path, reader, kind: str) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self._reader = reader
+        if kind == "interval":
+            entries = list(reader.frames())
+            self.ticks_per_sec = reader.header.ticks_per_sec
+        else:
+            entries = list(reader.frames)
+            self.ticks_per_sec = reader.ticks_per_sec
+        self.frames = [
+            TraceFrame(
+                i, e.offset, e.size, e.n_records, e.start_time, e.end_time
+            )
+            for i, e in enumerate(entries)
+        ]
+        self._entries = entries
+        self.thread_table = reader.thread_table
+        self.markers = reader.markers
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def profile(self):
+        """The description profile decoding this file's records."""
+        if self.kind == "interval":
+            return self._reader.profile
+        return self._reader.profile
+
+    @property
+    def source(self):
+        """The underlying byte source (for fetch accounting)."""
+        return self._reader.source
+
+    def read_frame(self, ordinal: int) -> list[IntervalRecord]:
+        """Decode frame ``ordinal`` (LRU-cached by the underlying reader)."""
+        return self._reader.read_frame(self._entries[ordinal])
+
+    def stats(self) -> dict[str, int]:
+        """The underlying reader's cache/IO accounting (shared shape)."""
+        return self._reader.stats()
+
+    def close(self) -> None:
+        self._reader.close()
+
+    def __enter__(self) -> "TraceHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def trace_kind(path: str | Path) -> str:
+    """``"interval"`` or ``"slog"``, sniffed from the magic bytes."""
+    with open(path, "rb") as fh:
+        magic = fh.read(8)
+    if magic == _INTERVAL_MAGIC:
+        return "interval"
+    if magic == _SLOG_MAGIC:
+        return "slog"
+    raise FormatError(
+        f"{path}: not a frame-indexed trace file (magic {magic!r}); "
+        "queries need an interval (.ute) or SLOG (.slog) file"
+    )
+
+
+def open_trace(
+    path: str | Path,
+    profile=None,
+    *,
+    mode: str = "auto",
+    errors: str = "strict",
+    cache_frames: int | None = None,
+) -> TraceHandle:
+    """Open an interval or SLOG file as a :class:`TraceHandle`.
+
+    Interval files need a profile to decode records; ``None`` selects the
+    standard profile.  SLOG files embed theirs, so ``profile`` is ignored.
+    """
+    kind = trace_kind(path)
+    if kind == "interval":
+        from repro.core.profilefmt import standard_profile
+        from repro.core.reader import IntervalReader
+
+        kwargs = {} if cache_frames is None else {"cache_frames": cache_frames}
+        reader = IntervalReader(
+            path, profile or standard_profile(), mode=mode, errors=errors, **kwargs
+        )
+    else:
+        from repro.utils.slog import SlogFile
+
+        kwargs = {} if cache_frames is None else {"cache_frames": cache_frames}
+        reader = SlogFile(path, mode=mode, errors=errors, **kwargs)
+    return TraceHandle(path, reader, kind)

@@ -13,7 +13,10 @@ endpoint                        returns
                                 ``?view=kind`` adds a pre-built view payload
 ``GET /api/view/{kind}?t=S``    the frame display at instant ``S`` as SVG
 ``GET /api/arrows/{i}``         matched message arrows of frame ``i``
-``GET /api/stats?table=...``    a statlang table run server-side (TSV/JSON)
+``GET /api/stats?table=...``    a statlang table run server-side (TSV/JSON);
+                                ``?window=T0:T1`` prunes via the sidecar index
+``GET /api/query``              an indexed query (window/thread/node/type
+                                predicates, group-by) with plan + IO accounting
 ``GET /metrics``                Prometheus-style counters
 ==============================  ============================================
 
@@ -157,6 +160,31 @@ class TraceServer:
         self.registry.gauge(
             "ute_serve_frame_cache_misses_total", "Shared frame-cache misses.",
             lambda: stats()["misses"],
+        )
+        self.registry.gauge(
+            "ute_serve_frame_cache_evictions_total",
+            "Frames evicted from the shared LRU frame cache.",
+            lambda: stats()["evictions"],
+        )
+        self.registry.gauge(
+            "ute_serve_index_loaded",
+            "Whether a fresh .uteidx sidecar was loaded at startup (1/0).",
+            lambda: 1 if self.session.index is not None else 0,
+        )
+        self.registry.gauge(
+            "ute_serve_index_frames_scanned_total",
+            "Frames the planner selected for decoding across all queries.",
+            lambda: self.session.index_frames_scanned,
+        )
+        self.registry.gauge(
+            "ute_serve_index_frames_pruned_total",
+            "Frames the planner pruned without decoding across all queries.",
+            lambda: self.session.index_frames_pruned,
+        )
+        self.registry.gauge(
+            "ute_serve_index_fallback_total",
+            "Planned scans that fell back to full scan (no usable index).",
+            lambda: self.session.index_fallbacks,
         )
         self.registry.gauge(
             "ute_serve_bytes_fetched_total", "Bytes fetched from the SLOG byte source.",
@@ -369,10 +397,18 @@ class TraceServer:
             return "/api/view/{kind}", lambda r: self._h_view(r, kind), tag
         if segs == ["api", "stats"]:
             tag = "stats-" + hashlib.sha1(
-                (request.query.get("table", "") + "\x00" + request.query.get("format", ""))
-                .encode()
+                "\x00".join(
+                    request.query.get(k, "") for k in ("table", "format", "window")
+                ).encode()
             ).hexdigest()[:16]
             return "/api/stats", self._h_stats, tag
+        if segs == ["api", "query"]:
+            tag = "query-" + hashlib.sha1(
+                "\x00".join(
+                    f"{k}={v}" for k, v in sorted(request.query.items())
+                ).encode()
+            ).hexdigest()[:16]
+            return "/api/query", self._h_query, tag
         return request.path, None, None
 
     @staticmethod
@@ -417,8 +453,31 @@ class TraceServer:
         width = self.config.svg_width
         if "width" in request.query:
             width = max(200, min(self._int_seg(request.query["width"], "width"), 4000))
-        svg = self.session.view_svg(kind, t_seconds, width=width)
-        return Response.text(svg, content_type="image/svg+xml")
+        svg, io = self.session.view_svg(kind, t_seconds, width=width)
+        response = Response.text(svg, content_type="image/svg+xml")
+        response.headers = {"X-UTE-Bytes-Read": str(io["bytes_read"])}
+        return response
+
+    def _parse_window_param(
+        self, request: Request
+    ) -> tuple[float | None, float | None] | None:
+        """The optional ``window=T0:T1`` query parameter (seconds)."""
+        text = request.query.get("window", "")
+        if not text.strip():
+            return None
+        lo, sep, hi = text.partition(":")
+        if not sep:
+            raise _HttpError(400, f"bad window {text!r}; expected T0:T1 in seconds")
+        try:
+            t0 = float(lo) if lo.strip() else None
+            t1 = float(hi) if hi.strip() else None
+        except ValueError:
+            raise _HttpError(
+                400, f"bad window {text!r}; expected T0:T1 in seconds"
+            ) from None
+        if t0 is not None and t1 is not None and t1 < t0:
+            raise _HttpError(400, f"empty window {text!r}")
+        return t0, t1
 
     def _h_stats(self, request: Request) -> Response:
         program = request.query.get("table", "")
@@ -427,9 +486,11 @@ class TraceServer:
         fmt = request.query.get("format", "tsv")
         if fmt not in ("tsv", "json"):
             raise _HttpError(400, f"unknown format {fmt!r}; pick 'tsv' or 'json'")
-        tables = self.session.stats_tables(program)
+        window = self._parse_window_param(request)
+        tables, plan, io = self.session.stats_tables(program, window=window)
+        extra = {"X-UTE-Bytes-Read": str(io["bytes_read"])}
         if fmt == "json":
-            return Response.json({
+            response = Response.json({
                 "tables": [
                     {
                         "name": t.name,
@@ -441,10 +502,72 @@ class TraceServer:
                         ],
                     }
                     for t in tables
-                ]
+                ],
+                "plan": plan,
+                "io": io,
             })
+            response.headers = extra
+            return response
         text = "\n".join(f"# table {t.name}\n{t.to_tsv()}" for t in tables)
-        return Response.text(text, content_type="text/tab-separated-values")
+        response = Response.text(text, content_type="text/tab-separated-values")
+        response.headers = extra
+        return response
+
+    def _h_query(self, request: Request) -> Response:
+        from repro.query.model import CORE_COLUMNS, Aggregate, Query, ThreadSel
+
+        q = request.query
+        fmt = q.get("format", "json")
+        if fmt not in ("tsv", "json"):
+            raise _HttpError(400, f"unknown format {fmt!r}; pick 'tsv' or 'json'")
+        window = self._parse_window_param(request)
+
+        def ints(name: str) -> list[int]:
+            raw = [p for p in q.get(name, "").split(",") if p.strip()]
+            try:
+                return [int(p, 0) for p in raw]
+            except ValueError:
+                raise _HttpError(
+                    400, f"query parameter {name!r} must be integers, got {q[name]!r}"
+                ) from None
+
+        limit = None
+        if q.get("limit", "").strip():
+            limit = self._int_seg(q["limit"], "limit")
+        try:
+            columns = tuple(
+                c.strip() for c in q.get("select", "").split(",") if c.strip()
+            )
+            query = Query(
+                threads=tuple(
+                    ThreadSel.parse(p)
+                    for p in q.get("thread", "").split(",")
+                    if p.strip()
+                ),
+                nodes=frozenset(ints("node")),
+                types=frozenset(ints("type")),
+                columns=columns or CORE_COLUMNS,
+                group_by=tuple(
+                    c.strip() for c in q.get("group_by", "").split(",") if c.strip()
+                ),
+                aggregates=tuple(
+                    Aggregate.parse(p) for p in q.get("agg", "").split(",") if p.strip()
+                ),
+                limit=limit,
+            )
+        except FormatError as exc:
+            raise _HttpError(400, str(exc)) from None
+        payload = self.session.query_payload(query, window=window)
+        extra = {"X-UTE-Bytes-Read": str(payload["io"]["bytes_read"])}
+        if fmt == "tsv":
+            response = Response.text(
+                self.session.query_tsv(payload),
+                content_type="text/tab-separated-values",
+            )
+        else:
+            response = Response.json(payload)
+        response.headers = extra
+        return response
 
     # --------------------------------------------------------------- output
 

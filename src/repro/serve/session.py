@@ -16,11 +16,18 @@ from __future__ import annotations
 
 import os
 import threading
+from dataclasses import replace
 from pathlib import Path
 from typing import Any
 
 from repro.core.records import IntervalRecord, IntervalType
 from repro.errors import FormatError
+from repro.query.engine import execute as execute_query
+from repro.query.engine import format_value, planned_records, window_to_ticks
+from repro.query.indexfile import load_fresh_index
+from repro.query.model import Query
+from repro.query.planner import MODE_INDEXED, plan_query
+from repro.query.trace import TraceHandle
 from repro.utils.stats import generate_tables
 from repro.viz.arrows import match_arrows
 from repro.viz.interactive import view_payload
@@ -55,6 +62,14 @@ class TraceSession:
         stat = os.stat(self.path)
         self.etag_base = f"{stat.st_mtime_ns}-{stat.st_size}"
         self.viewer = Jumpshot(self.path, cache_frames=cache_frames)
+        # The query layer's view of the same SlogFile: shares the byte
+        # source and frame cache, adds the frame list the planner prunes.
+        self.handle = TraceHandle(self.path, self.viewer.slog, "slog")
+        self.index, self.index_reason = load_fresh_index(self.path)
+        # Planner accounting, scraped by /metrics.
+        self.index_frames_scanned = 0
+        self.index_frames_pruned = 0
+        self.index_fallbacks = 0
         self.lock = threading.RLock()
 
     def close(self) -> None:
@@ -154,24 +169,101 @@ class TraceSession:
                 ],
             }
 
-    def view_svg(self, kind: str, t_seconds: float, *, width: int = 1100) -> str:
-        """A rendered frame display (``/api/view/{kind}?t=...``)."""
+    def view_svg(
+        self, kind: str, t_seconds: float, *, width: int = 1100
+    ) -> tuple[str, dict[str, int]]:
+        """A rendered frame display plus the bytes-read delta of producing
+        it (``/api/view/{kind}?t=...``)."""
         with self.lock:
-            return self.viewer.view_svg_at(t_seconds, kind=kind, width=width)
+            before = self.handle.stats()
+            svg = self.viewer.view_svg_at(t_seconds, kind=kind, width=width)
+            return svg, self._io_delta(before)
 
-    def stats_tables(self, program: str) -> list:
-        """Run a statlang program over every record (``/api/stats``)."""
+    def stats_tables(
+        self,
+        program: str,
+        window: tuple[float | None, float | None] | None = None,
+    ) -> tuple[list, dict[str, Any], dict[str, int]]:
+        """Run a statlang program (``/api/stats``), pruning the scan through
+        the sidecar index when a ``window`` (seconds) is given.  Returns
+        (tables, plan description, io delta)."""
         with self.lock:
             slog = self.viewer.slog
+            t0, t1 = window_to_ticks(window, slog.ticks_per_sec)
+            query = Query(t0=t0, t1=t1)
+            plan = self._plan(query)
+            before = self.handle.stats()
             records = (
-                r for r in slog.records() if r.itype != IntervalType.CLOCKPAIR
+                r
+                for r in planned_records(self.handle, query, plan)
+                if r.itype != IntervalType.CLOCKPAIR
             )
-            return generate_tables(
+            tables = generate_tables(
                 records,
                 program,
                 ticks_per_sec=slog.ticks_per_sec,
                 thread_table=slog.thread_table,
             )
+            return tables, plan.describe(), self._io_delta(before)
+
+    def query_payload(
+        self,
+        query: Query,
+        window: tuple[float | None, float | None] | None = None,
+    ) -> dict[str, Any]:
+        """Plan and run one query over the shared handle (``/api/query``).
+
+        ``window`` is in seconds (converted with the file's tick rate and
+        overriding the query's tick bounds); the payload carries the rows,
+        the frame plan, and the exact bytes-read delta of this query.
+        """
+        with self.lock:
+            handle = self.handle
+            if window is not None:
+                t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
+                query = replace(query, t0=t0, t1=t1)
+            plan = self._plan(query)
+            before = handle.stats()
+            rows = execute_query(handle, query, plan)
+            io = self._io_delta(before)
+            return {
+                "file": self.path.name,
+                "ticks_per_sec": handle.ticks_per_sec,
+                "columns": list(query.output_columns()),
+                "rows": [list(row) for row in rows],
+                "plan": plan.describe(),
+                "io": io,
+            }
+
+    @staticmethod
+    def query_tsv(payload: dict[str, Any]) -> str:
+        """Render a :meth:`query_payload` result as TSV (header + rows)."""
+        lines = ["\t".join(payload["columns"])]
+        for row in payload["rows"]:
+            lines.append("\t".join(format_value(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def _plan(self, query: Query):
+        """Plan one query against the session index, keeping the counters
+        the metrics endpoint scrapes."""
+        plan = plan_query(
+            query, self.handle.frames, self.index, index_reason=self.index_reason
+        )
+        self.index_frames_scanned += len(plan.frames)
+        self.index_frames_pruned += plan.frames_pruned
+        if plan.mode != MODE_INDEXED:
+            self.index_fallbacks += 1
+        return plan
+
+    def _io_delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Byte-source/cache accounting since ``before`` (same keys the
+        query CLI reports)."""
+        after = self.handle.stats()
+        return {
+            "bytes_read": after["bytes_fetched"] - before["bytes_fetched"],
+            "fetches": after["fetch_count"] - before["fetch_count"],
+            "cache_hits": after["hits"] - before["hits"],
+        }
 
     def stats(self) -> dict[str, int]:
         """The SLOG file's cache/IO accounting (``/metrics`` reads this)."""

@@ -53,10 +53,64 @@ def format_record(record: IntervalRecord, profile: Profile) -> str:
     )
 
 
+def _select_frames(frames, frame: int | None, window_ticks, path) -> list:
+    """The frame entries a seek-limited dump decodes — chosen from the
+    frame directory alone, before any record bytes are touched."""
+    frames = list(frames)
+    if frame is not None:
+        if not 0 <= frame < len(frames):
+            raise FormatError(
+                f"{path}: frame {frame} out of range 0..{len(frames) - 1}"
+            )
+        frames = [frames[frame]]
+    if window_ticks is not None:
+        t0, t1 = window_ticks
+        frames = [
+            f
+            for f in frames
+            if not (
+                (t0 is not None and f.end_time < t0)
+                or (t1 is not None and f.start_time > t1)
+            )
+        ]
+    return frames
+
+
+def _in_window(record: IntervalRecord, window_ticks) -> bool:
+    if window_ticks is None:
+        return True
+    t0, t1 = window_ticks
+    if t0 is not None and record.end < t0:
+        return False
+    if t1 is not None and record.start > t1:
+        return False
+    return True
+
+
+def _window_ticks(window, ticks_per_sec: float):
+    if window is None:
+        return None
+    t0, t1 = window
+    return (
+        None if t0 is None else int(t0 * ticks_per_sec),
+        None if t1 is None else int(t1 * ticks_per_sec),
+    )
+
+
 def dump_interval(
-    path: str | Path, profile: Profile, *, limit: int | None = None
+    path: str | Path,
+    profile: Profile,
+    *,
+    limit: int | None = None,
+    frame: int | None = None,
+    window: tuple[float | None, float | None] | None = None,
 ) -> Iterator[str]:
-    """Lines describing an interval file: header, tables, then records."""
+    """Lines describing an interval file: header, tables, then records.
+
+    ``frame`` restricts the dump to one frame by ordinal; ``window`` (in
+    seconds) to the frames overlapping a time range — both seek via the
+    frame directory, decoding only the selected frames.
+    """
     reader = IntervalReader(path, profile)
     header = reader.header
     count, first, last = reader.totals()
@@ -80,15 +134,34 @@ def dump_interval(
         yield f"# nodes: " + ", ".join(
             f"n{n}:{c}cpus" for n, c in sorted(reader.node_cpus.items())
         )
-    for i, record in enumerate(reader.intervals()):
-        if limit is not None and i >= limit:
-            yield f"# ... truncated at {limit} records"
-            return
-        yield format_record(record, profile)
+    ticks = _window_ticks(window, header.ticks_per_sec)
+    frames = _select_frames(reader.frames(), frame, ticks, path)
+    if frame is not None or window is not None:
+        yield f"# selection: {len(frames)} frame(s)"
+    emitted = 0
+    for entry in frames:
+        for record in reader.read_frame(entry):
+            if not _in_window(record, ticks):
+                continue
+            if limit is not None and emitted >= limit:
+                yield f"# ... truncated at {limit} records"
+                return
+            yield format_record(record, profile)
+            emitted += 1
 
 
-def dump_slog(path: str | Path, *, limit: int | None = None) -> Iterator[str]:
-    """Lines describing a SLOG file: frame index, preview summary, records."""
+def dump_slog(
+    path: str | Path,
+    *,
+    limit: int | None = None,
+    frame: int | None = None,
+    window: tuple[float | None, float | None] | None = None,
+) -> Iterator[str]:
+    """Lines describing a SLOG file: frame index, preview summary, records.
+
+    ``frame`` / ``window`` seek via the flat frame index, like
+    :func:`dump_interval` does via the frame directory.
+    """
     from repro.utils.slog import SlogFile
 
     slog = SlogFile(path)
@@ -96,15 +169,21 @@ def dump_slog(path: str | Path, *, limit: int | None = None) -> Iterator[str]:
         f"# SLOG frames={len(slog.frames)} threads={len(slog.thread_table)} "
         f"time_range={slog.time_range} bins={slog.preview_bins}"
     )
-    for i, frame in enumerate(slog.frames):
+    for i, entry in enumerate(slog.frames):
         yield (
-            f"# frame {i}: [{frame.start_time}, {frame.end_time}] "
-            f"{frame.n_records} records ({frame.n_pseudo} pseudo) "
-            f"@{frame.offset}+{frame.size}"
+            f"# frame {i}: [{entry.start_time}, {entry.end_time}] "
+            f"{entry.n_records} records ({entry.n_pseudo} pseudo) "
+            f"@{entry.offset}+{entry.size}"
         )
+    ticks = _window_ticks(window, slog.ticks_per_sec)
+    frames = _select_frames(slog.frames, frame, ticks, path)
+    if frame is not None or window is not None:
+        yield f"# selection: {len(frames)} frame(s)"
     emitted = 0
-    for frame in slog.frames:
-        for record in slog.read_frame(frame):
+    for entry in frames:
+        for record in slog.read_frame(entry):
+            if not _in_window(record, ticks):
+                continue
             if limit is not None and emitted >= limit:
                 yield f"# ... truncated at {limit} records"
                 return
@@ -113,15 +192,27 @@ def dump_slog(path: str | Path, *, limit: int | None = None) -> Iterator[str]:
 
 
 def dump_any(
-    path: str | Path, profile: Profile, *, limit: int | None = None
+    path: str | Path,
+    profile: Profile,
+    *,
+    limit: int | None = None,
+    frame: int | None = None,
+    window: tuple[float | None, float | None] | None = None,
 ) -> Iterator[str]:
     """Dispatch on the file's magic bytes."""
     magic = Path(path).open("rb").read(8)
     if magic == b"UTERAW1\x00":
+        if frame is not None or window is not None:
+            raise FormatError(
+                f"{path}: raw trace files have no frame directory; "
+                "--frame/--window need an interval or SLOG file"
+            )
         yield from dump_raw(path, limit=limit)
     elif magic == b"UTEIVL1\x00":
-        yield from dump_interval(path, profile, limit=limit)
+        yield from dump_interval(
+            path, profile, limit=limit, frame=frame, window=window
+        )
     elif magic == b"UTESLOG1":
-        yield from dump_slog(path, limit=limit)
+        yield from dump_slog(path, limit=limit, frame=frame, window=window)
     else:
         raise FormatError(f"{path}: unrecognized magic {magic!r}")

@@ -311,6 +311,7 @@ class SlogFile:
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         # Serializes frame reads so one SlogFile can back many concurrent
         # server requests: both the LRU mutation and the byte source's
         # chunk cache need exclusion.
@@ -405,15 +406,17 @@ class SlogFile:
                 self._frame_cache[key] = records
                 while len(self._frame_cache) > self._cache_frames:
                     self._frame_cache.popitem(last=False)
+                    self.cache_evictions += 1
             return list(records)
 
     def stats(self) -> dict[str, int]:
         """Cache and IO accounting in the shared stats shape:
-        ``{"hits", "misses", "fetch_count", "bytes_fetched"}``, extended
-        with the salvage counters (zero in strict mode)."""
+        ``{"hits", "misses", "evictions", "fetch_count", "bytes_fetched"}``,
+        extended with the salvage counters (zero in strict mode)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
             **self.source.stats(),
             **salvage_stats(self.salvage),
         }

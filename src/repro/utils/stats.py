@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-from repro.core.reader import IntervalReader
 from repro.core.records import BeBits, IntervalRecord, IntervalType
 from repro.errors import StatsError
 from repro.utils.statlang import TableProgram, parse_program
@@ -182,14 +181,44 @@ def generate_tables(
 
 
 def interval_records(
-    paths: Iterable[str | Path], profile
+    paths: Iterable[str | Path],
+    profile,
+    *,
+    window: tuple[float | None, float | None] | None = None,
+    index: Any = "auto",
+    io_log: dict[str, dict] | None = None,
 ) -> Iterator[IntervalRecord]:
-    """Stream records from several interval files (clock pairs dropped)."""
+    """Stream records from several interval files (clock pairs dropped).
+
+    ``window`` is (t0, t1) in seconds; when set, frames outside it are
+    pruned — through the sidecar index when a fresh one exists, the frame
+    directory otherwise — and records are filtered to the window.  Pass a
+    dict as ``io_log`` to collect **per-file** read accounting: after the
+    stream is exhausted it maps each path to its reader's ``stats()``
+    (bytes fetched, fetch count, cache hits/misses) plus the plan mode and
+    frame counts — every file's numbers, not just the last one's.
+    """
+    from repro.query.engine import planned_records, resolve_index, window_to_ticks
+    from repro.query.model import Query
+    from repro.query.planner import plan_query
+    from repro.query.trace import open_trace
+
     for path in paths:
-        reader = IntervalReader(path, profile)
-        for record in reader.intervals():
-            if record.itype != IntervalType.CLOCKPAIR:
-                yield record
+        loaded, reason = resolve_index(path, index)
+        with open_trace(path, profile) as handle:
+            t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
+            query = Query(t0=t0, t1=t1)
+            plan = plan_query(query, handle.frames, loaded, index_reason=reason)
+            for record in planned_records(handle, query, plan):
+                if record.itype != IntervalType.CLOCKPAIR:
+                    yield record
+            if io_log is not None:
+                io_log[str(path)] = {
+                    **handle.stats(),
+                    "plan": plan.mode,
+                    "frames_total": plan.total_frames,
+                    "frames_decoded": len(plan.frames),
+                }
 
 
 def predefined_tables(

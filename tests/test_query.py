@@ -1,0 +1,568 @@
+"""Tests for the indexed query subsystem (``repro.query`` + ``ute-query``).
+
+The contract under test everywhere: the sidecar index changes **bytes
+read**, never results.  Indexed and unindexed executions of the same query
+must render byte-identical output — including over damaged corpus files
+read in salvage mode, and after the trace is atomically replaced under a
+now-stale sidecar.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main_dump, main_query, main_stats
+from repro.core import IntervalFileWriter, standard_profile
+from repro.core.fields import MASK_ALL_MERGED
+from repro.core.profilefmt import Profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.errors import FormatError
+from repro.query import (
+    MODE_FULL_SCAN,
+    MODE_INDEXED,
+    Aggregate,
+    Query,
+    ThreadSel,
+    TraceIndex,
+    build_index,
+    index_path_for,
+    load_fresh_index,
+    open_trace,
+    plan_query,
+    run_query,
+    write_index,
+)
+
+PROFILE = standard_profile()
+MARKER = IntervalType.MARKER
+RUNNING = IntervalType.RUNNING
+
+
+def _records(n=240):
+    """A deterministic workload: 3 nodes x 2 threads, two record types,
+    time increasing so frames get disjoint windows."""
+    out = []
+    for i in range(n):
+        node = i % 3
+        thread = i % 2
+        itype = MARKER if i % 5 == 0 else RUNNING
+        extra = {"markerId": 1} if itype == MARKER else {}
+        out.append(
+            IntervalRecord(
+                itype, BeBits.COMPLETE, i * 100_000, 60_000, node, 0, thread, extra
+            )
+        )
+    return out
+
+
+def make_ivl(path, records=None, *, frame_bytes=512):
+    table = ThreadTable(
+        [
+            ThreadEntry(n * 2 + t, 100 + n, 5000 + n * 10 + t, n, t, 0, f"n{n}t{t}")
+            for n in range(3)
+            for t in range(2)
+        ]
+    )
+    with IntervalFileWriter(
+        path, PROFILE, table, field_mask=MASK_ALL_MERGED,
+        markers={1: "phase"}, frame_bytes=frame_bytes,
+    ) as writer:
+        for record in records if records is not None else _records():
+            writer.write(record)
+    return path
+
+
+@pytest.fixture()
+def ivl(tmp_path):
+    return make_ivl(tmp_path / "q.ute")
+
+
+@pytest.fixture()
+def indexed_ivl(ivl):
+    with open_trace(ivl, PROFILE) as handle:
+        write_index(build_index(handle), index_path_for(ivl))
+    return ivl
+
+
+def run_cli(fn, argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = fn(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Sidecar format.
+
+
+class TestIndexFile:
+    def test_roundtrip(self, ivl):
+        with open_trace(ivl, PROFILE) as handle:
+            index = build_index(handle)
+        decoded = TraceIndex.decode(index.encode())
+        assert decoded.source_size == index.source_size
+        assert decoded.source_sha256 == index.source_sha256
+        assert decoded.t_min == index.t_min and decoded.t_max == index.t_max
+        assert decoded.bins == index.bins
+        assert decoded.postings == index.postings
+        assert [f.thread_keys for f in decoded.frames] == [
+            f.thread_keys for f in index.frames
+        ]
+        assert [f.type_bits for f in decoded.frames] == [
+            f.type_bits for f in index.frames
+        ]
+
+    def test_build_deterministic(self, ivl, tmp_path):
+        """Same input file -> bit-identical sidecar, across two builds."""
+        with open_trace(ivl, PROFILE) as handle:
+            first = build_index(handle).encode()
+        with open_trace(ivl, PROFILE) as handle:
+            second = build_index(handle).encode()
+        assert first == second
+        a, b = tmp_path / "a.uteidx", tmp_path / "b.uteidx"
+        write_index(TraceIndex.decode(first), a)
+        write_index(TraceIndex.decode(second), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_summary_counts(self, ivl):
+        with open_trace(ivl, PROFILE) as handle:
+            index = build_index(handle)
+            total = sum(f.n_records for f in handle.frames)
+        info = index.summary()
+        assert info["records"] == total == 240
+        assert info["frames"] == len(index.frames) > 1
+        assert info["threads"] == 6  # 3 nodes x 2 threads
+
+    def test_corrupt_sidecar_rejected(self, indexed_ivl):
+        sidecar = index_path_for(indexed_ivl)
+        data = bytearray(sidecar.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        sidecar.write_bytes(bytes(data))
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is None and reason.startswith("corrupt:")
+
+    def test_truncated_sidecar_rejected(self, indexed_ivl):
+        sidecar = index_path_for(indexed_ivl)
+        sidecar.write_bytes(sidecar.read_bytes()[:40])
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is None and reason.startswith("corrupt:")
+
+    def test_index_path_for(self):
+        assert index_path_for("d/run.slog").name == "run.slog.uteidx"
+        assert index_path_for("d/run.ute").name == "run.ute.uteidx"
+
+
+# ---------------------------------------------------------------------------
+# Freshness / staleness.
+
+
+class TestStaleness:
+    def test_missing(self, ivl):
+        index, reason = load_fresh_index(ivl)
+        assert index is None and reason == "missing"
+
+    def test_fresh(self, indexed_ivl):
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is not None and reason == "fresh"
+
+    def test_atomic_replace_detected_and_results_identical(self, indexed_ivl, tmp_path):
+        """The staleness contract end to end: replace the trace under its
+        sidecar, the planner must fall back to full scan, and the query
+        answer must be correct for the NEW content."""
+        query = ["--window", "0:0.01", "--thread", "1"]
+        # Atomically replace the trace with different content (fewer records).
+        replacement = make_ivl(tmp_path / "new.ute", _records(120))
+        os.replace(replacement, indexed_ivl)
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is None and reason.startswith("stale:")
+        code, stale_out, err = run_cli(
+            main_query, [str(indexed_ivl), *query, "--explain"]
+        )
+        assert code == 0
+        assert "full-scan" in err
+        # Ground truth: the same query with the index explicitly disabled.
+        code, plain_out, _ = run_cli(
+            main_query, [str(indexed_ivl), *query, "--no-index"]
+        )
+        assert code == 0
+        assert stale_out == plain_out
+
+    def test_atomic_replace_same_bytes_stays_fresh(self, indexed_ivl, tmp_path):
+        """An atomic rewrite of identical bytes keeps the sidecar valid even
+        though the mtime moved (content hash re-verified)."""
+        clone = tmp_path / "clone.ute"
+        clone.write_bytes(Path(indexed_ivl).read_bytes())
+        os.replace(clone, indexed_ivl)
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is not None and reason == "fresh"
+
+    def test_size_change_detected(self, indexed_ivl):
+        with open(indexed_ivl, "ab") as fh:
+            fh.write(b"\x00" * 16)
+        index, reason = load_fresh_index(indexed_ivl)
+        assert index is None and reason == "stale:size"
+
+
+# ---------------------------------------------------------------------------
+# Planner.
+
+
+class TestPlanner:
+    @pytest.fixture()
+    def setup(self, ivl):
+        handle = open_trace(ivl, PROFILE)
+        index = build_index(handle)
+        yield handle, index
+        handle.close()
+
+    def test_no_index_full_scan(self, setup):
+        handle, _ = setup
+        plan = plan_query(Query(), handle.frames, None, index_reason="missing")
+        assert plan.mode == MODE_FULL_SCAN
+        assert plan.frames == list(range(len(handle.frames)))
+        assert plan.frames_pruned == 0
+
+    def test_window_prunes(self, setup):
+        handle, index = setup
+        t_mid = handle.frames[-1].end_time // 2
+        plan = plan_query(Query(t0=0, t1=t_mid // 4), handle.frames, index)
+        assert plan.mode == MODE_INDEXED
+        assert 0 < len(plan.frames) < len(handle.frames)
+        assert ("time-window", len(plan.frames)) in plan.steps
+
+    def test_unknown_thread_prunes_everything(self, setup):
+        handle, index = setup
+        plan = plan_query(
+            Query(threads=(ThreadSel(7, 99),)), handle.frames, index
+        )
+        assert plan.mode == MODE_INDEXED and plan.frames == []
+
+    def test_node_and_type_steps(self, setup):
+        handle, index = setup
+        plan = plan_query(
+            Query(nodes=frozenset({0}), types=frozenset({int(MARKER)})),
+            handle.frames, index,
+        )
+        assert plan.mode == MODE_INDEXED
+        names = [name for name, _ in plan.steps]
+        assert "node-sets" in names and "type-bitmaps" in names
+
+    def test_unknown_type_prunes_everything(self, setup):
+        handle, index = setup
+        plan = plan_query(Query(types=frozenset({200})), handle.frames, index)
+        assert plan.frames == []
+
+    def test_frame_count_mismatch_forces_full_scan(self, setup):
+        handle, index = setup
+        index.frames.pop()
+        plan = plan_query(Query(), handle.frames, index)
+        assert plan.mode == MODE_FULL_SCAN
+
+    def test_conservative_never_loses_records(self, setup):
+        """Every record a full scan admits must live in a planned frame."""
+        handle, index = setup
+        query = Query(
+            t0=3_000_000, t1=15_000_000,
+            threads=(ThreadSel(None, 1),),
+            types=frozenset({int(RUNNING)}),
+        )
+        plan = plan_query(query, handle.frames, index)
+        planned = set(plan.frames)
+        for frame in handle.frames:
+            for record in handle.read_frame(frame.ordinal):
+                if query.matches(record):
+                    assert frame.ordinal in planned
+
+
+# ---------------------------------------------------------------------------
+# Executor parity + model parsing.
+
+
+QUERIES = [
+    {},
+    {"window": (0.0, 0.008)},
+    {"threads": (ThreadSel(None, 1),)},
+    {"threads": (ThreadSel(2, 0),), "window": (0.002, 0.02)},
+    {"nodes": frozenset({0, 2})},
+    {"types": frozenset({int(MARKER)})},
+    {
+        "window": (0.0, 0.01),
+        "nodes": frozenset({1}),
+        "types": frozenset({int(RUNNING)}),
+    },
+]
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("spec", QUERIES)
+    def test_indexed_equals_full_scan(self, indexed_ivl, spec):
+        window = spec.pop("window", None)
+        query = Query(**spec)
+        indexed = run_query(indexed_ivl, query, profile=PROFILE, window=window)
+        plain = run_query(
+            indexed_ivl, query, profile=PROFILE, index=False, window=window
+        )
+        assert indexed.plan.mode == MODE_INDEXED
+        assert plain.plan.mode == MODE_FULL_SCAN
+        assert indexed.to_tsv() == plain.to_tsv()
+        assert indexed.io["bytes_read"] <= plain.io["bytes_read"]
+
+    def test_grouped_parity(self, indexed_ivl):
+        query = Query(
+            group_by=("node", "type"),
+            aggregates=(Aggregate.parse("count"), Aggregate.parse("sum:dura")),
+        )
+        indexed = run_query(indexed_ivl, query, profile=PROFILE)
+        plain = run_query(indexed_ivl, query, profile=PROFILE, index=False)
+        assert indexed.to_tsv() == plain.to_tsv()
+        assert indexed.columns == ("node", "type", "count", "sum(dura)")
+        total = sum(row[2] for row in indexed.rows)
+        assert total == 240
+
+    def test_limit(self, indexed_ivl):
+        result = run_query(indexed_ivl, Query(limit=5), profile=PROFILE)
+        assert len(result.rows) == 5
+
+    def test_projection(self, indexed_ivl):
+        result = run_query(
+            indexed_ivl, Query(columns=("start", "thread")), profile=PROFILE
+        )
+        assert result.columns == ("start", "thread")
+        assert all(len(row) == 2 for row in result.rows)
+
+
+class TestModelParsing:
+    def test_thread_sel(self):
+        assert ThreadSel.parse("3") == ThreadSel(None, 3)
+        assert ThreadSel.parse("1:3") == ThreadSel(1, 3)
+        with pytest.raises(FormatError):
+            ThreadSel.parse("a:b")
+
+    def test_aggregate(self):
+        assert Aggregate.parse("count").fn == "count"
+        agg = Aggregate.parse("avg:dura")
+        assert (agg.fn, agg.source, agg.label) == ("avg", "dura", "avg(dura)")
+        with pytest.raises(FormatError):
+            Aggregate.parse("median:dura")
+        with pytest.raises(FormatError):
+            Aggregate.parse("sum")
+
+    def test_query_validation(self):
+        with pytest.raises(FormatError):
+            Query(t0=10, t1=5)
+        with pytest.raises(FormatError):
+            Query(group_by=("node",))
+        with pytest.raises(FormatError):
+            Query(aggregates=(Aggregate.parse("count"),))
+        with pytest.raises(FormatError):
+            Query(limit=-1)
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+
+
+class TestQueryCli:
+    def test_build_index_writes_sidecar(self, ivl):
+        code, out, err = run_cli(main_query, [str(ivl), "--build-index"])
+        assert code == 0
+        sidecar = Path(out.strip())
+        assert sidecar == index_path_for(ivl) and sidecar.exists()
+        assert "indexed" in err
+
+    def test_build_index_deterministic_bytes(self, ivl):
+        run_cli(main_query, [str(ivl), "--build-index"])
+        first = index_path_for(ivl).read_bytes()
+        run_cli(main_query, [str(ivl), "--build-index"])
+        assert index_path_for(ivl).read_bytes() == first
+
+    def test_query_tsv_and_parity(self, indexed_ivl):
+        argv = [str(indexed_ivl), "--window", "0:0.01", "--thread", "1"]
+        code, indexed_out, err = run_cli(main_query, [*argv, "--explain"])
+        assert code == 0
+        assert "plan: indexed" in err
+        code, plain_out, _ = run_cli(main_query, [*argv, "--no-index"])
+        assert code == 0
+        assert indexed_out == plain_out
+        header = indexed_out.splitlines()[0].split("\t")
+        assert header[:3] == ["start", "end", "dura"]
+
+    def test_query_json(self, indexed_ivl):
+        code, out, _ = run_cli(
+            main_query,
+            [str(indexed_ivl), "--group-by", "node", "--agg", "count",
+             "--format", "json"],
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["columns"] == ["node", "count"]
+        assert doc["plan"]["mode"] == MODE_INDEXED
+        assert doc["io"]["bytes_read"] > 0
+        assert sum(row[1] for row in doc["rows"]) == 240
+
+    def test_type_by_name(self, indexed_ivl):
+        code, by_name, _ = run_cli(
+            main_query, [str(indexed_ivl), "--type", "marker"]
+        )
+        assert code == 0
+        code, by_id, _ = run_cli(
+            main_query, [str(indexed_ivl), "--type", str(int(MARKER))]
+        )
+        assert by_name == by_id
+        assert len(by_name.splitlines()) == 1 + 48  # 240 / 5 markers
+
+    def test_bad_window(self, ivl):
+        code, _, err = run_cli(main_query, [str(ivl), "--window", "zzz"])
+        assert code == 2 and "window" in err
+
+    def test_unknown_type_name(self, ivl):
+        code, _, err = run_cli(main_query, [str(ivl), "--type", "bogus"])
+        assert code == 2 and "bogus" in err
+
+    def test_missing_input(self, tmp_path):
+        code, _, err = run_cli(main_query, [str(tmp_path / "none.ute")])
+        assert code == 2 and "not found" in err
+
+
+class TestDumpSeek:
+    def test_frame_flag_matches_full_dump(self, ivl):
+        code, full, _ = run_cli(main_dump, [str(ivl)])
+        assert code == 0
+        code, framed, _ = run_cli(main_dump, [str(ivl), "--frame", "0"])
+        assert code == 0
+        assert "# selection: 1 frame(s)" in framed
+        body = [l for l in framed.splitlines() if not l.startswith("#")]
+        assert body and all(line in full for line in body)
+
+    def test_window_flag(self, ivl):
+        code, out, _ = run_cli(main_dump, [str(ivl), "--window", "0:0.003"])
+        assert code == 0
+        body = [l for l in out.splitlines() if not l.startswith("#")]
+        full_body = [
+            l for l in run_cli(main_dump, [str(ivl)])[1].splitlines()
+            if not l.startswith("#")
+        ]
+        assert 0 < len(body) < len(full_body)
+
+    def test_frame_out_of_range(self, ivl):
+        code, _, err = run_cli(main_dump, [str(ivl), "--frame", "9999"])
+        assert code == 2 and "out of range" in err
+
+    def test_raw_rejects_seek_flags(self, tmp_path, corpus):
+        code, _, err = run_cli(
+            main_dump, [str(corpus.path("good.raw")), "--frame", "0"]
+        )
+        assert code == 2 and "frame directory" in err
+
+    def test_slog_window(self, corpus):
+        code, out, _ = run_cli(
+            main_dump, [str(corpus.path("good.slog")), "--window", "0:1"]
+        )
+        assert code == 0 and "# selection:" in out
+
+
+class TestStatsJson:
+    def test_per_file_io(self, tmp_path):
+        """Multi-file --json runs must report each file's own accounting."""
+        a = make_ivl(tmp_path / "a.ute")
+        b = make_ivl(tmp_path / "b.ute", _records(120))
+        code, out, _ = run_cli(main_stats, [str(a), str(b), "--json"])
+        assert code == 0
+        doc = json.loads(out)
+        assert set(doc["io"]) == {str(a), str(b)}
+        for stats in doc["io"].values():
+            assert stats["bytes_fetched"] > 0
+            assert stats["frames_decoded"] == stats["frames_total"]
+            assert stats["plan"] == MODE_FULL_SCAN
+        # Different files, different sizes -> independent numbers.
+        assert doc["io"][str(a)]["bytes_fetched"] != doc["io"][str(b)]["bytes_fetched"]
+        assert doc["tables"]
+
+    def test_windowed_json_uses_index(self, tmp_path):
+        path = make_ivl(tmp_path / "w.ute")
+        run_cli(main_query, [str(path), "--build-index"])
+        code, out, _ = run_cli(
+            main_stats, [str(path), "--json", "--window", "0:0.005"]
+        )
+        assert code == 0
+        doc = json.loads(out)
+        stats = doc["io"][str(path)]
+        assert stats["plan"] == MODE_INDEXED
+        assert stats["frames_decoded"] < stats["frames_total"]
+
+
+# ---------------------------------------------------------------------------
+# Salvage-mode parity over the damaged corpus (hypothesis).
+
+#: Corpus files that salvage cleanly, with the profile each needs.
+SALVAGEABLE = [
+    ("cut-254.ute", "boundary"),
+    ("cut-255.ute", "boundary"),
+    ("cut-256.ute", "boundary"),
+    ("flip-dirlink.ute", "standard"),
+    ("trunc-tail.ute", "standard"),
+    ("flip-frame.slog", "standard"),
+]
+
+
+@pytest.fixture(scope="module")
+def salvage_corpus(tmp_path_factory):
+    """Corpus copies with sidecar indexes built through salvage reads."""
+    import shutil
+
+    from tests.conftest import DATA_DIR
+
+    tmp = tmp_path_factory.mktemp("salvage-idx")
+    boundary = Profile.read(DATA_DIR / "boundary.profile")
+    prepared = {}
+    for name, profile_kind in SALVAGEABLE:
+        dest = tmp / name
+        shutil.copyfile(DATA_DIR / name, dest)
+        profile = boundary if profile_kind == "boundary" else PROFILE
+        with open_trace(dest, profile, errors="salvage") as handle:
+            write_index(build_index(handle), index_path_for(dest))
+        prepared[name] = (dest, profile)
+    return prepared
+
+
+@given(
+    pick=st.sampled_from([name for name, _ in SALVAGEABLE]),
+    frac0=st.floats(min_value=0.0, max_value=1.0),
+    span=st.floats(min_value=0.0, max_value=1.0),
+    thread=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    node=st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+)
+@settings(max_examples=40, deadline=None)
+def test_salvage_parity_indexed_vs_full(salvage_corpus, pick, frac0, span, thread, node):
+    """Property: over damaged-but-salvageable files, an indexed query and a
+    full scan render byte-identical rows (salvage reads are deterministic,
+    and the planner is conservative)."""
+    path, profile = salvage_corpus[pick]
+    with open_trace(path, profile, errors="salvage") as handle:
+        t_hi = max((f.end_time for f in handle.frames), default=1)
+        tps = handle.ticks_per_sec
+    t0 = frac0 * t_hi / tps
+    t1 = t0 + span * (t_hi / tps - t0)
+    query = Query(
+        threads=(ThreadSel(None, thread),) if thread is not None else (),
+        nodes=frozenset({node}) if node is not None else frozenset(),
+    )
+    indexed = run_query(
+        path, query, profile=profile, errors="salvage", window=(t0, t1)
+    )
+    plain = run_query(
+        path, query, profile=profile, errors="salvage", index=False,
+        window=(t0, t1),
+    )
+    assert indexed.plan.mode == MODE_INDEXED
+    assert indexed.to_tsv() == plain.to_tsv()
+    assert indexed.io["bytes_read"] <= plain.io["bytes_read"]

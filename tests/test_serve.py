@@ -4,6 +4,7 @@ import json
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -342,6 +343,136 @@ class TestSessionAccounting:
             assert set(stats) >= {"hits", "misses", "fetch_count", "bytes_fetched"}
         finally:
             session.close()
+
+
+class TestQueryEndpoint:
+    def test_query_without_index_is_full_scan(self, served):
+        """No sidecar next to the served file: /api/query still answers,
+        plan mode says full-scan, and the fallback metric counts it."""
+        _, client = served
+        response = client.request("/api/query?thread=0&limit=5")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["plan"]["mode"] == "full-scan"
+        assert payload["columns"][:2] == ["start", "end"]
+        assert 0 < len(payload["rows"]) <= 5
+        assert "x-ute-bytes-read" in {k.lower() for k in response.headers}
+        assert client.metric_value("ute_serve_index_fallback_total") >= 1
+        assert client.metric_value("ute_serve_index_loaded") == 0
+
+    def test_query_bad_params(self, served):
+        _, client = served
+        assert client.request("/api/query?agg=median:x&group_by=node").status == 400
+        assert client.request("/api/query?window=zzz").status == 400
+        assert client.request("/api/query?node=abc").status == 400
+        assert client.request("/api/query?format=xml").status == 400
+
+    def test_stats_window_param(self, served):
+        _, client = served
+        program = 'table name=n x=("node", node) y=("count", dura, count)'
+        full = client.request(
+            "/api/stats?format=json&table=" + urllib.parse.quote(program)
+        )
+        windowed = client.request(
+            "/api/stats?format=json&window=0:100&table=" + urllib.parse.quote(program)
+        )
+        assert full.status == windowed.status == 200
+        assert windowed.json()["plan"]["frames_selected"] <= full.json()["plan"][
+            "frames_selected"
+        ]
+        assert "io" in windowed.json()
+
+    def test_view_reports_bytes_read(self, served):
+        _, client = served
+        response = client.request("/api/view/thread?t=0.0000001")
+        assert response.status == 200
+        headers = {k.lower(): v for k, v in response.headers.items()}
+        assert int(headers["x-ute-bytes-read"]) >= 0
+
+
+class TestServedIndex:
+    @pytest.fixture(scope="class")
+    def indexed_served(self, tmp_path_factory):
+        from repro.query import build_index, index_path_for, open_trace, write_index
+
+        path = make_slog(
+            tmp_path_factory.mktemp("serve-idx") / "run.slog", message_records()
+        )
+        with open_trace(path) as handle:
+            write_index(build_index(handle), index_path_for(path))
+        with ServerThread(path, ServerConfig(port=0)) as srv:
+            yield srv, ServeClient(srv.base_url)
+
+    def test_indexed_query_prunes(self, indexed_served):
+        srv, client = indexed_served
+        assert client.metric_value("ute_serve_index_loaded") == 1
+        full = client.request("/api/query").json()
+        windowed = client.request("/api/query?window=0:0.0000002").json()
+        assert full["plan"]["mode"] == "indexed"
+        assert windowed["plan"]["mode"] == "indexed"
+        assert windowed["plan"]["frames_pruned"] > 0
+        assert (
+            windowed["plan"]["frames_selected"] < windowed["plan"]["frames_total"]
+        )
+        assert client.metric_value("ute_serve_index_frames_pruned_total") > 0
+        assert client.metric_value("ute_serve_index_frames_scanned_total") > 0
+
+    def test_indexed_and_full_rows_identical(self, indexed_served):
+        """The served index prunes frames but never changes rows: a windowed
+        query answered through the index matches the full-scan record set
+        filtered client-side."""
+        _, client = indexed_served
+        windowed = client.request("/api/query?window=0:0.0000002").json()
+        everything = client.request("/api/query").json()
+        start_i = everything["columns"].index("start")
+        end_i = everything["columns"].index("end")
+        t1_ticks = 0.0000002 * everything["ticks_per_sec"]
+        expected = [
+            row for row in everything["rows"]
+            if row[start_i] <= t1_ticks and row[end_i] >= 0
+        ]
+        assert windowed["rows"] == expected
+
+    def test_query_tsv_format(self, indexed_served):
+        _, client = indexed_served
+        response = client.request("/api/query?format=tsv&limit=3")
+        assert response.status == 200
+        headers = {k.lower(): v for k, v in response.headers.items()}
+        assert headers["content-type"].startswith("text/tab-separated-values")
+        lines = response.text.splitlines()
+        assert lines[0].split("\t")[0] == "start"
+        assert len(lines) == 4
+
+    def test_grouped_query(self, indexed_served):
+        _, client = indexed_served
+        payload = client.request("/api/query?group_by=type&agg=count,sum:dura").json()
+        assert payload["columns"] == ["type", "count", "sum(dura)"]
+        assert payload["rows"]
+
+
+class TestEvictionAccounting:
+    def test_evictions_counted_and_exported(self, tmp_path):
+        """A 1-frame cache evicts on every distinct frame decode; the
+        counter must say so and /metrics must export it."""
+        path = make_slog(tmp_path / "evict.slog", message_records())
+        session = TraceSession(path, cache_frames=1)
+        try:
+            n = min(3, len(session.viewer.slog.frames))
+            assert n >= 2
+            for i in range(n):
+                session.frame_payload(i)
+            stats = session.stats()
+            assert "evictions" in stats
+            assert stats["evictions"] == n - 1
+        finally:
+            session.close()
+        with ServerThread(
+            path, ServerConfig(port=0, cache_frames=1)
+        ) as srv:
+            client = ServeClient(srv.base_url)
+            client.frame(0)
+            client.frame(1)
+            assert client.metric_value("ute_serve_frame_cache_evictions_total") >= 1
 
 
 class TestMetricsPrimitives:
