@@ -1,0 +1,44 @@
+"""Differ throughput: ute-diff must be usable as a routine CI gate.
+
+The differential harness only earns its keep if diffing a merged trace
+against itself costs about what reading it twice costs — decode-bound,
+not dominated by per-field Python overhead.  This bench measures the
+self-diff record rate over the merged sPPM trace and the overhead of
+canonical ordering, and asserts a floor low enough to fail only on a
+real regression (an accidentally quadratic pairing loop, say).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.difftool import DiffConfig, diff_traces
+
+
+def _timed_diff(path, profile, config=DiffConfig()):
+    t0 = time.perf_counter()
+    diff_report = diff_traces(path, path, config, profile=profile)
+    elapsed = time.perf_counter() - t0
+    assert diff_report.identical
+    return diff_report.compared, elapsed
+
+
+def test_self_diff_throughput(sppm_pipeline, profile):
+    merged = sppm_pipeline["merge"].merged_path
+    compared, elapsed = _timed_diff(merged, profile)
+    rate = compared / elapsed
+    compared_c, elapsed_c = _timed_diff(
+        merged, profile, DiffConfig(canonical_order=True)
+    )
+    report(
+        "diff overhead (merged sPPM self-diff):",
+        f"  file order:      {compared} records in {elapsed * 1e3:8.1f} ms "
+        f"({rate:,.0f} rec/s)",
+        f"  canonical order: {compared_c} records in {elapsed_c * 1e3:8.1f} ms "
+        f"({compared_c / elapsed_c:,.0f} rec/s)",
+    )
+    assert compared > 0
+    # Floor set ~50x below observed interpreter speed: catches a pairing
+    # loop gone quadratic, not machine-to-machine noise.
+    assert rate > 2_000

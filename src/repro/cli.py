@@ -15,6 +15,10 @@ ute-serve      SLOG -> concurrent HTTP daemon (API + lazy web viewer)
 ute-recover    damaged .ute/.slog/raw trace -> clean validated file + report
 ute-query      interval/SLOG (+ .uteidx sidecar) -> pruned, filtered scans;
                --build-index writes the sidecar
+ute-diff       two trace artifacts -> semantic record-by-record divergence
+               report (exit 0 identical / 1 divergent / 2 usage)
+ute-oracle     trace artifacts -> pipeline-consistency findings (every
+               equivalent read-path pair must agree)
 =============  =============================================================
 
 Each ``main_*`` function doubles as a console-script entry point and a
@@ -327,22 +331,44 @@ def main_stats(argv: list[str] | None = None) -> int:
     if (code := _usage_error("ute-stats", _input_error(inputs))) is not None:
         return code
 
-    from repro.utils.stats import generate_tables, interval_records, predefined_tables
+    from repro.errors import StatsError
+    from repro.utils.stats import (
+        generate_tables,
+        interval_records,
+        predefined_tables,
+        source_metadata,
+    )
 
     try:
         window = _parse_window(args.window) if args.window else None
     except ValueError as exc:
         return _usage_error("ute-stats", str(exc)) or 2
     profile = _profile_for(args)
+    # The files' own tick rate and thread tables — the same inputs the
+    # serving daemon uses, so ute-stats and /api/stats give one answer.
+    try:
+        ticks_per_sec, thread_table = source_metadata(args.intervals, profile)
+    except StatsError as exc:
+        return _usage_error("ute-stats", str(exc)) or 2
     io_log: dict[str, dict] = {}
     records = list(
         interval_records(args.intervals, profile, window=window, io_log=io_log)
     )
     if args.program:
-        tables = generate_tables(records, Path(args.program).read_text())
+        tables = generate_tables(
+            records,
+            Path(args.program).read_text(),
+            ticks_per_sec=ticks_per_sec,
+            thread_table=thread_table,
+        )
     else:
-        total = max((r.end for r in records), default=1) / 1e9
-        tables = predefined_tables(records, total_seconds=total)
+        total = max((r.end for r in records), default=1) / ticks_per_sec
+        tables = predefined_tables(
+            records,
+            total_seconds=total,
+            ticks_per_sec=ticks_per_sec,
+            thread_table=thread_table,
+        )
     if args.json:
         import json
 
@@ -836,3 +862,127 @@ def main_serve(argv: list[str] | None = None) -> int:
         ),
     )
     return 0
+
+def main_diff(argv: list[str] | None = None) -> int:
+    """Semantically diff two trace artifacts record by record."""
+    parser = argparse.ArgumentParser(
+        "ute-diff",
+        description="Compare two trace artifacts (.raw/.ute/.slog) record "
+        "by record with configurable tolerance; exit 0 when identical, 1 "
+        "with a divergence report otherwise.",
+    )
+    parser.add_argument("file_a")
+    parser.add_argument("file_b")
+    parser.add_argument("--profile", default=None, help="profile for .ute inputs")
+    parser.add_argument("--slack", type=int, default=0, metavar="TICKS",
+                        help="allowed timestamp difference in ticks")
+    parser.add_argument("--ignore-field", action="append", default=[],
+                        metavar="NAME", dest="ignore_fields",
+                        help="field excluded from comparison (repeatable)")
+    parser.add_argument("--drop-type", action="append", default=[],
+                        metavar="TYPE", dest="drop_types",
+                        help="interval type (id or name) dropped before "
+                        "pairing (repeatable)")
+    parser.add_argument("--ignore-pseudo", action="store_true",
+                        help="drop SLOG continuation pseudo-records before "
+                        "pairing")
+    parser.add_argument("--map-thread", action="append", default=[],
+                        metavar="A=B", dest="thread_map",
+                        help="remap side A's thread id A to B before "
+                        "comparing (repeatable)")
+    parser.add_argument("--salvage", action="store_true",
+                        help="read both sides in salvage mode")
+    parser.add_argument("--canonical-order", action="store_true",
+                        help="sort both sides canonically before pairing "
+                        "(streams that legally permute records tied on end "
+                        "time)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+    if (code := _usage_error(
+        "ute-diff", _input_error([args.file_a, args.file_b,
+                                  *([args.profile] if args.profile else [])])
+    )) is not None:
+        return code
+
+    from repro.difftool.differ import DiffConfig, diff_traces
+    from repro.errors import ReproError
+
+    profile = _profile_for(args)
+    try:
+        drop_types = frozenset(
+            _resolve_type(t, profile) for t in args.drop_types
+        )
+        thread_map = []
+        for spec in args.thread_map:
+            a, sep, b = spec.partition("=")
+            if not sep:
+                raise ValueError(f"bad thread map {spec!r}; expected A=B")
+            thread_map.append((int(a), int(b)))
+        config = DiffConfig(
+            time_slack=args.slack,
+            ignore_fields=frozenset(args.ignore_fields),
+            drop_types=drop_types,
+            ignore_pseudo=args.ignore_pseudo,
+            thread_map=tuple(thread_map),
+            canonical_order=args.canonical_order,
+        )
+    except ValueError as exc:
+        return _usage_error("ute-diff", str(exc)) or 2
+    try:
+        report = diff_traces(
+            args.file_a, args.file_b, config, profile=profile,
+            errors="salvage" if args.salvage else "strict",
+        )
+    except ReproError as exc:
+        return _usage_error("ute-diff", str(exc)) or 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.identical else 1
+
+
+def main_oracle(argv: list[str] | None = None) -> int:
+    """Run the pipeline oracle: every equivalent read-path pair must agree."""
+    parser = argparse.ArgumentParser(
+        "ute-oracle",
+        description="Differential pipeline oracle: run every equivalent "
+        "read-path pair (strict/salvage, indexed/full scan, dump/query "
+        "windows, stats/serve, clock adjusters) over each trace and "
+        "report disagreements; exit 1 on any finding.",
+    )
+    parser.add_argument("files", nargs="+",
+                        help="trace artifacts (.raw/.ute/.slog)")
+    parser.add_argument("--profile", default=None, help="profile for .ute inputs")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the stats-vs-serve check (no sockets)")
+    parser.add_argument("--json", action="store_true",
+                        help="print all reports as JSON")
+    args = parser.parse_args(argv)
+    inputs = [*args.files, *([args.profile] if args.profile else [])]
+    if (code := _usage_error("ute-oracle", _input_error(inputs))) is not None:
+        return code
+
+    from repro.difftool.oracle import run_oracle
+    from repro.errors import ReproError
+
+    profile = _profile_for(args)
+    reports = []
+    for path in args.files:
+        try:
+            reports.append(run_oracle(path, profile, serve=not args.no_serve))
+        except ReproError as exc:
+            return _usage_error("ute-oracle", str(exc)) or 2
+    findings = sum(len(r.findings) for r in reports)
+    if args.json:
+        import json
+
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.summary())
+        print(f"{len(reports)} file(s), {findings} finding(s)")
+    return 0 if findings == 0 else 1

@@ -50,8 +50,11 @@ class ClockAdjustment:
         """Map a local timestamp to global time."""
         return self.origin_global + round(self.ratio * (local_ts - self.origin_local))
 
-    def adjust_duration(self, duration: int) -> int:
-        """Rescale a duration into global time units."""
+    def adjust_duration(self, duration: int, *, at_local_ts: int | None = None) -> int:
+        """Rescale a duration into global time units.
+
+        ``at_local_ts`` is accepted (and ignored — the ratio is global) so
+        callers can pass it uniformly to either adjuster kind."""
         return round(self.ratio * duration)
 
 
@@ -81,8 +84,12 @@ class PiecewiseAdjustment:
         anchor = self.pairs[i]
         return anchor.global_ts + round(self.slopes[i] * (local_ts - anchor.local_ts))
 
-    def adjust_duration(self, duration: int, at_local_ts: int = 0) -> int:
-        """Rescale a duration using the slope in effect at ``at_local_ts``."""
+    def adjust_duration(self, duration: int, *, at_local_ts: int) -> int:
+        """Rescale a duration using the slope in effect at ``at_local_ts``.
+
+        ``at_local_ts`` is required: a piecewise mapping has no single
+        ratio, and silently defaulting to segment 0's slope rescaled every
+        duration with whatever the clock did at the start of the run."""
         return round(self.slopes[self._segment_of(at_local_ts)] * duration)
 
 

@@ -40,6 +40,7 @@ from repro.core.reader import (
     get_interval,
     get_item_by_name,
 )
+from repro.core.windows import overlaps_window, window_to_ticks
 
 __all__ = [
     "ByteSource",
@@ -67,4 +68,6 @@ __all__ = [
     "read_profile",
     "get_interval",
     "get_item_by_name",
+    "overlaps_window",
+    "window_to_ticks",
 ]

@@ -45,6 +45,7 @@ from repro.core.salvage import (
     salvage_stats,
 )
 from repro.core.threadtable import ThreadTable
+from repro.core.windows import overlaps_window
 from repro.core.writer import IntervalFileHeader, decode_marker_table, decode_node_table
 from repro.errors import FormatError
 
@@ -355,10 +356,10 @@ class IntervalReader:
         """Records overlapping the window [t0, t1], using the frame index to
         skip frames entirely outside it."""
         for frame in self.frames():
-            if frame.end_time < t0 or frame.start_time > t1:
+            if not overlaps_window(frame.start_time, frame.end_time, t0, t1):
                 continue
             for record in self.read_frame(frame):
-                if record.end >= t0 and record.start <= t1:
+                if overlaps_window(record.start, record.end, t0, t1):
                     yield record
 
     def totals(self) -> tuple[int, int, int]:

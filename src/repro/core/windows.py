@@ -1,0 +1,62 @@
+"""The one window-overlap predicate every read path shares.
+
+Four independent paths answer "which records fall in a time window" —
+``ute-dump --window``, the query engine (and through it ``ute-stats``,
+``ute-query``, and the analysis loaders), the serve daemon, and the
+reader-level :meth:`~repro.core.reader.IntervalReader.intervals_between`.
+Before this module each had its own copy of the predicate; a one-character
+drift (``<`` vs ``<=``) would make two paths disagree at window boundaries
+and nothing would notice.  Now they all call :func:`overlaps_window`, and
+the differential oracle (:mod:`repro.difftool.oracle`) pins the agreement.
+
+Semantics (closed-interval overlap):
+
+* A record/frame ``[start, end]`` overlaps window ``[t0, t1]`` unless it
+  ends before the window opens (``end < t0``) or starts after it closes
+  (``start > t1``).  Both boundaries are **inclusive**: a record touching
+  a window edge with a single tick is in.
+* ``None`` on either side means that side is open (unbounded).
+* Zero-length records (``start == end``) overlap any window containing
+  that single tick — including zero-length windows at the same tick.
+
+Windows arrive from users in **seconds**; :func:`window_to_ticks` is the
+one conversion to integer ticks (truncating, matching the historic
+behavior of both the dump and query paths).
+"""
+
+from __future__ import annotations
+
+__all__ = ["overlaps_window", "window_to_ticks"]
+
+
+def overlaps_window(
+    start: int,
+    end: int,
+    t0: int | None,
+    t1: int | None,
+) -> bool:
+    """True when the closed span ``[start, end]`` overlaps ``[t0, t1]``.
+
+    ``None`` bounds are open.  Both span and window boundaries are
+    inclusive, so a span touching a window edge counts as overlapping.
+    """
+    if t0 is not None and end < t0:
+        return False
+    if t1 is not None and start > t1:
+        return False
+    return True
+
+
+def window_to_ticks(
+    window: tuple[float | None, float | None] | None,
+    ticks_per_sec: float,
+) -> tuple[int | None, int | None]:
+    """A (t0, t1) window in seconds as integer ticks (``None`` passes
+    through as the open bound; ``None`` window means fully open)."""
+    if window is None:
+        return (None, None)
+    t0, t1 = window
+    return (
+        None if t0 is None else int(t0 * ticks_per_sec),
+        None if t1 is None else int(t1 * ticks_per_sec),
+    )

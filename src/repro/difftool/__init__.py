@@ -1,0 +1,22 @@
+"""Differential correctness tooling.
+
+Two halves keep the pipeline honest:
+
+* :mod:`repro.difftool.differ` — a semantic record-by-record differ over
+  two trace artifacts (``ute-diff``), with configurable tolerance;
+* :mod:`repro.difftool.oracle` — a pipeline oracle (``ute-oracle``) that
+  runs every equivalent read-path pair over one trace and reports any
+  disagreement as a structured finding.
+"""
+
+from repro.difftool.differ import DiffConfig, DiffReport, diff_traces
+from repro.difftool.oracle import Finding, OracleReport, run_oracle
+
+__all__ = [
+    "DiffConfig",
+    "DiffReport",
+    "diff_traces",
+    "Finding",
+    "OracleReport",
+    "run_oracle",
+]

@@ -1,0 +1,394 @@
+"""The pipeline oracle behind ``ute-oracle``.
+
+The repo has several pairs of read paths that must answer identically over
+the same trace; the oracle runs each pair and reports any disagreement as
+a structured :class:`Finding`:
+
+=====================  ====================================================
+check                  the two paths compared
+=====================  ====================================================
+``strict_vs_salvage``  strict decode vs. ``errors="salvage"`` on clean
+                       input (raw / interval / SLOG)
+``indexed_vs_full``    the query engine with a freshly built index vs. the
+                       forced full scan, over a canonical query set
+``dump_vs_query``      ``ute-dump --window`` record selection vs. a
+                       ``ute-query`` window over the same range
+``stats_vs_serve``     the in-process ``ute-stats`` path vs. the daemon's
+                       ``/api/stats`` (SLOG only; spins an ephemeral
+                       server on 127.0.0.1)
+``adjust_parity``      :class:`ClockAdjustment` vs.
+                       :class:`PiecewiseAdjustment` on constant-rate
+                       clock-pair sets (they must agree within one tick
+                       of rounding)
+=====================  ====================================================
+
+A clean pipeline yields zero findings; any finding is a consistency bug.
+The oracle never writes next to the input — indexes are built in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Any
+
+from repro.difftool.differ import (
+    DiffConfig,
+    DiffReport,
+    diff_fieldmaps,
+    load_comparable,
+    sniff_kind,
+)
+
+#: The statlang program every stats comparison runs: core fields only, so
+#: every record contributes and the tables exercise grouping + aggregation.
+ORACLE_PROGRAM = (
+    'table name=oracle_by_thread x=("node", node) x=("thread", thread) '
+    'y=("pieces", dura, count) y=("busy", dura, sum)\n'
+    'table name=oracle_by_type x=("type", type) '
+    'y=("count", dura, count) y=("total", dura, sum)\n'
+)
+
+
+@dataclass
+class Finding:
+    """One observed disagreement between two equivalent paths."""
+
+    check: str
+    subject: str
+    detail: str
+    data: dict[str, Any] = dataclass_field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "subject": self.subject,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Everything one oracle run over one trace observed."""
+
+    path: str
+    kind: str
+    checks: list[str] = dataclass_field(default_factory=list)
+    findings: list[Finding] = dataclass_field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "checks": list(self.checks),
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        lines = [f"{self.path} ({self.kind}): checks={','.join(self.checks)}"]
+        if self.ok:
+            lines.append("  ok: all paths agree")
+        for f in self.findings:
+            lines.append(f"  FINDING [{f.check}] {f.subject}: {f.detail}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- checks
+
+
+def _divergence_finding(check: str, subject: str, report: DiffReport) -> Finding:
+    return Finding(
+        check,
+        subject,
+        f"paths disagree: first divergence {report.first}",
+        report.as_dict(),
+    )
+
+
+def _check_strict_vs_salvage(report: OracleReport, path: Path, profile) -> None:
+    """Salvage mode on a clean file must see exactly what strict mode sees."""
+    report.checks.append("strict_vs_salvage")
+    kind, strict_rows = load_comparable(path, profile, errors="strict")
+    _, salvage_rows = load_comparable(path, profile, errors="salvage")
+    config = DiffConfig()
+    diff = DiffReport(f"{path}[strict]", f"{path}[salvage]", kind, kind, config)
+    diff_fieldmaps(
+        [fields for fields, _ in strict_rows],
+        [fields for fields, _ in salvage_rows],
+        config,
+        diff,
+    )
+    if not diff.identical:
+        report.add(_divergence_finding("strict_vs_salvage", str(path), diff))
+
+
+def _canonical_queries(path: Path, profile) -> list:
+    """A query set covering the planner's pruning steps: plain scan,
+    mid-trace window, a thread filter, a type filter, and a group-by."""
+    from repro.query.model import Query, ThreadSel
+    from repro.query.model import Aggregate
+    from repro.query.trace import open_trace
+
+    with open_trace(path, profile) as handle:
+        if not handle.frames:
+            span = (0, 0)
+            thread = None
+            itype = None
+        else:
+            t_min = min(f.start_time for f in handle.frames)
+            t_max = max(f.end_time for f in handle.frames)
+            third = (t_max - t_min) // 3
+            span = (t_min + third, t_max - third)
+            first = handle.read_frame(0)
+            thread = (first[0].node, first[0].thread) if first else None
+            itype = first[0].itype if first else None
+    queries = [
+        Query(),
+        Query(t0=span[0], t1=max(span[0], span[1])),
+        Query(
+            group_by=("node",),
+            aggregates=(
+                Aggregate("count", "dura", "pieces"),
+                Aggregate("sum", "dura", "busy"),
+            ),
+        ),
+    ]
+    if thread is not None:
+        queries.append(Query(threads=(ThreadSel(thread[0], thread[1]),)))
+    if itype is not None:
+        queries.append(Query(types=frozenset({itype})))
+    return queries
+
+
+def _check_indexed_vs_full(report: OracleReport, path: Path, profile) -> None:
+    """A fresh in-memory index must never change query results."""
+    from repro.query.engine import run_query
+    from repro.query.indexfile import build_index
+    from repro.query.trace import open_trace
+
+    report.checks.append("indexed_vs_full")
+    with open_trace(path, profile) as handle:
+        index = build_index(handle)
+    for i, query in enumerate(_canonical_queries(path, profile)):
+        indexed = run_query(path, query, profile=profile, index=index)
+        full = run_query(path, query, profile=profile, index=False)
+        if indexed.rows != full.rows:
+            report.add(
+                Finding(
+                    "indexed_vs_full",
+                    f"{path} query#{i}",
+                    f"indexed scan returned {len(indexed.rows)} rows, "
+                    f"full scan {len(full.rows)} (or differing content)",
+                    {
+                        "query": query.describe(),
+                        "indexed_plan": indexed.plan.describe(),
+                        "full_plan": full.plan.describe(),
+                    },
+                )
+            )
+
+
+def _window_for(path: Path, profile) -> tuple[float, float] | None:
+    """A mid-trace window in seconds (middle third), None for empty files."""
+    from repro.query.trace import open_trace
+
+    with open_trace(path, profile) as handle:
+        if not handle.frames:
+            return None
+        t_min = min(f.start_time for f in handle.frames)
+        t_max = max(f.end_time for f in handle.frames)
+        tps = handle.ticks_per_sec
+    third = (t_max - t_min) / 3
+    return ((t_min + third) / tps, (t_max - third) / tps)
+
+
+def _dump_window_records(path: Path, profile, window) -> list[dict[str, Any]]:
+    """The records ``ute-dump --window`` selects, as comparable field maps
+    (the dump path's own frame selection + record predicate, unformatted)."""
+    from repro.difftool.differ import _interval_fields
+    from repro.utils.dump import _in_window, _select_frames, _window_ticks
+
+    kind = sniff_kind(path)
+    if kind == "interval":
+        from repro.core.profilefmt import standard_profile
+        from repro.core.reader import IntervalReader
+
+        reader = IntervalReader(path, profile or standard_profile())
+        ticks = _window_ticks(window, reader.header.ticks_per_sec)
+        frames = _select_frames(reader.frames(), None, ticks, path)
+        try:
+            return [
+                _interval_fields(r)
+                for entry in frames
+                for r in reader.read_frame(entry)
+                if _in_window(r, ticks)
+            ]
+        finally:
+            reader.close()
+    from repro.utils.slog import SlogFile
+
+    slog = SlogFile(path)
+    try:
+        ticks = _window_ticks(window, slog.ticks_per_sec)
+        frames = _select_frames(slog.frames, None, ticks, path)
+        return [
+            _interval_fields(r)
+            for entry in frames
+            for r in slog.read_frame(entry)
+            if _in_window(r, ticks)
+        ]
+    finally:
+        slog.close()
+
+
+def _check_dump_vs_query(report: OracleReport, path: Path, profile) -> None:
+    """The dump path's windowed record selection must equal the query
+    engine's for the same window."""
+    from repro.difftool.differ import _interval_fields
+    from repro.query.engine import planned_records, window_to_ticks
+    from repro.query.model import Query
+    from repro.query.planner import plan_query
+    from repro.query.trace import open_trace
+
+    report.checks.append("dump_vs_query")
+    window = _window_for(path, profile)
+    if window is None:
+        return
+    dump_rows = _dump_window_records(path, profile, window)
+    with open_trace(path, profile) as handle:
+        t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
+        query = Query(t0=t0, t1=t1)
+        plan = plan_query(query, handle.frames, None, index_reason="oracle")
+        query_rows = [_interval_fields(r) for r in planned_records(handle, query, plan)]
+    config = DiffConfig()
+    diff = DiffReport(
+        f"{path}[dump]", f"{path}[query]", report.kind, report.kind, config
+    )
+    diff_fieldmaps(dump_rows, query_rows, config, diff)
+    if not diff.identical:
+        report.add(_divergence_finding("dump_vs_query", str(path), diff))
+
+
+def _check_stats_vs_serve(report: OracleReport, path: Path, profile) -> None:
+    """In-process stats over a SLOG must match the daemon's /api/stats."""
+    import urllib.parse
+    import urllib.request
+
+    from repro.serve.app import ServerConfig, ServerThread
+    from repro.utils.stats import generate_tables, interval_records, source_metadata
+
+    report.checks.append("stats_vs_serve")
+    ticks_per_sec, thread_table = source_metadata([path], profile)
+    records = interval_records([path], profile)
+    local = {
+        t.name: [
+            list(k) + list(t.rows[k]) for k in sorted(t.rows)
+        ]
+        for t in generate_tables(
+            records,
+            ORACLE_PROGRAM,
+            ticks_per_sec=ticks_per_sec,
+            thread_table=thread_table,
+        )
+    }
+    with ServerThread(path, ServerConfig(port=0)) as server:
+        url = (
+            f"{server.base_url}/api/stats?format=json&table="
+            + urllib.parse.quote(ORACLE_PROGRAM)
+        )
+        with urllib.request.urlopen(url) as response:
+            payload = json.loads(response.read().decode())
+    served = {t["name"]: [list(row) for row in t["rows"]] for t in payload["tables"]}
+    if local != served:
+        report.add(
+            Finding(
+                "stats_vs_serve",
+                str(path),
+                "ute-stats tables differ from /api/stats tables",
+                {"local": local, "served": served},
+            )
+        )
+
+
+#: Constant-rate clock-pair scenarios for the adjuster parity check:
+#: (ratio, global origin, local origin) — drift-free, fast, and slow clocks.
+ADJUST_SCENARIOS = ((1.0, 0, 0), (0.5, 1_000, 40), (2.0, 77, 123), (0.999, 5, 5))
+
+
+def _check_adjust_parity(report: OracleReport) -> None:
+    """On constant-rate clocks the piecewise adjuster must agree with the
+    single-ratio adjuster: same adjust() within one tick of rounding, same
+    adjust_duration() at every anchor."""
+    from repro.clocksync.adjust import ClockAdjustment, PiecewiseAdjustment
+    from repro.clocksync.ratio import ClockPair
+
+    report.checks.append("adjust_parity")
+    for ratio, g0, l0 in ADJUST_SCENARIOS:
+        pairs = [
+            ClockPair(global_ts=g0 + round(ratio * k * 10_000), local_ts=l0 + k * 10_000)
+            for k in range(5)
+        ]
+        single = ClockAdjustment(pairs[0].global_ts, pairs[0].local_ts, ratio)
+        piecewise = PiecewiseAdjustment(pairs)
+        samples = [l0 - 5_000, l0, l0 + 3_333, l0 + 25_000, l0 + 49_999, l0 + 80_000]
+        for ts in samples:
+            delta = abs(single.adjust(ts) - piecewise.adjust(ts))
+            if delta > 1:
+                report.add(
+                    Finding(
+                        "adjust_parity",
+                        f"ratio={ratio} ts={ts}",
+                        f"adjust() differs by {delta} ticks on a constant-rate clock",
+                        {"single": single.adjust(ts), "piecewise": piecewise.adjust(ts)},
+                    )
+                )
+        for ts in samples:
+            d_single = single.adjust_duration(9_999, at_local_ts=ts)
+            d_piece = piecewise.adjust_duration(9_999, at_local_ts=ts)
+            if d_single != d_piece:
+                report.add(
+                    Finding(
+                        "adjust_parity",
+                        f"ratio={ratio} at_local_ts={ts}",
+                        f"adjust_duration() differs: {d_single} vs {d_piece}",
+                        {},
+                    )
+                )
+
+
+# -------------------------------------------------------------------- run
+
+
+def run_oracle(
+    path: str | Path,
+    profile=None,
+    *,
+    serve: bool = True,
+) -> OracleReport:
+    """Run every applicable path-pair check over one trace artifact.
+
+    Raw traces get the strict-vs-salvage and adjuster checks; interval and
+    SLOG files get all of them (``stats_vs_serve`` is SLOG-only and skipped
+    when ``serve`` is false — e.g. in sandboxes without sockets).
+    """
+    path = Path(path)
+    kind = sniff_kind(path)
+    report = OracleReport(str(path), kind)
+    _check_strict_vs_salvage(report, path, profile)
+    if kind in ("interval", "slog"):
+        _check_indexed_vs_full(report, path, profile)
+        _check_dump_vs_query(report, path, profile)
+    if kind == "slog" and serve:
+        _check_stats_vs_serve(report, path, profile)
+    _check_adjust_parity(report)
+    return report

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.core.records import IntervalRecord
+from repro.core.windows import window_to_ticks as _window_to_ticks
 from repro.query.indexfile import TraceIndex, load_fresh_index
 from repro.query.model import (
     Aggregate,
@@ -176,14 +177,6 @@ def run_query(
         )
 
 
-def window_to_ticks(
-    window: tuple[float, float] | None, ticks_per_sec: float
-) -> tuple[int | None, int | None]:
-    """Convert a (t0, t1) window in seconds to ticks (None passes through)."""
-    if window is None:
-        return None, None
-    t0, t1 = window
-    return (
-        None if t0 is None else int(t0 * ticks_per_sec),
-        None if t1 is None else int(t1 * ticks_per_sec),
-    )
+# Re-exported here for the query layer's callers; the one definition lives
+# in core so every read path converts seconds the same way.
+window_to_ticks = _window_to_ticks

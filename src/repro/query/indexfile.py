@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.atomicio import AtomicFile
+from repro.core.windows import overlaps_window
 from repro.errors import FormatError
 from repro.query.trace import TraceHandle
 
@@ -106,11 +107,7 @@ class FrameSummary:
 
     def overlaps(self, t0: int | None, t1: int | None) -> bool:
         """Whether the frame's time range intersects the (closed) window."""
-        if t0 is not None and self.end_time < t0:
-            return False
-        if t1 is not None and self.start_time > t1:
-            return False
-        return True
+        return overlaps_window(self.start_time, self.end_time, t0, t1)
 
 
 @dataclass

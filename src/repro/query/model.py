@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.windows import overlaps_window
 from repro.errors import FormatError
 
 #: Fields every record answers, in the default projection order.
@@ -123,9 +124,7 @@ class Query:
     def matches(self, record) -> bool:
         """Predicate pushdown: whether one decoded record satisfies every
         predicate of this query."""
-        if self.t0 is not None and record.end < self.t0:
-            return False
-        if self.t1 is not None and record.start > self.t1:
+        if not overlaps_window(record.start, record.end, self.t0, self.t1):
             return False
         if self.nodes and record.node not in self.nodes:
             return False

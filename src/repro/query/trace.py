@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.records import IntervalRecord
+from repro.core.windows import overlaps_window
 from repro.errors import FormatError
 
 #: Magic prefixes of the two frame-indexed formats.
@@ -35,11 +36,7 @@ class TraceFrame:
 
     def overlaps(self, t0: int | None, t1: int | None) -> bool:
         """Whether the frame's time range intersects the (closed) window."""
-        if t0 is not None and self.end_time < t0:
-            return False
-        if t1 is not None and self.start_time > t1:
-            return False
-        return True
+        return overlaps_window(self.start_time, self.end_time, t0, t1)
 
 
 class TraceHandle:

@@ -15,6 +15,7 @@ from typing import Iterator
 from repro.core.profilefmt import Profile
 from repro.core.reader import IntervalReader
 from repro.core.records import IntervalRecord
+from repro.core.windows import overlaps_window, window_to_ticks
 from repro.errors import FormatError
 from repro.tracing.rawfile import RawTraceReader
 
@@ -66,12 +67,7 @@ def _select_frames(frames, frame: int | None, window_ticks, path) -> list:
     if window_ticks is not None:
         t0, t1 = window_ticks
         frames = [
-            f
-            for f in frames
-            if not (
-                (t0 is not None and f.end_time < t0)
-                or (t1 is not None and f.start_time > t1)
-            )
+            f for f in frames if overlaps_window(f.start_time, f.end_time, t0, t1)
         ]
     return frames
 
@@ -80,21 +76,13 @@ def _in_window(record: IntervalRecord, window_ticks) -> bool:
     if window_ticks is None:
         return True
     t0, t1 = window_ticks
-    if t0 is not None and record.end < t0:
-        return False
-    if t1 is not None and record.start > t1:
-        return False
-    return True
+    return overlaps_window(record.start, record.end, t0, t1)
 
 
 def _window_ticks(window, ticks_per_sec: float):
     if window is None:
         return None
-    t0, t1 = window
-    return (
-        None if t0 is None else int(t0 * ticks_per_sec),
-        None if t1 is None else int(t1 * ticks_per_sec),
-    )
+    return window_to_ticks(window, ticks_per_sec)
 
 
 def dump_interval(

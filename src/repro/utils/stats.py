@@ -221,6 +221,50 @@ def interval_records(
                 }
 
 
+class CombinedThreadTable:
+    """Thread lookup across several files' tables (first match wins).
+
+    Pre-merge per-node interval files each carry only their own node's
+    threads; stats over several of them needs one lookup surface so the
+    synthesized ``task`` field resolves for every record.
+    """
+
+    def __init__(self, tables: Iterable[Any]) -> None:
+        self.tables = [t for t in tables if t is not None]
+
+    def lookup(self, node: int, logical_tid: int):
+        for table in self.tables:
+            try:
+                return table.lookup(node, logical_tid)
+            except Exception:
+                continue
+        raise StatsError(f"no thread entry for node {node} ltid {logical_tid}")
+
+
+def source_metadata(
+    paths: Iterable[str | Path], profile
+) -> tuple[float, CombinedThreadTable]:
+    """The tick rate and combined thread table of the stats inputs.
+
+    All inputs must agree on ``ticks_per_sec`` (a 1 MHz file summed with a
+    1 GHz file would silently mix units); disagreement raises
+    :class:`StatsError`.  Only headers and tables are read — no records.
+    """
+    from repro.query.trace import open_trace
+
+    rates: dict[float, str] = {}
+    tables = []
+    for path in paths:
+        with open_trace(path, profile) as handle:
+            rates.setdefault(handle.ticks_per_sec, str(path))
+            tables.append(handle.thread_table)
+    if len(rates) > 1:
+        described = ", ".join(f"{p}={r:g}" for r, p in sorted(rates.items()))
+        raise StatsError(f"inputs disagree on ticks_per_sec: {described}")
+    rate = next(iter(rates), 1e9)
+    return rate, CombinedThreadTable(tables)
+
+
 def predefined_tables(
     records: Iterable[IntervalRecord],
     *,

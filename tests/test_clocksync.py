@@ -187,3 +187,46 @@ def test_pairs_from_events_extracts_only_clock_records():
     ]
     pairs = pairs_from_events(events)
     assert pairs == [ClockPair(100, 105), ClockPair(1100, 1105)]
+
+
+class TestAdjustDurationAtLocalTs:
+    """Regression: ``PiecewiseAdjustment.adjust_duration`` silently applied
+    segment 0's slope to every duration.  The position argument is now
+    required (keyword-only), and the slope must follow the clock's rate at
+    the record's own timestamp, not the run's start."""
+
+    def rate_change_pairs(self):
+        # Clock runs at 2x global rate for the first 3 segments, then 0.5x:
+        # local ticks 0, 2000, 4000, 6000, 6500, 7000 against a uniform
+        # 1000-tick global grid.
+        locals_ = [0, 2000, 4000, 6000, 6500, 7000]
+        return [
+            ClockPair(global_ts=i * 1000, local_ts=l)
+            for i, l in enumerate(locals_)
+        ]
+
+    def test_position_is_required(self):
+        adj = PiecewiseAdjustment(self.rate_change_pairs())
+        with pytest.raises(TypeError):
+            adj.adjust_duration(1000)  # pre-fix: returned segment 0's answer
+
+    def test_position_is_keyword_only(self):
+        adj = PiecewiseAdjustment(self.rate_change_pairs())
+        with pytest.raises(TypeError):
+            adj.adjust_duration(1000, 6200)
+
+    def test_mid_run_rate_change_uses_local_slope(self):
+        adj = PiecewiseAdjustment(self.rate_change_pairs())
+        # Before the rate change: 2000 local ticks per 1000 global.
+        assert adj.adjust_duration(1000, at_local_ts=500) == 500
+        # After it: 500 local ticks per 1000 global.
+        assert adj.adjust_duration(1000, at_local_ts=6200) == 2000
+        # Segment-0 slope applied everywhere was the bug.
+        assert adj.adjust_duration(1000, at_local_ts=6200) != adj.adjust_duration(
+            1000, at_local_ts=500
+        )
+
+    def test_global_adjustment_accepts_position_uniformly(self):
+        adj = ClockAdjustment(origin_global=0, origin_local=0, ratio=0.5)
+        assert adj.adjust_duration(1000) == 500
+        assert adj.adjust_duration(1000, at_local_ts=999_999) == 500
