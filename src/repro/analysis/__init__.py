@@ -20,6 +20,14 @@ on the interval records (no access to the simulator or raw traces):
   load_records` produces one from a trace file while pruning the scan
   through the ``.uteidx`` sidecar index (time window, thread, node, and
   type predicates).
+* :mod:`repro.analysis.table` — the columnar surface:
+  :func:`~repro.analysis.table.load_table` loads the same pruned
+  selection as parallel int64 arrays (a :class:`~repro.analysis.table.
+  TraceTable`) with Pipit-style ``filter``/``slice_time`` refinements,
+  never building record objects.
+* :mod:`repro.analysis.metrics` — time-resolved metrics over tables:
+  per-bin load balance and communication efficiency, attributed by
+  record/bin overlap.
 """
 
 from repro.analysis.spans import StateSpan, state_spans
@@ -27,6 +35,12 @@ from repro.analysis.blocking import CallProfileRow, call_profile
 from repro.analysis.utilization import thread_utilization, cpu_utilization
 from repro.analysis.messages import MessageStats, message_stats
 from repro.analysis.source import load_records
+from repro.analysis.table import TraceTable, load_table
+from repro.analysis.metrics import (
+    TimelineMetric,
+    communication_efficiency_timeline,
+    load_balance_timeline,
+)
 
 __all__ = [
     "StateSpan",
@@ -38,4 +52,9 @@ __all__ = [
     "MessageStats",
     "message_stats",
     "load_records",
+    "TraceTable",
+    "load_table",
+    "TimelineMetric",
+    "load_balance_timeline",
+    "communication_efficiency_timeline",
 ]

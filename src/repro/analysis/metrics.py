@@ -1,0 +1,149 @@
+"""Time-resolved performance metrics over columnar trace tables.
+
+Two of the classic whole-run health numbers — load balance and
+communication efficiency — hide their story when computed as single
+scalars: a run that is perfectly balanced on average may alternate between
+idle halves.  These functions bin the time axis and compute the metric
+per bin, so the *timeline* of the problem is visible.
+
+Both operate on a :class:`~repro.analysis.table.TraceTable` (so they
+compose with its filter/slice refinements and inherit the index-pruned
+O(window) load path) and attribute each record to a bin by **overlap**:
+a record contributes to every bin it intersects, weighted by the
+intersection length — no edge artifacts from assigning whole records to
+the bin of their start time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.records import IntervalType
+from repro.errors import FormatError
+
+from repro.analysis.table import TraceTable
+
+__all__ = [
+    "TimelineMetric",
+    "load_balance_timeline",
+    "communication_efficiency_timeline",
+]
+
+
+@dataclass
+class TimelineMetric:
+    """One binned metric: bin edges (ticks), per-bin values, and the
+    per-bin intermediate terms the value was derived from."""
+
+    name: str
+    edges: np.ndarray  # (bins + 1,) int64 tick edges
+    values: np.ndarray  # (bins,) float64 metric per bin
+    terms: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def bins(self) -> int:
+        return len(self.values)
+
+    def centers_seconds(self, ticks_per_sec: float) -> np.ndarray:
+        """Bin centers in seconds (plot x-axis)."""
+        mid = (self.edges[:-1] + self.edges[1:]) / 2.0
+        return mid / ticks_per_sec
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "name": self.name,
+            "edges": self.edges.tolist(),
+            "values": self.values.tolist(),
+            "terms": {k: v.tolist() for k, v in self.terms.items()},
+        }
+
+
+def _bin_edges(table: TraceTable, bins: int) -> np.ndarray:
+    if bins <= 0:
+        raise FormatError(f"need at least one bin, got {bins}")
+    t_min, t_max = table.time_range()
+    if t_max <= t_min:
+        t_max = t_min + 1  # degenerate span: one 1-tick bin
+    return np.linspace(t_min, t_max, bins + 1).astype(np.int64)
+
+
+def _overlap_per_bin(
+    start: np.ndarray, end: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Each record's intersection length with the bin [lo, hi) in ticks."""
+    return np.clip(
+        np.minimum(end, hi) - np.maximum(start, lo), 0, None
+    ).astype(np.float64)
+
+
+def load_balance_timeline(table: TraceTable, bins: int = 32) -> TimelineMetric:
+    """Per-bin load balance: mean over max of per-thread busy time.
+
+    Busy time is the overlap of ``RUNNING`` state with the bin, summed per
+    (node, thread).  A bin where every thread is equally busy scores 1.0;
+    a bin where one thread does all the work while the rest idle scores
+    1/n.  Bins with no busy time at all score 1.0 (nothing to balance).
+
+    ``terms`` carries ``busy`` — the (bins, threads) busy matrix in ticks,
+    thread columns ordered as :meth:`TraceTable.thread_keys`.
+    """
+    edges = _bin_edges(table, bins)
+    running = table.filter(type=IntervalType.RUNNING)
+    keys = table.thread_keys()
+    n_threads = len(keys)
+    busy = np.zeros((bins, max(n_threads, 1)), np.float64)
+    if len(running) and n_threads:
+        # Dense (node, thread) -> column index.
+        key_rows = np.stack([running.node, running.thread], axis=1)
+        col_of = {tuple(k): i for i, k in enumerate(keys)}
+        cols = np.fromiter(
+            (col_of[tuple(k)] for k in key_rows.tolist()), np.int64,
+            count=len(running),
+        )
+        for b in range(bins):
+            weights = _overlap_per_bin(
+                running.start, running.end, int(edges[b]), int(edges[b + 1])
+            )
+            busy[b] = np.bincount(cols, weights=weights, minlength=n_threads)
+    maxima = busy.max(axis=1)
+    means = busy.mean(axis=1)
+    values = np.where(maxima > 0, means / np.where(maxima > 0, maxima, 1), 1.0)
+    return TimelineMetric("load_balance", edges, values, {"busy": busy})
+
+
+def communication_efficiency_timeline(
+    table: TraceTable, bins: int = 32
+) -> TimelineMetric:
+    """Per-bin communication efficiency: compute / (compute + MPI) time.
+
+    Compute time is the overlap of ``RUNNING`` state with the bin; MPI
+    time is the overlap of every MPI state (``MPI_BASE <= type < MARKER``)
+    with the bin — both summed over all threads.  A bin that is all
+    computation scores 1.0, all communication 0.0; a bin with neither
+    (threads entirely de-scheduled or outside the trace) scores 1.0.
+
+    ``terms`` carries ``compute`` and ``comm`` in ticks per bin.
+    """
+    edges = _bin_edges(table, bins)
+    running = table.filter(type=IntervalType.RUNNING)
+    is_mpi = (table.type >= IntervalType.MPI_BASE) & (
+        table.type < IntervalType.MARKER
+    )
+    mpi = table.where(is_mpi)
+    compute = np.zeros(bins, np.float64)
+    comm = np.zeros(bins, np.float64)
+    for b in range(bins):
+        lo, hi = int(edges[b]), int(edges[b + 1])
+        if len(running):
+            compute[b] = _overlap_per_bin(running.start, running.end, lo, hi).sum()
+        if len(mpi):
+            comm[b] = _overlap_per_bin(mpi.start, mpi.end, lo, hi).sum()
+    total = compute + comm
+    values = np.where(total > 0, compute / np.where(total > 0, total, 1), 1.0)
+    return TimelineMetric(
+        "communication_efficiency", edges, values,
+        {"compute": compute, "comm": comm},
+    )

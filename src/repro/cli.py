@@ -318,6 +318,11 @@ def main_stats(argv: list[str] | None = None) -> int:
                         help="only records overlapping this window (seconds); "
                         "frames outside it are pruned via the sidecar index")
     parser.add_argument(
+        "--executor", default="columnar", choices=("columnar", "record"),
+        help="frame decode strategy: columnar batches (default) or the "
+        "record-at-a-time reference path",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="print tables plus per-file read accounting as JSON on stdout "
         "instead of writing TSV files",
@@ -352,7 +357,10 @@ def main_stats(argv: list[str] | None = None) -> int:
         return _usage_error("ute-stats", str(exc)) or 2
     io_log: dict[str, dict] = {}
     records = list(
-        interval_records(args.intervals, profile, window=window, io_log=io_log)
+        interval_records(
+            args.intervals, profile, window=window,
+            executor=args.executor, io_log=io_log,
+        )
     )
     if args.program:
         tables = generate_tables(
@@ -636,6 +644,11 @@ def main_query(argv: list[str] | None = None) -> int:
     parser.add_argument("--explain", action="store_true",
                         help="print the frame plan and IO accounting on stderr")
     parser.add_argument("--errors", default="strict", choices=["strict", "salvage"])
+    parser.add_argument(
+        "--executor", default="columnar", choices=("columnar", "record"),
+        help="frame decode strategy: columnar batches (default) or the "
+        "record-at-a-time reference path (ute-oracle checks their parity)",
+    )
     args = parser.parse_args(argv)
     inputs = [args.trace, *([args.profile] if args.profile else [])]
     if args.index and not args.build_index:
@@ -704,6 +717,7 @@ def main_query(argv: list[str] | None = None) -> int:
         result = run_query(
             args.trace, query,
             profile=profile, index=index_arg, errors=args.errors, window=window,
+            executor=args.executor,
         )
     except ReproError as exc:
         return _usage_error("ute-query", str(exc)) or 2
@@ -717,7 +731,8 @@ def main_query(argv: list[str] | None = None) -> int:
         plan = result.plan
         print(
             f"plan: {plan.mode} ({plan.reason}); decoded "
-            f"{len(plan.frames)}/{plan.total_frames} frames; "
+            f"{result.io['frames_decoded']}/{plan.total_frames} frames "
+            f"({result.executor} executor); "
             f"read {result.io['bytes_read']} bytes in {result.io['fetches']} fetches",
             file=sys.stderr,
         )

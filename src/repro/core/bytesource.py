@@ -67,6 +67,17 @@ class ByteSource:
         self.fetch_count += 1
         return blob
 
+    def view(self, offset: int, size: int) -> memoryview:
+        """Like :meth:`fetch`, as a memoryview — zero-copy where the
+        backend allows it (the mmap source overrides this to hand out a
+        window straight into the map).
+
+        Callers must not hold the view past the source's lifetime; release
+        it (or let it go out of scope) before :meth:`close`.  Accounting is
+        identical to a fetch of the same range.
+        """
+        return memoryview(self.fetch(offset, size))
+
     def close(self) -> None:
         """Release the underlying file/map (idempotent)."""
 
@@ -151,6 +162,23 @@ class MmapSource(ByteSource):
         if self._map is None:
             raise FormatError(f"{self.path}: byte source closed")
         return self._map[offset : offset + size]
+
+    def view(self, offset: int, size: int) -> memoryview:
+        """A zero-copy window into the map (clamped like a fetch).
+
+        The view pins the map: release it before :meth:`close`, or the
+        mmap cannot be unmapped.  Accounted exactly like a fetch.
+        """
+        if self._map is None:
+            raise FormatError(f"{self.path}: byte source closed")
+        if offset < 0 or size <= 0:
+            return memoryview(b"")
+        end = min(offset + size, self._size)
+        if offset >= end:
+            return memoryview(b"")
+        self.bytes_fetched += end - offset
+        self.fetch_count += 1
+        return memoryview(self._map)[offset:end]
 
     def close(self) -> None:
         if self._map is not None:

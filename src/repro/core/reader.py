@@ -84,6 +84,9 @@ class IntervalReader:
         self.cache_misses = 0
         self.cache_evictions = 0
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
+        # Columnar batches cache separately: a query session tends to stick
+        # with one executor, so the two caches rarely both fill.
+        self._batch_cache: OrderedDict[tuple[int, int], object] = OrderedDict()
         self._cache_frames = max(0, cache_frames)
         # Serializes frame reads: the LRU mutation (move_to_end + eviction)
         # and the byte source's internal chunk cache are not safe under
@@ -119,6 +122,7 @@ class IntervalReader:
     def close(self) -> None:
         """Release the underlying byte source and drop the frame cache."""
         self._frame_cache.clear()
+        self._batch_cache.clear()
         self.source.close()
 
     def __enter__(self) -> "IntervalReader":
@@ -308,6 +312,52 @@ class IntervalReader:
             **self.source.stats(),
             **salvage_stats(self.salvage),
         }
+
+    def read_frame_batch(self, frame: FrameEntry):
+        """Decode one frame into a columnar :class:`~repro.query.columnar.
+        FrameBatch` (LRU-cached separately from record-object frames).
+
+        Strict mode decodes straight from a zero-copy byte-source view; in
+        salvage mode the resynchronizing record decoder runs first and the
+        batch mirrors its output, so both executors see identical salvaged
+        records.  Cache hits/misses share the reader's counters."""
+        from repro.query.columnar import batch_from_records, decode_frame_batch
+
+        key = (frame.offset, frame.size)
+        with self._cache_lock:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                self._batch_cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+            if self._salvage_mode:
+                batch = batch_from_records(self._decode_frame(frame))
+            else:
+                profile = self._require_profile()
+                view = self.source.view(frame.offset, frame.size)
+                try:
+                    size_read = len(view)
+                    try:
+                        batch = decode_frame_batch(view, profile, self.header.field_mask)
+                    except _DECODE_ERRORS as exc:
+                        raise FormatError(
+                            f"{self.path}: corrupt record in frame at offset "
+                            f"{frame.offset} ({exc})"
+                        ) from exc
+                finally:
+                    view.release()
+                if batch.n != frame.n_records or size_read != frame.size:
+                    raise FormatError(
+                        f"frame at {frame.offset}: decoded {batch.n} records, "
+                        f"entry says {frame.n_records}"
+                    )
+            if self._cache_frames:
+                self._batch_cache[key] = batch
+                while len(self._batch_cache) > self._cache_frames:
+                    self._batch_cache.popitem(last=False)
+                    self.cache_evictions += 1
+            return batch
 
     def _decode_frame(self, frame: FrameEntry) -> list[IntervalRecord]:
         profile = self._require_profile()

@@ -288,6 +288,11 @@ def diff_fieldmaps(
             vb = b.get(fld, MISSING)
             if va == vb:
                 continue
+            # A field that is absent on one side and null on the other is
+            # the same fact (the record's type lacks the field): query rows
+            # spell it None, projected field maps omit it.
+            if (va is None and vb is MISSING) or (va is MISSING and vb is None):
+                continue
             if (
                 fld in TIME_FIELDS
                 and isinstance(va, int)

@@ -11,6 +11,10 @@ check                  the two paths compared
                        input (raw / interval / SLOG)
 ``indexed_vs_full``    the query engine with a freshly built index vs. the
                        forced full scan, over a canonical query set
+``columnar_vs_record`` the batched columnar executor vs. the
+                       record-at-a-time reference executor, over the same
+                       canonical query set (rows and rendered TSV must be
+                       byte-identical)
 ``dump_vs_query``      ``ute-dump --window`` record selection vs. a
                        ``ute-query`` window over the same range
 ``stats_vs_serve``     the in-process ``ute-stats`` path vs. the daemon's
@@ -162,6 +166,18 @@ def _canonical_queries(path: Path, profile) -> list:
                 Aggregate("sum", "dura", "busy"),
             ),
         ),
+        # Sparse aggregates: msgSizeSent only exists on a few MPI types, so
+        # groups without it must render empty cells (not fabricated zeros)
+        # while the bare count still counts every matched record.
+        Query(
+            group_by=("type",),
+            aggregates=(
+                Aggregate("count", None, "count"),
+                Aggregate("min", "msgSizeSent", "min(msgSizeSent)"),
+                Aggregate("max", "msgSizeSent", "max(msgSizeSent)"),
+                Aggregate("avg", "msgSizeSent", "avg(msgSizeSent)"),
+            ),
+        ),
     ]
     if thread is not None:
         queries.append(Query(threads=(ThreadSel(thread[0], thread[1]),)))
@@ -194,6 +210,40 @@ def _check_indexed_vs_full(report: OracleReport, path: Path, profile) -> None:
                         "indexed_plan": indexed.plan.describe(),
                         "full_plan": full.plan.describe(),
                     },
+                )
+            )
+
+
+def _check_columnar_vs_record(report: OracleReport, path: Path, profile) -> None:
+    """The batched columnar executor must return exactly the record
+    executor's rows — and render the identical TSV — for every canonical
+    query."""
+    from repro.query.engine import run_query
+
+    report.checks.append("columnar_vs_record")
+    for i, query in enumerate(_canonical_queries(path, profile)):
+        record = run_query(
+            path, query, profile=profile, index=False, executor="record"
+        )
+        columnar = run_query(
+            path, query, profile=profile, index=False, executor="columnar"
+        )
+        if record.rows != columnar.rows or record.to_tsv() != columnar.to_tsv():
+            mismatch = next(
+                (
+                    {"row": j, "record": list(a), "columnar": list(b)}
+                    for j, (a, b) in enumerate(zip(record.rows, columnar.rows))
+                    if a != b
+                ),
+                None,
+            )
+            report.add(
+                Finding(
+                    "columnar_vs_record",
+                    f"{path} query#{i}",
+                    f"record executor returned {len(record.rows)} rows, "
+                    f"columnar {len(columnar.rows)} (or differing content)",
+                    {"query": query.describe(), "first_mismatch": mismatch},
                 )
             )
 
@@ -387,6 +437,7 @@ def run_oracle(
     _check_strict_vs_salvage(report, path, profile)
     if kind in ("interval", "slog"):
         _check_indexed_vs_full(report, path, profile)
+        _check_columnar_vs_record(report, path, profile)
         _check_dump_vs_query(report, path, profile)
     if kind == "slog" and serve:
         _check_stats_vs_serve(report, path, profile)

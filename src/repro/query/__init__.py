@@ -12,13 +12,24 @@ pruned frame plan, falling back to a full scan whenever the sidecar is
 missing, stale, or damaged; the executor (:mod:`repro.query.engine`)
 decodes only the planned frames and pushes the same predicates down onto
 each record, so indexed and unindexed runs return identical rows — the
-index only changes how many bytes are read.
+index only changes how many bytes are read.  Frames decode either
+record-at-a-time or as columnar batches (:mod:`repro.query.columnar`);
+the batched executor is the default and the record executor is kept as
+the parity reference cross-checked by ``ute-oracle``.
 
 ``ute-query`` is the CLI face; ``ute-stats``, ``ute-serve`` (``/api/query``)
 and :mod:`repro.analysis` reuse the same planner to prune their scans.
 """
 
+from repro.query.columnar import (
+    FrameBatch,
+    batch_from_records,
+    decode_frame_batch,
+    planned_batch_records,
+)
 from repro.query.engine import (
+    EXECUTORS,
+    ExecStats,
     QueryResult,
     execute,
     planned_records,
@@ -44,6 +55,9 @@ from repro.query.trace import TraceHandle, open_trace, trace_kind
 __all__ = [
     "Aggregate",
     "DEFAULT_TIME_BINS",
+    "EXECUTORS",
+    "ExecStats",
+    "FrameBatch",
     "FrameSummary",
     "MODE_FULL_SCAN",
     "MODE_INDEXED",
@@ -54,13 +68,16 @@ __all__ = [
     "ThreadSel",
     "TraceHandle",
     "TraceIndex",
+    "batch_from_records",
     "build_index",
+    "decode_frame_batch",
     "execute",
     "index_path_for",
     "load_fresh_index",
     "load_index",
     "open_trace",
     "plan_query",
+    "planned_batch_records",
     "planned_records",
     "resolve_index",
     "run_query",

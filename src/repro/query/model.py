@@ -55,10 +55,16 @@ class ThreadSel:
 
 @dataclass(frozen=True)
 class Aggregate:
-    """One aggregate column: ``fn`` over ``source`` labelled ``label``."""
+    """One aggregate column: ``fn`` over ``source`` labelled ``label``.
+
+    A ``None`` source is the bare ``count``: it counts every matched record
+    of the group, unconditionally.  ``count:FIELD`` is the non-null-field
+    variant — it counts only records whose type carries ``FIELD`` (the SQL
+    ``COUNT(column)`` vs ``COUNT(*)`` distinction).
+    """
 
     fn: str
-    source: str
+    source: str | None
     label: str
 
     @classmethod
@@ -66,7 +72,7 @@ class Aggregate:
         """Parse ``"count"`` or ``"fn:field"`` (e.g. ``sum:dura``)."""
         fn, _, source = text.partition(":")
         if fn == "count" and not source:
-            return cls("count", "dura", "count")
+            return cls("count", None, "count")
         if fn not in AGGREGATES:
             raise FormatError(
                 f"unknown aggregate {fn!r}; pick one of {AGGREGATES}"
@@ -179,39 +185,58 @@ def record_value(record, name: str) -> Any:
 _AccState = dict
 
 
-def new_accumulator(aggregates: tuple[Aggregate, ...]) -> list[_AccState]:
-    """Fresh aggregation state, one slot per aggregate column."""
-    return [{"n": 0, "sum": 0, "min": None, "max": None} for _ in aggregates]
+def new_accumulator(aggregates: tuple[Aggregate, ...]) -> _AccState:
+    """Fresh aggregation state: the group's matched-record count plus one
+    slot per aggregate column."""
+    return {
+        "rows": 0,
+        "slots": [{"n": 0, "sum": 0, "min": None, "max": None} for _ in aggregates],
+    }
 
 
-def accumulate(state: list[_AccState], aggregates: tuple[Aggregate, ...], record) -> None:
+def accumulate_value(slot: dict, fn: str, value) -> None:
+    """Fold one field value into one aggregate slot (``None`` — the
+    record's type lacks the field — is skipped)."""
+    if value is None:
+        return
+    slot["n"] += 1
+    if fn in ("sum", "avg"):
+        slot["sum"] += value
+    elif fn == "min":
+        slot["min"] = value if slot["min"] is None else min(slot["min"], value)
+    elif fn == "max":
+        slot["max"] = value if slot["max"] is None else max(slot["max"], value)
+
+
+def accumulate(state: _AccState, aggregates: tuple[Aggregate, ...], record) -> None:
     """Fold one record into a group's aggregation state (records whose
-    type lacks the source field are skipped for that column)."""
-    for slot, agg in zip(state, aggregates):
-        value = record_value(record, agg.source)
-        if value is None:
-            continue
-        slot["n"] += 1
-        if agg.fn in ("sum", "avg"):
-            slot["sum"] += value
-        elif agg.fn == "min":
-            slot["min"] = value if slot["min"] is None else min(slot["min"], value)
-        elif agg.fn == "max":
-            slot["max"] = value if slot["max"] is None else max(slot["max"], value)
+    type lacks a source field are skipped for that column only — the
+    matched-record count always advances)."""
+    state["rows"] += 1
+    for slot, agg in zip(state["slots"], aggregates):
+        if agg.source is None:
+            continue  # bare count: needs no per-field work
+        accumulate_value(slot, agg.fn, record_value(record, agg.source))
 
 
-def finalize(state: list[_AccState], aggregates: tuple[Aggregate, ...]) -> tuple:
-    """Render a group's aggregation state as result values."""
+def finalize(state: _AccState, aggregates: tuple[Aggregate, ...]) -> tuple:
+    """Render a group's aggregation state as result values.
+
+    ``min``/``max``/``avg`` over a group where no record carried the source
+    field are ``None`` (an empty TSV cell, JSON ``null``) — not a
+    fabricated ``0``.  ``sum`` of no values is 0, matching its additive
+    identity; bare ``count`` is the matched-record count regardless of any
+    field."""
     out = []
-    for slot, agg in zip(state, aggregates):
+    for slot, agg in zip(state["slots"], aggregates):
         if agg.fn == "count":
-            out.append(slot["n"])
+            out.append(state["rows"] if agg.source is None else slot["n"])
         elif agg.fn == "sum":
             out.append(slot["sum"])
         elif agg.fn == "avg":
-            out.append(slot["sum"] / slot["n"] if slot["n"] else 0.0)
+            out.append(slot["sum"] / slot["n"] if slot["n"] else None)
         elif agg.fn == "min":
-            out.append(slot["min"] if slot["min"] is not None else 0)
+            out.append(slot["min"])
         else:
-            out.append(slot["max"] if slot["max"] is not None else 0)
+            out.append(slot["max"])
     return tuple(out)

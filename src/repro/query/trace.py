@@ -80,6 +80,11 @@ class TraceHandle:
         """Decode frame ``ordinal`` (LRU-cached by the underlying reader)."""
         return self._reader.read_frame(self._entries[ordinal])
 
+    def read_frame_batch(self, ordinal: int):
+        """Decode frame ``ordinal`` into a columnar
+        :class:`~repro.query.columnar.FrameBatch` (LRU-cached)."""
+        return self._reader.read_frame_batch(self._entries[ordinal])
+
     def stats(self) -> dict[str, int]:
         """The underlying reader's cache/IO accounting (shared shape)."""
         return self._reader.stats()

@@ -520,6 +520,13 @@ class TraceServer:
         fmt = q.get("format", "json")
         if fmt not in ("tsv", "json"):
             raise _HttpError(400, f"unknown format {fmt!r}; pick 'tsv' or 'json'")
+        from repro.query.engine import EXECUTORS
+
+        executor = q.get("executor", "columnar")
+        if executor not in EXECUTORS:
+            raise _HttpError(
+                400, f"unknown executor {executor!r}; pick one of {EXECUTORS}"
+            )
         window = self._parse_window_param(request)
 
         def ints(name: str) -> list[int]:
@@ -557,7 +564,7 @@ class TraceServer:
             )
         except FormatError as exc:
             raise _HttpError(400, str(exc)) from None
-        payload = self.session.query_payload(query, window=window)
+        payload = self.session.query_payload(query, window=window, executor=executor)
         extra = {"X-UTE-Bytes-Read": str(payload["io"]["bytes_read"])}
         if fmt == "tsv":
             response = Response.text(

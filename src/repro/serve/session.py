@@ -23,7 +23,12 @@ from typing import Any
 from repro.core.records import IntervalRecord, IntervalType
 from repro.errors import FormatError
 from repro.query.engine import execute as execute_query
-from repro.query.engine import format_value, planned_records, window_to_ticks
+from repro.query.engine import (
+    ExecStats,
+    format_value,
+    planned_records,
+    window_to_ticks,
+)
 from repro.query.indexfile import load_fresh_index
 from repro.query.model import Query
 from repro.query.planner import MODE_INDEXED, plan_query
@@ -210,12 +215,16 @@ class TraceSession:
         self,
         query: Query,
         window: tuple[float | None, float | None] | None = None,
+        executor: str = "columnar",
     ) -> dict[str, Any]:
         """Plan and run one query over the shared handle (``/api/query``).
 
         ``window`` is in seconds (converted with the file's tick rate and
-        overriding the query's tick bounds); the payload carries the rows,
-        the frame plan, and the exact bytes-read delta of this query.
+        overriding the query's tick bounds); ``executor`` picks the decode
+        strategy (see :data:`repro.query.engine.EXECUTORS`).  The payload
+        carries the rows, the frame plan, and the exact bytes-read delta of
+        this query — ``frames_decoded`` is the cache-miss delta and
+        ``frames_scanned`` is what the executor actually visited.
         """
         with self.lock:
             handle = self.handle
@@ -224,8 +233,13 @@ class TraceSession:
                 query = replace(query, t0=t0, t1=t1)
             plan = self._plan(query)
             before = handle.stats()
-            rows = execute_query(handle, query, plan)
+            exec_stats = ExecStats()
+            rows = execute_query(
+                handle, query, plan, executor=executor, stats=exec_stats
+            )
             io = self._io_delta(before)
+            io["frames_decoded"] = handle.stats()["misses"] - before["misses"]
+            io["frames_scanned"] = exec_stats.frames_scanned
             return {
                 "file": self.path.name,
                 "ticks_per_sec": handle.ticks_per_sec,
@@ -233,6 +247,7 @@ class TraceSession:
                 "rows": [list(row) for row in rows],
                 "plan": plan.describe(),
                 "io": io,
+                "executor": executor,
             }
 
     @staticmethod

@@ -309,6 +309,8 @@ class SlogFile:
         self.source: ByteSource = source if source is not None else open_source(self.path, mode)
         self._cache_frames = max(0, cache_frames)
         self._frame_cache: OrderedDict[tuple[int, int], list[IntervalRecord]] = OrderedDict()
+        # Columnar batches cache separately from record-object frames.
+        self._batch_cache: OrderedDict[tuple[int, int], object] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
@@ -335,6 +337,7 @@ class SlogFile:
     def close(self) -> None:
         """Release the underlying byte source and drop cached frames."""
         self._frame_cache.clear()
+        self._batch_cache.clear()
         self.source.close()
 
     def __enter__(self) -> "SlogFile":
@@ -420,6 +423,56 @@ class SlogFile:
             **self.source.stats(),
             **salvage_stats(self.salvage),
         }
+
+    def read_frame_batch(self, frame: SlogFrameEntry):
+        """Decode one frame into a columnar :class:`~repro.query.columnar.
+        FrameBatch` (LRU-cached separately from record-object frames).
+
+        Strict mode decodes straight from a zero-copy byte-source view; in
+        salvage mode the resynchronizing record decoder runs first and the
+        batch mirrors its output.  Cache hits/misses share the reader's
+        counters."""
+        from repro.query.columnar import batch_from_records, decode_frame_batch
+
+        key = (frame.offset, frame.size)
+        with self._cache_lock:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                self._batch_cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+            if self._salvage_mode:
+                batch = batch_from_records(self._decode_frame(frame))
+            else:
+                view = self.source.view(frame.offset, frame.size)
+                try:
+                    size_read = len(view)
+                    if size_read != frame.size:
+                        raise FormatError(
+                            f"{self.path}: SLOG frame at {frame.offset} runs "
+                            "past end of file"
+                        )
+                    try:
+                        batch = decode_frame_batch(view, self.profile, self.field_mask)
+                    except (struct.error, IndexError, ValueError, OverflowError) as exc:
+                        raise FormatError(
+                            f"{self.path}: corrupt SLOG record in frame at "
+                            f"offset {frame.offset} ({exc})"
+                        ) from exc
+                finally:
+                    view.release()
+                if batch.n != frame.n_records:
+                    raise FormatError(
+                        f"SLOG frame at {frame.offset}: {batch.n} records, "
+                        f"index says {frame.n_records}"
+                    )
+            if self._cache_frames:
+                self._batch_cache[key] = batch
+                while len(self._batch_cache) > self._cache_frames:
+                    self._batch_cache.popitem(last=False)
+                    self.cache_evictions += 1
+            return batch
 
     def salvage_frame(
         self, frame: SlogFrameEntry

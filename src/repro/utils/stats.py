@@ -186,38 +186,54 @@ def interval_records(
     *,
     window: tuple[float | None, float | None] | None = None,
     index: Any = "auto",
+    executor: str = "columnar",
     io_log: dict[str, dict] | None = None,
 ) -> Iterator[IntervalRecord]:
     """Stream records from several interval files (clock pairs dropped).
 
     ``window`` is (t0, t1) in seconds; when set, frames outside it are
     pruned — through the sidecar index when a fresh one exists, the frame
-    directory otherwise — and records are filtered to the window.  Pass a
-    dict as ``io_log`` to collect **per-file** read accounting: after the
-    stream is exhausted it maps each path to its reader's ``stats()``
-    (bytes fetched, fetch count, cache hits/misses) plus the plan mode and
-    frame counts — every file's numbers, not just the last one's.
+    directory otherwise — and records are filtered to the window.
+    ``executor`` picks how frames decode (see
+    :data:`repro.query.engine.EXECUTORS`); both yield identical records.
+    Pass a dict as ``io_log`` to collect **per-file** read accounting:
+    after the stream is exhausted it maps each path to its reader's
+    ``stats()`` (bytes fetched, fetch count, cache hits/misses) plus the
+    plan mode and frame counts — every file's numbers, not just the last
+    one's.  ``frames_decoded`` there is the cache-miss delta: frames the
+    scan really decoded, not what the plan listed.
     """
-    from repro.query.engine import planned_records, resolve_index, window_to_ticks
+    from repro.query.columnar import planned_batch_records
+    from repro.query.engine import (
+        EXECUTORS,
+        planned_records,
+        resolve_index,
+        window_to_ticks,
+    )
     from repro.query.model import Query
     from repro.query.planner import plan_query
     from repro.query.trace import open_trace
 
+    if executor not in EXECUTORS:
+        raise StatsError(f"unknown executor {executor!r}; pick one of {EXECUTORS}")
+    record_stream = planned_records if executor == "record" else planned_batch_records
     for path in paths:
         loaded, reason = resolve_index(path, index)
         with open_trace(path, profile) as handle:
             t0, t1 = window_to_ticks(window, handle.ticks_per_sec)
             query = Query(t0=t0, t1=t1)
             plan = plan_query(query, handle.frames, loaded, index_reason=reason)
-            for record in planned_records(handle, query, plan):
+            before = handle.stats()
+            for record in record_stream(handle, query, plan):
                 if record.itype != IntervalType.CLOCKPAIR:
                     yield record
             if io_log is not None:
+                after = handle.stats()
                 io_log[str(path)] = {
-                    **handle.stats(),
+                    **after,
                     "plan": plan.mode,
                     "frames_total": plan.total_frames,
-                    "frames_decoded": len(plan.frames),
+                    "frames_decoded": after["misses"] - before["misses"],
                 }
 
 
