@@ -14,11 +14,13 @@ story end to end:
 
 from __future__ import annotations
 
+import statistics
 import threading
 import time
 from collections import Counter
 
 from benchmarks.conftest import report
+from repro.repository import Repository
 from repro.serve import ServeClient, ServerConfig, ServerThread, TraceSession
 
 N_CLIENTS = 8
@@ -169,4 +171,158 @@ def test_serve_overload_degrades_to_503(flash_pipeline):
         "", "SERVE — overload behaviour (max_concurrency=1, 5 extra clients)",
         f"  overflow statuses: {dict(statuses)} with Retry-After: 2; "
         f"after drain the same request answered {recovered.status}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-dataset repository workload.
+
+N_TENANT_WORKERS = 4
+N_TENANT_REQUESTS = 25
+
+
+def _tenant_script(client: ServeClient, n_frames: int, worker: int,
+                   statuses: Counter, latencies: list[float],
+                   lock: threading.Lock) -> None:
+    """The mixed per-analyst request stream, with client-side latency."""
+    local_status: list[int] = []
+    local_lat: list[float] = []
+    base = client.api_base
+    for step in range(N_TENANT_REQUESTS):
+        slot = (worker + step) % 4
+        if slot == 0:
+            path = f"{base}/preview"
+        elif slot == 1:
+            path = f"{base}/frames"
+        else:
+            path = f"{base}/frame/{(worker * 3 + step) % n_frames}"
+        t0 = time.perf_counter()
+        resp = client.request(path)
+        local_lat.append(time.perf_counter() - t0)
+        local_status.append(resp.status)
+    with lock:
+        statuses.update(local_status)
+        latencies.extend(local_lat)
+
+
+def _run_tenants(jobs) -> None:
+    threads = [threading.Thread(target=_tenant_script, args=args) for args in jobs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+
+
+def test_serve_multi_dataset_budgeted_load(flash_pipeline, tmp_path_factory):
+    """Four datasets behind one daemon under a global memory budget that
+    cannot hold them all, plus one quota-capped tenant hammering away:
+
+    * every request from every tenant completes with **zero 5xx**;
+    * the quota'd tenant is paced with 429 + Retry-After, not errors;
+    * well-behaved tenants' p50 stays within 2x the single-dataset
+      baseline measured on the same server;
+    * resident frame-cache bytes never exceed the configured budget
+      (sampled continuously while the load runs).
+    """
+    slog_path = flash_pipeline["merge"].slog_path
+    data = slog_path.read_bytes()
+    # A budget two files wide: four walked datasets must force session
+    # eviction, yet any single working set fits comfortably.
+    budget = 2 * len(data)
+    root = tmp_path_factory.mktemp("serve-repo")
+    repo = Repository(root, budget_bytes=budget, build_indexes=False)
+    names = ["run-a", "run-b", "run-c", "run-d"]
+    for name in names:
+        repo.register(name, data=data)
+    config = ServerConfig(
+        port=0, max_concurrency=32, memory_budget_bytes=budget,
+        quota_rps=0.0, quota_overrides={"greedy": 20.0}, quota_burst=4,
+    )
+    lock = threading.Lock()
+    with ServerThread(repo, config) as srv:
+        n_frames = ServeClient(srv.base_url, dataset=names[0]).frames()["count"]
+        assert n_frames >= 2
+
+        # Budget sampler: the admission governor promises resident <=
+        # budget at every instant, not just at request boundaries.
+        peak = {"resident": 0}
+        stop_sampling = threading.Event()
+
+        def sample() -> None:
+            while not stop_sampling.is_set():
+                peak["resident"] = max(peak["resident"], repo.resident_bytes())
+                time.sleep(0.002)
+
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+
+        # Phase 1 — baseline: the same request mix against one dataset.
+        base_status: Counter = Counter()
+        base_lat: list[float] = []
+        _run_tenants([
+            (ServeClient(srv.base_url, dataset=names[0], use_etags=False),
+             n_frames, w, base_status, base_lat, lock)
+            for w in range(N_TENANT_WORKERS)
+        ])
+        p50_base = statistics.median(base_lat)
+
+        # Phase 2 — the fleet: one tenant per dataset, plus a greedy
+        # tenant that blows through its quota on dataset 0.
+        multi_status: Counter = Counter()
+        multi_lat: list[float] = []
+        greedy_status: Counter = Counter()
+        greedy_lat: list[float] = []
+        jobs = [
+            (ServeClient(srv.base_url, dataset=name, use_etags=False,
+                         tenant=f"tenant-{i}"),
+             n_frames, i, multi_status, multi_lat, lock)
+            for i, name in enumerate(names)
+        ] + [
+            (ServeClient(srv.base_url, dataset=names[0], use_etags=False,
+                         tenant="greedy"),
+             n_frames, 7, greedy_status, greedy_lat, lock),
+        ]
+        t0 = time.perf_counter()
+        _run_tenants(jobs)
+        elapsed = time.perf_counter() - t0
+        stop_sampling.set()
+        sampler.join(timeout=10)
+        evicted = srv.server.repository.sessions_evicted
+        p50_multi = statistics.median(multi_lat)
+        # Pacing carries the hint a client needs to behave: burst the
+        # greedy tenant until a 429 surfaces and read its Retry-After.
+        greedy = ServeClient(srv.base_url, dataset=names[0],
+                             use_etags=False, tenant="greedy")
+        rejected = next(
+            (r for r in (greedy.request(f"{greedy.api_base}/frames")
+                         for _ in range(12)) if r.status == 429),
+            None,
+        )
+        assert rejected is not None, "greedy burst was never paced"
+        assert float(rejected.headers["retry-after"]) > 0
+
+    everything = base_status + multi_status + greedy_status
+    assert sum(everything.values()) == (2 * len(names) + 1) * N_TENANT_REQUESTS
+    fives = {code: n for code, n in everything.items() if code >= 500}
+    assert not fives, f"5xx under multi-dataset load: {fives}"
+    # Well-behaved tenants only ever see 200s.
+    assert set(multi_status) == {200}, dict(multi_status)
+    # The greedy tenant is paced, not failed: every non-200 is a 429.
+    assert set(greedy_status) <= {200, 429}, dict(greedy_status)
+    assert greedy_status[429] > 0, "quota never engaged for the greedy tenant"
+    assert p50_multi <= max(2 * p50_base, 0.050), (
+        f"multi-dataset p50 {p50_multi:.4f}s vs baseline {p50_base:.4f}s"
+    )
+    assert peak["resident"] <= budget, (
+        f"resident {peak['resident']}B exceeded the {budget}B budget"
+    )
+    report(
+        "", "SERVE — multi-dataset repository load "
+        f"({len(names)} datasets, budget {budget >> 10} KiB)",
+        f"  {2 * len(names) + 1} tenant streams x {N_TENANT_REQUESTS} requests "
+        f"in {elapsed:.2f}s; statuses {dict(sorted(everything.items()))}",
+        f"  p50 single-dataset {p50_base * 1e3:.2f}ms -> "
+        f"multi-dataset {p50_multi * 1e3:.2f}ms (cap 2x)",
+        f"  peak resident {peak['resident']} / budget {budget} bytes; "
+        f"{evicted} sessions evicted by the budget",
     )

@@ -304,13 +304,67 @@ def main_slogmerge(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _remote_stats(args) -> int:
+    """``ute-stats --server URL [--dataset NAME]``: run the table program
+    through a ute-serve repository's ``/api/.../stats`` endpoint."""
+    from repro.serve.client import ServeClient
+
+    if not args.program:
+        return _usage_error(
+            "ute-stats", "--server requires --program (a statlang table file)"
+        ) or 2
+    if args.intervals:
+        return _usage_error(
+            "ute-stats", "local interval files cannot be combined with --server"
+        ) or 2
+    if args.svg:
+        return _usage_error("ute-stats", "--svg is not available with --server") or 2
+    try:
+        program = Path(args.program).read_text()
+    except OSError as exc:
+        return _usage_error("ute-stats", str(exc)) or 2
+    client = ServeClient(args.server, dataset=args.dataset, retries=2)
+    try:
+        response = client.stats(
+            program,
+            format="json" if args.json else "tsv",
+            window=args.window,
+        )
+    except OSError as exc:
+        return _usage_error("ute-stats", f"server unreachable: {exc}") or 2
+    if response.status not in (200, 304):
+        detail = response.text.strip()
+        try:
+            detail = response.json().get("error", detail)
+        except Exception:
+            pass
+        return _usage_error(
+            "ute-stats", f"server returned {response.status}: {detail}"
+        ) or 2
+    if args.json:
+        import json
+
+        print(json.dumps(response.json(), indent=2))
+    else:
+        sys.stdout.write(response.text)
+        if not response.text.endswith("\n"):
+            sys.stdout.write("\n")
+    return 0
+
+
 def main_stats(argv: list[str] | None = None) -> int:
     """Generate statistics tables from interval files."""
     parser = argparse.ArgumentParser(
         "ute-stats", description="Generate statistics tables from interval files."
     )
-    parser.add_argument("intervals", nargs="+")
+    parser.add_argument("intervals", nargs="*")
     parser.add_argument("--program", default=None, help="table program file")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="run the table program on a ute-serve "
+                        "repository instead of local files")
+    parser.add_argument("--dataset", default=None, metavar="NAME",
+                        help="dataset name on the server (default: the "
+                        "server's default dataset)")
     parser.add_argument("--profile", default=None)
     parser.add_argument("-o", "--out", default="stats", help="output directory")
     parser.add_argument("--svg", action="store_true", help="also render SVG viewers")
@@ -328,6 +382,12 @@ def main_stats(argv: list[str] | None = None) -> int:
         "instead of writing TSV files",
     )
     args = parser.parse_args(argv)
+    if args.server is not None:
+        return _remote_stats(args)
+    if not args.intervals:
+        return _usage_error(
+            "ute-stats", "at least one interval file is required (or --server)"
+        ) or 2
     inputs = [
         *args.intervals,
         *([args.program] if args.program else []),
@@ -605,6 +665,93 @@ def main_dump(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _remote_query(args) -> int:
+    """``ute-query --server URL [--dataset NAME]``: run the query against a
+    ute-serve repository over HTTP, reusing the server's TSV/JSON
+    rendering."""
+    from repro.serve.client import ServeClient
+    from repro.serve.session import TraceSession
+
+    local_only = []
+    if args.build_index:
+        local_only.append("--build-index")
+    if args.no_index:
+        local_only.append("--no-index")
+    if args.index:
+        local_only.append("--index")
+    if args.errors != "strict":
+        local_only.append("--errors")
+    if args.trace:
+        local_only.append("a local trace file")
+    if local_only:
+        return _usage_error(
+            "ute-query", f"{', '.join(local_only)} cannot be combined with --server"
+        ) or 2
+    profile = _profile_for(args)
+    try:
+        types = [_resolve_type(t, profile) for t in args.types]
+    except Exception as exc:
+        return _usage_error("ute-query", str(exc)) or 2
+    params: dict[str, str] = {}
+    if args.window:
+        params["window"] = args.window
+    if args.thread:
+        params["thread"] = ",".join(args.thread)
+    if args.node:
+        params["node"] = ",".join(str(n) for n in args.node)
+    if types:
+        params["type"] = ",".join(str(t) for t in types)
+    if args.select:
+        params["select"] = args.select
+    if args.group_by:
+        params["group_by"] = args.group_by
+    if args.agg:
+        params["agg"] = ",".join(args.agg)
+    if args.limit is not None:
+        params["limit"] = str(args.limit)
+    params["executor"] = args.executor
+    # --explain needs the plan, which only the JSON payload carries; the
+    # TSV rendering then happens client-side through the same helper the
+    # server uses.
+    want_payload = args.explain or args.format == "json"
+    params["format"] = "json" if want_payload else "tsv"
+    client = ServeClient(args.server, dataset=args.dataset, retries=2)
+    try:
+        response = client.query(params)
+    except OSError as exc:
+        return _usage_error("ute-query", f"server unreachable: {exc}") or 2
+    if response.status not in (200, 304):
+        detail = response.text.strip()
+        try:
+            detail = response.json().get("error", detail)
+        except Exception:
+            pass
+        return _usage_error(
+            "ute-query", f"server returned {response.status}: {detail}"
+        ) or 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(response.json(), indent=2))
+    elif want_payload:
+        sys.stdout.write(TraceSession.query_tsv(response.json()))
+    else:
+        sys.stdout.write(response.text)
+    if args.explain:
+        payload = response.json()
+        plan, io = payload["plan"], payload["io"]
+        print(
+            f"plan: {plan.get('mode')} ({plan.get('reason')}); decoded "
+            f"{io.get('frames_decoded')}/{plan.get('frames_total')} frames "
+            f"({payload.get('executor')} executor); "
+            f"read {io.get('bytes_read')} bytes in {io.get('fetches')} fetches",
+            file=sys.stderr,
+        )
+        for step in plan.get("steps", []):
+            print(f"plan:   {step['step']} -> {step['remaining']}", file=sys.stderr)
+    return 0
+
+
 def main_query(argv: list[str] | None = None) -> int:
     """Query a trace file through the sidecar index (or build the index)."""
     parser = argparse.ArgumentParser(
@@ -613,7 +760,15 @@ def main_query(argv: list[str] | None = None) -> int:
         ".uteidx sidecar, then run windowed/filtered/grouped scans that "
         "decode only the frames the index admits.",
     )
-    parser.add_argument("trace", help="interval (.ute) or SLOG (.slog) file")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="interval (.ute) or SLOG (.slog) file "
+                        "(omit with --server)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="run the query against a running ute-serve "
+                        "repository instead of a local file")
+    parser.add_argument("--dataset", default=None, metavar="NAME",
+                        help="dataset name on the server (default: the "
+                        "server's default dataset)")
     parser.add_argument("--profile", default=None, help="profile file for .ute inputs")
     parser.add_argument(
         "--build-index", action="store_true",
@@ -650,6 +805,10 @@ def main_query(argv: list[str] | None = None) -> int:
         "record-at-a-time reference path (ute-oracle checks their parity)",
     )
     args = parser.parse_args(argv)
+    if args.server is not None:
+        return _remote_query(args)
+    if args.trace is None:
+        return _usage_error("ute-query", "a trace file is required (or --server)") or 2
     inputs = [args.trace, *([args.profile] if args.profile else [])]
     if args.index and not args.build_index:
         inputs.append(args.index)
@@ -834,14 +993,38 @@ def main_view(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``256M``)."""
+    text = text.strip()
+    scale = 1
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"bad size {text!r}; expected BYTES[K|M|G]") from None
+    if value < 0:
+        raise ValueError("size must be non-negative")
+    return value * scale
+
+
 def main_serve(argv: list[str] | None = None) -> int:
-    """Serve a SLOG file over HTTP: API + lazy interactive viewer."""
+    """Serve SLOG datasets over HTTP: API + lazy interactive viewer."""
     parser = argparse.ArgumentParser(
         "ute-serve",
-        description="Serve a SLOG file to many concurrent clients: JSON/SVG "
-        "API, interactive web viewer, Prometheus-style /metrics.",
+        description="Serve SLOG traces to many concurrent clients: JSON/SVG "
+        "API, interactive web viewer, Prometheus-style /metrics.  Either "
+        "serve one file, or --repository ROOT to serve a dataset registry "
+        "(uploads via POST /api/datasets, per-dataset routes under "
+        "/api/d/NAME/).",
     )
-    parser.add_argument("slog")
+    parser.add_argument("slog", nargs="?", default=None,
+                        help="a single SLOG file (omit with --repository)")
+    parser.add_argument("--repository", default=None, metavar="ROOT",
+                        help="serve a dataset registry rooted here "
+                        "(created if missing)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("-p", "--port", type=int, default=8265,
                         help="TCP port (0 picks an ephemeral port)")
@@ -850,32 +1033,80 @@ def main_serve(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="per-request wall-clock budget (seconds)")
     parser.add_argument("--cache-frames", type=int, default=64,
-                        help="decoded frames kept in the shared LRU cache")
+                        help="decoded frames kept per open dataset session")
+    parser.add_argument("--memory-budget", default=None, metavar="BYTES",
+                        help="global frame-cache budget across every open "
+                        "session, with optional K/M/G suffix (default 256M)")
+    parser.add_argument("--quota-rps", type=float, default=0.0,
+                        help="per-tenant request quota (requests/second); "
+                        "0 disables quotas without per-tenant overrides")
+    parser.add_argument("--quota-burst", type=int, default=8,
+                        help="token-bucket depth for the per-tenant quota")
+    parser.add_argument("--quota", action="append", default=[],
+                        metavar="TENANT=RPS", dest="quota_overrides",
+                        help="per-tenant quota override (repeatable)")
+    parser.add_argument("--default-dataset", default=None, metavar="NAME",
+                        help="dataset the legacy un-prefixed /api/* routes "
+                        "alias to")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logs")
     args = parser.parse_args(argv)
-    if (code := _usage_error("ute-serve", _input_error([args.slog]))) is not None:
-        return code
+    if (args.slog is None) == (args.repository is None):
+        return _usage_error(
+            "ute-serve", "pass exactly one of a SLOG file or --repository ROOT"
+        ) or 2
+    if args.slog is not None:
+        if (code := _usage_error("ute-serve", _input_error([args.slog]))) is not None:
+            return code
+
+    overrides: dict[str, float] = {}
+    for item in args.quota_overrides:
+        tenant, sep, rps = item.partition("=")
+        if not sep or not tenant:
+            return _usage_error(
+                "ute-serve", f"bad --quota {item!r}; expected TENANT=RPS"
+            ) or 2
+        try:
+            overrides[tenant] = float(rps)
+        except ValueError:
+            return _usage_error(
+                "ute-serve", f"bad --quota rate {rps!r}; expected a number"
+            ) or 2
+    try:
+        budget = (
+            _parse_size(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        )
+    except ValueError as exc:
+        return _usage_error("ute-serve", str(exc)) or 2
 
     import logging
 
-    from repro.serve.app import ServerConfig, serve_file
+    from repro.repository import DEFAULT_BUDGET_BYTES
+    from repro.serve.app import ServerConfig, serve_file, serve_repository
 
     logging.basicConfig(
         level=logging.WARNING if args.quiet else logging.INFO,
         format="%(asctime)s %(name)s %(message)s",
         stream=sys.stderr,
     )
-    serve_file(
-        args.slog,
-        ServerConfig(
-            host=args.host,
-            port=args.port,
-            max_concurrency=args.max_concurrency,
-            request_timeout=args.timeout,
-            cache_frames=args.cache_frames,
-        ),
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        request_timeout=args.timeout,
+        cache_frames=args.cache_frames,
+        memory_budget_bytes=DEFAULT_BUDGET_BYTES if budget is None else budget,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        quota_overrides=overrides,
+        default_dataset=args.default_dataset,
     )
+    if args.repository is not None:
+        serve_repository(args.repository, config)
+    else:
+        serve_file(args.slog, config)
     return 0
 
 def main_diff(argv: list[str] | None = None) -> int:

@@ -1,0 +1,43 @@
+"""Multi-trace repository: the dataset registry behind ``ute-serve``.
+
+One long-lived server fronting a fleet of traces: named datasets on disk
+(crash-safe via atomicio), per-dataset :class:`TraceSession` objects
+opened lazily and LRU-evicted under one global frame-cache memory budget,
+background ``.uteidx`` builds on registration, and per-tenant request
+quotas.  See ``docs/REPOSITORY.md``.
+"""
+
+from repro.repository.quota import ANONYMOUS, TenantQuotas
+from repro.repository.registry import (
+    DEFAULT_BUDGET_BYTES,
+    DEFAULT_DATASET,
+    INDEX_BUILDING,
+    INDEX_FAILED,
+    INDEX_NONE,
+    INDEX_PENDING,
+    INDEX_READY,
+    TRACE_FILENAME,
+    Dataset,
+    DatasetExists,
+    Repository,
+    RepositoryError,
+    check_dataset_name,
+)
+
+__all__ = [
+    "DatasetExists",
+    "ANONYMOUS",
+    "TenantQuotas",
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_DATASET",
+    "INDEX_BUILDING",
+    "INDEX_FAILED",
+    "INDEX_NONE",
+    "INDEX_PENDING",
+    "INDEX_READY",
+    "TRACE_FILENAME",
+    "Dataset",
+    "Repository",
+    "RepositoryError",
+    "check_dataset_name",
+]

@@ -1,0 +1,95 @@
+"""Per-tenant request quotas for the repository service.
+
+A classic token bucket per tenant: each tenant accrues ``rate`` tokens per
+second up to a burst ceiling, and every admitted request spends one.  A
+tenant out of tokens is told exactly how long until the next token exists
+— the server turns that into ``429 Too Many Requests`` + ``Retry-After``,
+one layer *above* the global 503 saturation shedding: quotas answer "is
+this tenant over its share", the concurrency cap answers "is the server
+over its capacity".
+
+Tenants are identified by the ``X-UTE-Tenant`` request header (falling
+back to ``anonymous``); per-tenant overrides let one noisy tenant be
+throttled without touching the rest.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Tenant name used when a request carries no tenant header.
+ANONYMOUS = "anonymous"
+
+#: Buckets tracked before idle, full buckets are pruned.
+_MAX_TRACKED = 4096
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    updated: float
+
+
+@dataclass
+class TenantQuotas:
+    """Token buckets keyed by tenant name.
+
+    ``default_rps`` of 0 disables quotas for tenants without an explicit
+    override (the single-analyst default); ``overrides`` maps tenant name
+    to its own requests-per-second rate.  ``burst`` is the bucket depth —
+    how many back-to-back requests a quiet tenant may fire before pacing
+    kicks in.
+    """
+
+    default_rps: float = 0.0
+    burst: int = 8
+    overrides: dict[str, float] = field(default_factory=dict)
+    _buckets: dict[str, _Bucket] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.default_rps > 0 or any(v > 0 for v in self.overrides.values())
+
+    def rate_for(self, tenant: str) -> float:
+        return self.overrides.get(tenant, self.default_rps)
+
+    def try_acquire(self, tenant: str, now: float | None = None) -> float | None:
+        """Spend one token for ``tenant``.
+
+        Returns ``None`` when the request is admitted, or the number of
+        seconds until a token will exist (the ``Retry-After`` value) when
+        the tenant is over quota."""
+        rate = self.rate_for(tenant)
+        if rate <= 0:
+            return None
+        if now is None:
+            now = time.monotonic()
+        depth = float(max(1, self.burst))
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                if len(self._buckets) >= _MAX_TRACKED:
+                    self._prune(now)
+                bucket = self._buckets[tenant] = _Bucket(tokens=depth, updated=now)
+            else:
+                bucket.tokens = min(
+                    depth, bucket.tokens + (now - bucket.updated) * rate
+                )
+                bucket.updated = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return None
+            return max((1.0 - bucket.tokens) / rate, 0.001)
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled to full — they carry no state a
+        fresh bucket wouldn't.  Called with the lock held."""
+        for name in list(self._buckets):
+            bucket = self._buckets[name]
+            rate = self.rate_for(name)
+            depth = float(max(1, self.burst))
+            if rate <= 0 or bucket.tokens + (now - bucket.updated) * rate >= depth:
+                del self._buckets[name]

@@ -2,24 +2,35 @@
 
 A dependency-free asyncio HTTP service that puts the Jumpshot workflow —
 preview, frame index, frame display, statistics — behind an API so many
-clients can explore one SLOG file concurrently.  One shared
-:class:`~repro.serve.session.TraceSession` (SlogFile + frame cache behind
-a lock) backs every request; strong ETags make repeat frame views free;
-``/metrics`` exports Prometheus-style counters built on the byte-source
-accounting.
+clients can explore many SLOG files concurrently.  A
+:class:`~repro.repository.Repository` of named datasets backs the server:
+per-dataset :class:`~repro.serve.session.TraceSession` objects (SlogFile
++ frame cache behind a lock) open lazily and share one global memory
+budget; strong dataset-scoped ETags make repeat frame views free;
+per-tenant quotas pace noisy clients; ``/metrics`` exports
+Prometheus-style counters aggregated across the fleet.
 
-See ``docs/SERVING.md`` for the API reference.
+See ``docs/SERVING.md`` and ``docs/REPOSITORY.md`` for the API reference.
 """
 
-from repro.serve.app import ServerConfig, ServerThread, TraceServer, serve_file
+from repro.repository import Repository
+from repro.serve.app import (
+    ServerConfig,
+    ServerThread,
+    TraceServer,
+    serve_file,
+    serve_repository,
+)
 from repro.serve.client import ServeClient
 from repro.serve.session import TraceSession
 
 __all__ = [
+    "Repository",
     "ServerConfig",
     "ServerThread",
     "TraceServer",
     "serve_file",
+    "serve_repository",
     "ServeClient",
     "TraceSession",
 ]

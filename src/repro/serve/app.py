@@ -1,38 +1,49 @@
 """The concurrent trace-serving daemon (``ute-serve``).
 
 A dependency-free asyncio HTTP/1.1 server exposing the Jumpshot workflow
-as an API over one shared SLOG file:
+as an API over a :class:`~repro.repository.Repository` of SLOG datasets:
 
-==============================  ============================================
-endpoint                        returns
-==============================  ============================================
-``GET /``                       the interactive viewer page (lazy fetches)
-``GET /api/preview``            state-counter bins + interesting ranges
-``GET /api/frames``             the frame directory
-``GET /api/frame/{i}``          one frame's decoded records (JSON);
-                                ``?view=kind`` adds a pre-built view payload
-``GET /api/view/{kind}?t=S``    the frame display at instant ``S`` as SVG
-``GET /api/arrows/{i}``         matched message arrows of frame ``i``
-``GET /api/stats?table=...``    a statlang table run server-side (TSV/JSON);
-                                ``?window=T0:T1`` prunes via the sidecar index
-``GET /api/query``              an indexed query (window/thread/node/type
-                                predicates, group-by) with plan + IO accounting
-``GET /metrics``                Prometheus-style counters
-==============================  ============================================
+==================================  ========================================
+endpoint                            returns
+==================================  ========================================
+``GET /``                           viewer for the default dataset, or the
+                                    landing page when none exists
+``GET /datasets``                   landing page listing every dataset
+``GET /d/{ds}/``                    the interactive viewer for one dataset
+``GET /api/datasets``               the dataset listing (JSON)
+``POST /api/datasets?name=N``       register the request body as dataset N
+                                    (201; 409 duplicate; 400 invalid)
+``GET /api/d/{ds}/preview``         state-counter bins + interesting ranges
+``GET /api/d/{ds}/frames``          the frame directory
+``GET /api/d/{ds}/frame/{i}``       one frame's decoded records (JSON);
+                                    ``?view=kind`` adds a view payload
+``GET /api/d/{ds}/view/{kind}?t=S`` the frame display at instant S as SVG
+``GET /api/d/{ds}/arrows/{i}``      matched message arrows of frame ``i``
+``GET /api/d/{ds}/stats?table=...`` a statlang table run server-side;
+                                    ``?window=T0:T1`` prunes via the index
+``GET /api/d/{ds}/query``           an indexed query with plan + IO stats
+``GET /api/*``                      the same API, aliased to the default
+                                    dataset (single-trace compatibility)
+``GET /metrics``                    Prometheus-style counters
+==================================  ========================================
 
 Design points (the paper's scalability story, applied to serving):
 
-* **Shared session** — one SlogFile + frame cache behind a lock serves
-  every request, so hot frames decode once however many clients watch.
-* **Strong ETags** — ``mtime_ns-size-resource``; ``If-None-Match`` hits
-  return 304 before any frame is fetched or decoded.
-* **Bounded concurrency** — requests beyond ``max_concurrency`` get an
-  immediate 503 with ``Retry-After`` instead of queueing unboundedly;
-  each admitted request runs under a timeout.
-* **Strict input handling** — request line/header limits, no request
-  bodies, path-traversal rejection, bounded query params.
+* **Shared sessions under one budget** — each dataset's SlogFile + frame
+  cache opens lazily and serves every request; the repository's global
+  memory budget shrinks and evicts cold sessions so N datasets never cost
+  N full caches.
+* **Strong ETags** — ``dataset-mtime_ns-size-resource``; ``If-None-Match``
+  hits return 304 before any frame is fetched or decoded, and two
+  datasets with byte-identical files still revalidate independently.
+* **Bounded concurrency, fair tenants** — requests beyond
+  ``max_concurrency`` get an immediate 503 with ``Retry-After``; a tenant
+  over its per-tenant token-bucket quota gets 429 with ``Retry-After``
+  while everyone else keeps their latency.
+* **Strict input handling** — request line/header limits, bounded upload
+  bodies on the one POST route, path-traversal rejection.
 * **Observability** — structured access logs and a ``/metrics`` endpoint
-  built on the byte-source fetch accounting of PR 1.
+  aggregating per-reader fetch accounting across the whole repository.
 """
 
 from __future__ import annotations
@@ -44,12 +55,20 @@ import logging
 import threading
 import time
 import urllib.parse
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import FormatError, StatsError
-from repro.serve.html import server_page
+from repro.repository import (
+    ANONYMOUS,
+    DEFAULT_BUDGET_BYTES,
+    DatasetExists,
+    Repository,
+    RepositoryError,
+    TenantQuotas,
+)
+from repro.serve.html import datasets_page, server_page
 from repro.serve.metrics import Registry
 from repro.serve.session import DEFAULT_SERVER_CACHE, FrameDecodeError, TraceSession
 from repro.viz.jumpshot import VIEW_KINDS
@@ -58,13 +77,24 @@ log = logging.getLogger("repro.serve")
 access_log = logging.getLogger("repro.serve.access")
 
 _REASONS = {
-    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout", 413: "Payload Too Large",
+    200: "OK", 201: "Created", 304: "Not Modified", 400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    409: "Conflict", 411: "Length Required", 413: "Payload Too Large",
     414: "URI Too Long", 422: "Unprocessable Content",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: Sentinel dataset used by :meth:`TraceServer._route` for the legacy
+#: un-prefixed ``/api/*`` routes: resolve to the repository's default
+#: dataset at dispatch time.
+_DEFAULT_ALIAS = ""
+
+#: Tenant request header examined by the quota layer.
+TENANT_HEADER = "x-ute-tenant"
 
 
 @dataclass
@@ -89,6 +119,20 @@ class ServerConfig:
     #: Width of SVGs rendered by /api/view.
     svg_width: int = 1100
     cache_frames: int = DEFAULT_SERVER_CACHE
+    #: Global frame-cache budget shared by every open dataset session.
+    memory_budget_bytes: int = DEFAULT_BUDGET_BYTES
+    #: Largest accepted upload body (POST /api/datasets).
+    max_upload_bytes: int = 256 << 20
+    #: Per-tenant request quota (requests/second); 0 disables quotas for
+    #: tenants without an explicit override.
+    quota_rps: float = 0.0
+    #: Token-bucket depth: back-to-back requests allowed before pacing.
+    quota_burst: int = 8
+    #: Per-tenant quota overrides, tenant name -> requests/second.
+    quota_overrides: dict[str, float] = field(default_factory=dict)
+    #: Dataset the legacy un-prefixed API routes alias to (None = pick
+    #: "default", else the alphabetically first dataset).
+    default_dataset: str | None = None
 
 
 class _HttpError(Exception):
@@ -107,6 +151,10 @@ class Request:
     path: str
     query: dict[str, str]
     headers: dict[str, str]
+    body: bytes = b""
+    #: Filled in by dispatch once the target dataset resolves.
+    dataset: str = ""
+    session: Any = field(default=None, repr=False)
 
 
 @dataclass
@@ -126,23 +174,54 @@ class Response:
 
 
 class TraceServer:
-    """The asyncio server over one :class:`TraceSession`."""
+    """The asyncio server over a :class:`~repro.repository.Repository`.
 
-    def __init__(self, session: TraceSession, config: ServerConfig | None = None) -> None:
-        self.session = session
+    A bare :class:`TraceSession` is also accepted (embedding
+    compatibility): it becomes the sole, default dataset of a root-less
+    repository."""
+
+    def __init__(
+        self,
+        target: "Repository | TraceSession",
+        config: ServerConfig | None = None,
+    ) -> None:
+        from repro.repository import DEFAULT_DATASET
+
         self.config = config or ServerConfig()
+        if isinstance(target, Repository):
+            self.repository = target
+        else:
+            self.repository = Repository(
+                None,
+                budget_bytes=self.config.memory_budget_bytes,
+                cache_frames=self.config.cache_frames,
+            )
+            self.repository.adopt(DEFAULT_DATASET, target)
+        self.quotas = TenantQuotas(
+            default_rps=self.config.quota_rps,
+            burst=self.config.quota_burst,
+            overrides=dict(self.config.quota_overrides),
+        )
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._active = 0
         self.registry = Registry()
         self.m_requests = self.registry.counter(
-            "ute_serve_requests_total", "Requests handled.", ("route", "status")
+            "ute_serve_requests_total", "Requests handled.",
+            ("dataset", "route", "status"),
         )
         self.m_latency = self.registry.histogram(
             "ute_serve_request_seconds", "Request latency (seconds)."
         )
         self.m_rejected = self.registry.counter(
             "ute_serve_rejected_total", "Requests rejected before dispatch.", ("reason",)
+        )
+        self.m_quota = self.registry.counter(
+            "ute_serve_quota_rejected_total",
+            "Requests rejected by the per-tenant quota (429).", ("tenant",),
+        )
+        self.m_uploads = self.registry.counter(
+            "ute_serve_uploads_total", "Dataset registrations.", ("status",)
         )
         self.m_frame_salvage = self.registry.counter(
             "ute_serve_frame_salvage_total",
@@ -152,7 +231,8 @@ class TraceServer:
             "ute_serve_inflight_requests", "Requests currently executing.",
             lambda: self._active,
         )
-        stats = self.session.stats  # sampled at scrape time
+        repo = self.repository
+        stats = repo.aggregate_stats  # sampled at scrape time
         self.registry.gauge(
             "ute_serve_frame_cache_hits_total", "Shared frame-cache hits.",
             lambda: stats()["hits"],
@@ -163,28 +243,62 @@ class TraceServer:
         )
         self.registry.gauge(
             "ute_serve_frame_cache_evictions_total",
-            "Frames evicted from the shared LRU frame cache.",
+            "Frames evicted from the shared LRU frame caches (budget "
+            "shrinks and session evictions included).",
             lambda: stats()["evictions"],
         )
         self.registry.gauge(
+            "ute_serve_frame_cache_resident_bytes",
+            "Aggregate encoded bytes resident across all open sessions.",
+            repo.resident_bytes,
+        )
+        self.registry.gauge(
+            "ute_serve_memory_budget_bytes",
+            "Configured global frame-cache budget.",
+            lambda: repo.budget_bytes,
+        )
+        self.registry.labelled_gauge(
+            "ute_serve_dataset_resident_bytes",
+            "Encoded bytes resident in one open dataset session's caches.",
+            "dataset", repo.per_dataset_resident,
+        )
+        self.registry.gauge(
+            "ute_serve_datasets", "Datasets registered in the repository.",
+            lambda: len(repo.names()),
+        )
+        self.registry.gauge(
+            "ute_serve_sessions_open", "Dataset sessions currently open.",
+            lambda: len(repo.open_sessions()),
+        )
+        self.registry.gauge(
+            "ute_serve_sessions_evicted_total",
+            "Sessions closed by the global memory budget.",
+            lambda: repo.sessions_evicted,
+        )
+        self.registry.gauge(
             "ute_serve_index_loaded",
-            "Whether a fresh .uteidx sidecar was loaded at startup (1/0).",
-            lambda: 1 if self.session.index is not None else 0,
+            "Whether any open session has a fresh .uteidx sidecar (1/0).",
+            lambda: 1 if repo.any_index_loaded() else 0,
+        )
+        self.registry.gauge(
+            "ute_serve_index_builds_pending",
+            "Background .uteidx builds scheduled or running.",
+            repo.builds_pending,
         )
         self.registry.gauge(
             "ute_serve_index_frames_scanned_total",
             "Frames the planner selected for decoding across all queries.",
-            lambda: self.session.index_frames_scanned,
+            lambda: repo.index_counters()["scanned"],
         )
         self.registry.gauge(
             "ute_serve_index_frames_pruned_total",
             "Frames the planner pruned without decoding across all queries.",
-            lambda: self.session.index_frames_pruned,
+            lambda: repo.index_counters()["pruned"],
         )
         self.registry.gauge(
             "ute_serve_index_fallback_total",
             "Planned scans that fell back to full scan (no usable index).",
-            lambda: self.session.index_fallbacks,
+            lambda: repo.index_counters()["fallbacks"],
         )
         self.registry.gauge(
             "ute_serve_bytes_fetched_total", "Bytes fetched from the SLOG byte source.",
@@ -195,9 +309,15 @@ class TraceServer:
             lambda: stats()["fetch_count"],
         )
         self.registry.gauge(
-            "ute_serve_frames", "Frames in the served SLOG file.",
-            lambda: self.session.frame_count(),
+            "ute_serve_frames", "Frames across the open dataset sessions.",
+            repo.frames_open,
         )
+
+    @property
+    def session(self) -> TraceSession | None:
+        """The default dataset's session (single-trace embedding API)."""
+        name = self.repository.default
+        return self.repository.session(name) if name else None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -207,9 +327,13 @@ class TraceServer:
             self._handle_conn, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        what = (
+            str(self.repository.root)
+            if self.repository.root is not None
+            else ", ".join(self.repository.names()) or "<empty>"
+        )
         log.info(
-            "serving %s on http://%s:%d/", self.session.path,
-            self.config.host, self.port,
+            "serving %s on http://%s:%d/", what, self.config.host, self.port
         )
 
     async def stop(self) -> None:
@@ -246,7 +370,10 @@ class TraceServer:
             log.exception("unhandled error")
             response = Response.text("internal server error\n", 500)
         duration = time.perf_counter() - start
-        self.m_requests.inc(route=route, status=str(response.status))
+        self.m_requests.inc(
+            dataset=request.dataset if request is not None else "",
+            route=route, status=str(response.status),
+        )
         self.m_latency.observe(duration)
         try:
             head_only = request is not None and request.method == "HEAD"
@@ -271,8 +398,10 @@ class TraceServer:
         if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
             raise _HttpError(400, "malformed request line")
         method, target, _version = parts
-        if method not in ("GET", "HEAD"):
-            raise _HttpError(405, f"method {method} not allowed", {"Allow": "GET, HEAD"})
+        if method not in ("GET", "HEAD", "POST"):
+            raise _HttpError(
+                405, f"method {method} not allowed", {"Allow": "GET, HEAD, POST"}
+            )
         headers: dict[str, str] = {}
         for _ in range(cfg.max_headers + 1):
             raw = await reader.readline()
@@ -287,10 +416,28 @@ class TraceServer:
             headers[name.strip().lower()] = value.strip()
         else:
             raise _HttpError(400, "too many headers")
-        if int(headers.get("content-length", "0") or 0) > 0:
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        body = b""
+        if method == "POST":
+            if "transfer-encoding" in headers:
+                raise _HttpError(
+                    411, "chunked bodies are not accepted; send Content-Length"
+                )
+            if "content-length" not in headers:
+                raise _HttpError(411, "POST requires Content-Length")
+            if length > cfg.max_upload_bytes:
+                raise _HttpError(
+                    413, f"upload larger than {cfg.max_upload_bytes} bytes"
+                )
+            if length > 0:
+                body = await reader.readexactly(length)
+        elif length > 0:
             raise _HttpError(413, "request bodies are not accepted")
         path, query = self._parse_target(target)
-        return Request(method, path, query, headers)
+        return Request(method, path, query, headers, body)
 
     def _parse_target(self, target: str) -> tuple[str, dict[str, str]]:
         cfg = self.config
@@ -317,9 +464,25 @@ class TraceServer:
         return path, query
 
     async def _dispatch(self, request: Request) -> tuple[str, Response]:
-        route, handler, etag_tag = self._route(request)
+        route, handler, etag_tag, dataset = self._route(request)
         if handler is None:
             raise _HttpError(404, f"no such resource: {request.path}")
+        if request.method == "POST" and route != "/api/datasets":
+            raise _HttpError(
+                405, "POST is only accepted on /api/datasets",
+                {"Allow": "GET, HEAD"},
+            )
+        # Per-tenant quota on API routes, before any work is admitted.
+        if self.quotas.enabled and request.path.startswith("/api/"):
+            tenant = request.headers.get(TENANT_HEADER, ANONYMOUS) or ANONYMOUS
+            wait = self.quotas.try_acquire(tenant)
+            if wait is not None:
+                self.m_quota.inc(tenant=tenant)
+                self.m_rejected.inc(reason="quota")
+                raise _HttpError(
+                    429, f"tenant {tenant!r} over request quota, retry later",
+                    {"Retry-After": f"{wait:.3f}"},
+                )
         # Saturation check before any work: the event loop is single
         # threaded, so the counter needs no lock.
         if self._active >= self.config.max_concurrency:
@@ -328,26 +491,42 @@ class TraceServer:
                 503, "server saturated, retry later",
                 {"Retry-After": str(self.config.retry_after)},
             )
-        etag = self.session.etag(etag_tag) if etag_tag else None
-        if etag is not None:
-            candidates = request.headers.get("if-none-match", "")
-            if candidates.strip() == "*" or etag in [
-                c.strip() for c in candidates.split(",")
-            ]:
-                response = Response(304, b"", "application/json")
-                response.headers = {"ETag": etag}
-                return route, response
-        self._active += 1
+        if dataset is not None:
+            if dataset == _DEFAULT_ALIAS:
+                dataset = self.repository.default
+                if dataset is None:
+                    raise _HttpError(404, "no datasets registered")
+            try:
+                request.session = self.repository.acquire(dataset)
+            except RepositoryError as exc:
+                raise _HttpError(404, str(exc)) from None
+            request.dataset = dataset
         try:
-            loop = asyncio.get_running_loop()
-            response = await asyncio.wait_for(
-                loop.run_in_executor(None, self._run_handler, handler, request),
-                timeout=self.config.request_timeout,
-            )
-        except asyncio.TimeoutError:
-            raise _HttpError(504, "request timed out") from None
+            etag = request.session.etag(etag_tag) if etag_tag else None
+            if etag is not None:
+                candidates = request.headers.get("if-none-match", "")
+                if candidates.strip() == "*" or etag in [
+                    c.strip() for c in candidates.split(",")
+                ]:
+                    response = Response(304, b"", "application/json")
+                    response.headers = {"ETag": etag}
+                    return route, response
+            self._active += 1
+            try:
+                loop = asyncio.get_running_loop()
+                response = await asyncio.wait_for(
+                    loop.run_in_executor(None, self._run_handler, handler, request),
+                    timeout=self.config.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                raise _HttpError(504, "request timed out") from None
+            finally:
+                self._active -= 1
         finally:
-            self._active -= 1
+            if request.session is not None:
+                # The request boundary: unpin and let the budget close any
+                # session the admission governor scavenged.
+                self.repository.release(request.dataset)
         if etag is not None and response.status == 200:
             response.headers = {**(response.headers or {}), "ETag": etag,
                                 "Cache-Control": "no-cache"}
@@ -369,47 +548,73 @@ class TraceServer:
 
     def _route(
         self, request: Request
-    ) -> tuple[str, Callable[[Request], Response] | None, str | None]:
-        """(metrics route label, handler, ETag tag) for one request."""
+    ) -> tuple[str, Callable[[Request], Response] | None, str | None, str | None]:
+        """(metrics route label, handler, ETag tag, dataset) for one
+        request.  ``dataset`` is None for repository-level routes, the
+        ``_DEFAULT_ALIAS`` sentinel for legacy un-prefixed API routes
+        (resolved to the default dataset at dispatch), or a dataset name."""
         segs = [s for s in request.path.split("/") if s]
         if not segs:
-            return "/", self._h_index, None
+            return "/", self._h_index, None, None
         if segs == ["metrics"]:
-            return "/metrics", self._h_metrics, None
-        if segs == ["api", "preview"]:
-            return "/api/preview", self._h_preview, "preview"
-        if segs == ["api", "frames"]:
-            return "/api/frames", self._h_frames, "frames"
-        if len(segs) == 3 and segs[:2] == ["api", "frame"]:
-            index = self._int_seg(segs[2], "frame index")
+            return "/metrics", self._h_metrics, None, None
+        if segs == ["datasets"]:
+            return "/datasets", self._h_landing, None, None
+        if segs == ["api", "datasets"]:
+            return "/api/datasets", self._h_datasets, None, None
+        if segs[0] == "d" and len(segs) == 2:
+            return "/d/{ds}", self._h_viewer, None, segs[1]
+        if segs[0] == "api" and len(segs) >= 3 and segs[1] == "d":
+            sub, handler, tag = self._route_api(request, segs[3:])
+            if handler is None:
+                return request.path, None, None, None
+            return "/api/d/{ds}" + sub, handler, tag, segs[2]
+        if segs[0] == "api":
+            sub, handler, tag = self._route_api(request, segs[1:])
+            if handler is None:
+                return request.path, None, None, None
+            return "/api" + sub, handler, tag, _DEFAULT_ALIAS
+        return request.path, None, None, None
+
+    def _route_api(
+        self, request: Request, segs: list[str]
+    ) -> tuple[str, Callable[[Request], Response] | None, str | None]:
+        """The per-dataset API surface, shared by the ``/api/d/{ds}/*``
+        routes and their legacy un-prefixed aliases."""
+        if segs == ["preview"]:
+            return "/preview", self._h_preview, "preview"
+        if segs == ["frames"]:
+            return "/frames", self._h_frames, "frames"
+        if len(segs) == 2 and segs[0] == "frame":
+            index = self._int_seg(segs[1], "frame index")
             view = request.query.get("view", "")
             tag = f"frame-{index}" + (f"-{view}" if view else "")
-            return "/api/frame/{i}", lambda r: self._h_frame(r, index), tag
-        if len(segs) == 3 and segs[:2] == ["api", "arrows"]:
-            index = self._int_seg(segs[2], "frame index")
-            return "/api/arrows/{i}", lambda r: self._h_arrows(r, index), f"arrows-{index}"
-        if len(segs) == 3 and segs[:2] == ["api", "view"]:
-            kind = segs[2]
+            return "/frame/{i}", lambda r: self._h_frame(r, index), tag
+        if len(segs) == 2 and segs[0] == "arrows":
+            index = self._int_seg(segs[1], "frame index")
+            return "/arrows/{i}", lambda r: self._h_arrows(r, index), f"arrows-{index}"
+        if len(segs) == 2 and segs[0] == "view":
+            kind = segs[1]
             tag = "view-" + hashlib.sha1(
                 f"{kind}?t={request.query.get('t', '')}&w={request.query.get('width', '')}"
                 .encode()
             ).hexdigest()[:16]
-            return "/api/view/{kind}", lambda r: self._h_view(r, kind), tag
-        if segs == ["api", "stats"]:
+            return "/view/{kind}", lambda r: self._h_view(r, kind), tag
+        if segs == ["stats"]:
             tag = "stats-" + hashlib.sha1(
                 "\x00".join(
                     request.query.get(k, "") for k in ("table", "format", "window")
                 ).encode()
             ).hexdigest()[:16]
-            return "/api/stats", self._h_stats, tag
-        if segs == ["api", "query"]:
+            return "/stats", self._h_stats, tag
+        if segs == ["query"]:
             tag = "query-" + hashlib.sha1(
                 "\x00".join(
                     f"{k}={v}" for k, v in sorted(request.query.items())
                 ).encode()
             ).hexdigest()[:16]
-            return "/api/query", self._h_query, tag
-        return request.path, None, None
+            return "/query", self._h_query, tag
+        return "", None, None
 
     @staticmethod
     def _int_seg(text: str, what: str) -> int:
@@ -419,11 +624,64 @@ class TraceServer:
             raise _HttpError(400, f"{what} must be an integer, got {text!r}") from None
 
     # -------------------------------------------------------------- handlers
-    # Run on executor threads; session methods take the shared lock.
+    # Run on executor threads; per-dataset handlers read the session that
+    # dispatch resolved and pinned onto the request.
 
     def _h_index(self, request: Request) -> Response:
-        title = f"{self.session.path.name} — ute-serve"
+        """``/``: the default dataset's viewer (single-trace
+        compatibility), or the landing page when nothing is registered."""
+        name = self.repository.default
+        if name is None:
+            return self._h_landing(request)
+        title = f"{self.repository.get(name).path.name} — ute-serve"
         return Response.text(server_page(title, VIEW_KINDS), content_type="text/html")
+
+    def _h_landing(self, request: Request) -> Response:
+        return Response.text(
+            datasets_page(self.repository.info(), self.repository.default),
+            content_type="text/html",
+        )
+
+    def _h_viewer(self, request: Request) -> Response:
+        title = f"{request.dataset} — ute-serve"
+        page = server_page(
+            title, VIEW_KINDS, api_base=f"/api/d/{request.dataset}"
+        )
+        return Response.text(page, content_type="text/html")
+
+    def _h_datasets(self, request: Request) -> Response:
+        if request.method == "POST":
+            return self._register_upload(request)
+        return Response.json(
+            {"datasets": self.repository.info(), "default": self.repository.default}
+        )
+
+    def _register_upload(self, request: Request) -> Response:
+        name = request.query.get("name", "").strip()
+        if not name:
+            self.m_uploads.inc(status="rejected")
+            raise _HttpError(400, "missing required query parameter 'name'")
+        if not request.body:
+            self.m_uploads.inc(status="rejected")
+            raise _HttpError(400, "empty upload body")
+        try:
+            dataset = self.repository.register(name, data=request.body)
+        except DatasetExists as exc:
+            self.m_uploads.inc(status="conflict")
+            raise _HttpError(409, str(exc)) from None
+        except RepositoryError as exc:
+            self.m_uploads.inc(status="rejected")
+            raise _HttpError(400, str(exc)) from None
+        self.m_uploads.inc(status="ok")
+        return Response.json(
+            {
+                "name": dataset.name,
+                "bytes": dataset.bytes,
+                "created": dataset.created,
+                "index": dataset.index_status,
+            },
+            201,
+        )
 
     def _h_metrics(self, request: Request) -> Response:
         return Response.text(
@@ -431,17 +689,17 @@ class TraceServer:
         )
 
     def _h_preview(self, request: Request) -> Response:
-        return Response.json(self.session.preview_payload())
+        return Response.json(request.session.preview_payload())
 
     def _h_frames(self, request: Request) -> Response:
-        return Response.json(self.session.frames_payload())
+        return Response.json(request.session.frames_payload())
 
     def _h_frame(self, request: Request, index: int) -> Response:
         view = request.query.get("view") or None
-        return Response.json(self.session.frame_payload(index, view=view))
+        return Response.json(request.session.frame_payload(index, view=view))
 
     def _h_arrows(self, request: Request, index: int) -> Response:
-        return Response.json(self.session.arrows_payload(index))
+        return Response.json(request.session.arrows_payload(index))
 
     def _h_view(self, request: Request, kind: str) -> Response:
         if "t" not in request.query:
@@ -453,7 +711,7 @@ class TraceServer:
         width = self.config.svg_width
         if "width" in request.query:
             width = max(200, min(self._int_seg(request.query["width"], "width"), 4000))
-        svg, io = self.session.view_svg(kind, t_seconds, width=width)
+        svg, io = request.session.view_svg(kind, t_seconds, width=width)
         response = Response.text(svg, content_type="image/svg+xml")
         response.headers = {"X-UTE-Bytes-Read": str(io["bytes_read"])}
         return response
@@ -487,7 +745,7 @@ class TraceServer:
         if fmt not in ("tsv", "json"):
             raise _HttpError(400, f"unknown format {fmt!r}; pick 'tsv' or 'json'")
         window = self._parse_window_param(request)
-        tables, plan, io = self.session.stats_tables(program, window=window)
+        tables, plan, io = request.session.stats_tables(program, window=window)
         extra = {"X-UTE-Bytes-Read": str(io["bytes_read"])}
         if fmt == "json":
             response = Response.json({
@@ -564,11 +822,11 @@ class TraceServer:
             )
         except FormatError as exc:
             raise _HttpError(400, str(exc)) from None
-        payload = self.session.query_payload(query, window=window, executor=executor)
+        payload = request.session.query_payload(query, window=window, executor=executor)
         extra = {"X-UTE-Bytes-Read": str(payload["io"]["bytes_read"])}
         if fmt == "tsv":
             response = Response.text(
-                self.session.query_tsv(payload),
+                request.session.query_tsv(payload),
                 content_type="text/tab-separated-values",
             )
         else:
@@ -603,13 +861,31 @@ class TraceServer:
 # Embedding helpers.
 
 
-def serve_file(
-    slog_path: str | Path, config: ServerConfig | None = None
-) -> None:
-    """Open a SLOG file and serve it until interrupted (the CLI's core)."""
-    config = config or ServerConfig()
-    session = TraceSession(slog_path, cache_frames=config.cache_frames)
-    server = TraceServer(session, config)
+def repository_for_config(
+    target: "str | Path | Repository", config: ServerConfig, *, root: bool = False
+) -> Repository:
+    """Build the repository a server will front, honouring the config's
+    budget/cache/default-dataset knobs.  ``target`` is an existing
+    repository (returned as-is), a repository root directory (``root=
+    True``), or a single SLOG file."""
+    if isinstance(target, Repository):
+        return target
+    if root:
+        return Repository(
+            target,
+            budget_bytes=config.memory_budget_bytes,
+            cache_frames=config.cache_frames,
+            default_dataset=config.default_dataset,
+        )
+    return Repository.single(
+        target,
+        budget_bytes=config.memory_budget_bytes,
+        cache_frames=config.cache_frames,
+    )
+
+
+def _serve_blocking(repository: Repository, config: ServerConfig) -> None:
+    server = TraceServer(repository, config)
 
     async def _run() -> None:
         await server.start()
@@ -621,22 +897,45 @@ def serve_file(
     except KeyboardInterrupt:
         pass
     finally:
-        session.close()
+        repository.close()
+
+
+def serve_file(
+    slog_path: str | Path, config: ServerConfig | None = None
+) -> None:
+    """Open a SLOG file and serve it until interrupted (the CLI's
+    single-trace mode)."""
+    config = config or ServerConfig()
+    _serve_blocking(repository_for_config(slog_path, config), config)
+
+
+def serve_repository(
+    root: str | Path, config: ServerConfig | None = None
+) -> None:
+    """Open (or create) a dataset registry rooted at ``root`` and serve it
+    until interrupted (the CLI's ``--repository`` mode)."""
+    config = config or ServerConfig()
+    _serve_blocking(repository_for_config(root, config, root=True), config)
 
 
 class ServerThread:
     """Run a :class:`TraceServer` on a background thread (tests, benchmarks).
 
-    ::
+    Accepts a SLOG path (served as the sole, default dataset) or a
+    :class:`~repro.repository.Repository`::
 
         with ServerThread(slog) as srv:
             client = ServeClient(f"http://127.0.0.1:{srv.port}")
     """
 
-    def __init__(self, slog_path: str | Path, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        target: "str | Path | Repository",
+        config: ServerConfig | None = None,
+    ) -> None:
         self.config = config or ServerConfig(port=0)
-        self.session = TraceSession(slog_path, cache_frames=self.config.cache_frames)
-        self.server = TraceServer(self.session, self.config)
+        self.repository = repository_for_config(target, self.config)
+        self.server = TraceServer(self.repository, self.config)
         self.port: int | None = None
         self._loop = asyncio.new_event_loop()
         self._ready = threading.Event()
@@ -659,7 +958,12 @@ class ServerThread:
         if self._thread.is_alive():
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10.0)
-        self.session.close()
+        self.repository.close()
+
+    @property
+    def session(self) -> TraceSession | None:
+        """The default dataset's session (single-trace compatibility)."""
+        return self.server.session
 
     @property
     def base_url(self) -> str:

@@ -40,44 +40,84 @@ class ServeResponse:
         return self.body.decode()
 
 
+#: Statuses the retry loop considers transient: saturation shedding and
+#: per-tenant quota pacing, both of which carry ``Retry-After``.
+_RETRYABLE = (503, 429)
+
+
 @dataclass
 class ServeClient:
-    """Blocking API client with transparent ETag revalidation."""
+    """Blocking API client with transparent ETag revalidation.
+
+    ``dataset`` selects a repository dataset (requests go to
+    ``/api/d/{dataset}/...``); without it the legacy un-prefixed routes —
+    the server's default dataset — are used.  ``tenant`` stamps every
+    request with the ``X-UTE-Tenant`` header the quota layer reads."""
 
     base_url: str
     timeout: float = 30.0
     use_etags: bool = True
-    #: Extra attempts after a 503 or a connection-level failure (0 = off,
-    #: so load tests still observe every rejection).
+    #: Extra attempts after a 503/429 or a connection-level failure (0 =
+    #: off, so load tests still observe every rejection).
     retries: int = 0
     #: First retry delay (seconds); doubles per attempt, capped at 2s.
     backoff: float = 0.05
+    dataset: str | None = None
+    tenant: str | None = None
     _etags: dict[str, str] = field(default_factory=dict, repr=False)
     _cache: dict[str, ServeResponse] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.base_url = self.base_url.rstrip("/")
 
+    @property
+    def api_base(self) -> str:
+        """Root of the per-dataset API this client talks to."""
+        if self.dataset:
+            return f"/api/d/{urllib.parse.quote(self.dataset)}"
+        return "/api"
+
+    def for_dataset(self, dataset: str | None) -> "ServeClient":
+        """A sibling client bound to another dataset (shared nothing)."""
+        return ServeClient(
+            self.base_url, timeout=self.timeout, use_etags=self.use_etags,
+            retries=self.retries, backoff=self.backoff,
+            dataset=dataset, tenant=self.tenant,
+        )
+
     # ------------------------------------------------------------- plumbing
 
-    def request(self, path: str, *, headers: dict[str, str] | None = None) -> ServeResponse:
-        """GET ``path`` (path + optional query, starting with ``/``).
+    def request(
+        self,
+        path: str,
+        *,
+        headers: dict[str, str] | None = None,
+        method: str = "GET",
+        body: bytes | None = None,
+    ) -> ServeResponse:
+        """Issue ``method path`` (path + optional query, starting ``/``).
 
         Non-2xx responses are returned, not raised.  With ETags enabled, a
         304 revalidation transparently yields the cached body (status stays
         304 so callers can count cheap hits).
 
-        With :attr:`retries` set, a 503 (saturated server) or a
-        connection-level failure is retried with exponential backoff —
-        honouring ``Retry-After`` when the server sends one — before the
-        last response (or error) is surfaced."""
+        With :attr:`retries` set, a 503 (saturated server), a 429 (tenant
+        over quota) or a connection-level failure is retried with
+        exponential backoff — honouring ``Retry-After`` when the server
+        sends one — before the last response (or error) is surfaced."""
         url = self.base_url + path
         send = dict(headers or {})
-        if self.use_etags and path in self._etags and "If-None-Match" not in send:
+        if self.tenant and "X-UTE-Tenant" not in send:
+            send["X-UTE-Tenant"] = self.tenant
+        cacheable = method == "GET"
+        if (
+            cacheable and self.use_etags and path in self._etags
+            and "If-None-Match" not in send
+        ):
             send["If-None-Match"] = self._etags[path]
         delay = self.backoff
         for attempt in range(self.retries + 1):
-            req = urllib.request.Request(url, headers=send, method="GET")
+            req = urllib.request.Request(url, data=body, headers=send, method=method)
             try:
                 with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                     response = ServeResponse(
@@ -86,7 +126,7 @@ class ServeClient:
                     )
             except urllib.error.HTTPError as exc:
                 # HTTPError is a URLError subclass: handle it first, as a
-                # response — only 503 is worth another attempt.
+                # response — only 503/429 are worth another attempt.
                 response = ServeResponse(
                     exc.code, {k.lower(): v for k, v in exc.headers.items()},
                     exc.read(),
@@ -97,7 +137,7 @@ class ServeClient:
                 time.sleep(min(delay, 2.0))
                 delay *= 2
                 continue
-            if response.status != 503 or attempt >= self.retries:
+            if response.status not in _RETRYABLE or attempt >= self.retries:
                 break
             retry_after = response.headers.get("retry-after")
             try:
@@ -106,10 +146,10 @@ class ServeClient:
                 wait = delay
             time.sleep(min(wait, 2.0))
             delay *= 2
-        if response.status == 200 and "etag" in response.headers:
+        if cacheable and response.status == 200 and "etag" in response.headers:
             self._etags[path] = response.headers["etag"]
             self._cache[path] = response
-        elif response.status == 304 and path in self._cache:
+        elif cacheable and response.status == 304 and path in self._cache:
             cached = self._cache[path]
             response = ServeResponse(304, response.headers, cached.body)
         return response
@@ -123,22 +163,22 @@ class ServeClient:
     # ------------------------------------------------------------- API calls
 
     def preview(self) -> dict:
-        return self.get_json("/api/preview")
+        return self.get_json(f"{self.api_base}/preview")
 
     def frames(self) -> dict:
-        return self.get_json("/api/frames")
+        return self.get_json(f"{self.api_base}/frames")
 
     def frame(self, index: int, *, view: str | None = None) -> dict:
-        path = f"/api/frame/{index}"
+        path = f"{self.api_base}/frame/{index}"
         if view:
             path += "?view=" + urllib.parse.quote(view)
         return self.get_json(path)
 
     def arrows(self, index: int) -> dict:
-        return self.get_json(f"/api/arrows/{index}")
+        return self.get_json(f"{self.api_base}/arrows/{index}")
 
     def view_svg(self, kind: str, t: float, *, width: int | None = None) -> str:
-        path = f"/api/view/{urllib.parse.quote(kind)}?t={t}"
+        path = f"{self.api_base}/view/{urllib.parse.quote(kind)}?t={t}"
         if width is not None:
             path += f"&width={width}"
         response = self.request(path)
@@ -146,9 +186,30 @@ class ServeClient:
             raise RuntimeError(f"GET {path} -> {response.status}: {response.text.strip()}")
         return response.text
 
-    def stats(self, table: str, *, format: str = "tsv") -> ServeResponse:
-        query = urllib.parse.urlencode({"table": table, "format": format})
-        return self.request(f"/api/stats?{query}")
+    def stats(self, table: str, *, format: str = "tsv", window: str | None = None) -> ServeResponse:
+        params = {"table": table, "format": format}
+        if window:
+            params["window"] = window
+        query = urllib.parse.urlencode(params)
+        return self.request(f"{self.api_base}/stats?{query}")
+
+    def query(self, params: dict[str, str]) -> ServeResponse:
+        """Run ``/api/.../query`` with raw query parameters."""
+        return self.request(f"{self.api_base}/query?" + urllib.parse.urlencode(params))
+
+    # ------------------------------------------------------------ repository
+
+    def datasets(self) -> dict:
+        """The repository's dataset listing (name, bytes, index state)."""
+        return self.get_json("/api/datasets")
+
+    def upload_dataset(self, name: str, data: bytes) -> ServeResponse:
+        """Register ``data`` (a SLOG file's bytes) as dataset ``name``."""
+        query = urllib.parse.urlencode({"name": name})
+        return self.request(
+            f"/api/datasets?{query}", method="POST", body=data,
+            headers={"Content-Type": "application/octet-stream"},
+        )
 
     def metrics(self) -> str:
         response = self.request("/metrics")

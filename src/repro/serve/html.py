@@ -19,8 +19,13 @@ from xml.sax.saxutils import escape
 from repro.viz.interactive import PAGE_CSS
 
 
-def server_page(title: str, view_kinds: tuple[str, ...]) -> str:
-    """The viewer page HTML for one served SLOG file."""
+def server_page(
+    title: str, view_kinds: tuple[str, ...], api_base: str = "/api"
+) -> str:
+    """The viewer page HTML for one served SLOG file.
+
+    ``api_base`` roots every lazy fetch — ``/api`` for the single-trace
+    default dataset, ``/api/d/<name>`` for a repository dataset."""
     options = "".join(
         f'<option value="{escape(k)}">{escape(k)}</option>' for k in view_kinds
     )
@@ -28,6 +33,50 @@ def server_page(title: str, view_kinds: tuple[str, ...]) -> str:
         _SERVER_PAGE.replace("__TITLE__", escape(title))
         .replace("__CSS__", PAGE_CSS)
         .replace("__KIND_OPTIONS__", options)
+        .replace("__API_BASE__", escape(api_base))
+    )
+
+
+def datasets_page(infos: list[dict], default: str | None) -> str:
+    """The repository landing page: every registered dataset, linked to
+    its viewer, with size / index / session state at a glance."""
+    rows = []
+    for info in infos:
+        name = str(info.get("name", ""))
+        badge = " (default)" if name == default else ""
+        rows.append(
+            "<tr>"
+            f'<td><a href="/d/{escape(name)}/">{escape(name)}</a>{badge}</td>'
+            f"<td>{int(info.get('bytes', 0)):,}</td>"
+            f"<td>{escape(str(info.get('index', '')))}</td>"
+            f"<td>{'open' if info.get('open') else 'idle'}</td>"
+            f"<td>{int(info.get('resident_bytes', 0)):,}</td>"
+            "</tr>"
+        )
+    body = (
+        "<table><thead><tr><th>dataset</th><th>bytes</th><th>index</th>"
+        "<th>session</th><th>resident bytes</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+        if rows
+        else "<p>No datasets registered yet. POST a SLOG file to "
+        "<code>/api/datasets?name=NAME</code>.</p>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html><head><meta charset="utf-8"><title>ute-serve datasets</title>\n'
+        "<style>\n"
+        "  body { font: 14px system-ui; margin: 24px; color: #0b0b0b; }\n"
+        "  table { border-collapse: collapse; }\n"
+        "  th, td { text-align: left; padding: 4px 14px 4px 0; "
+        "border-bottom: 1px solid #e8e7e4; }\n"
+        "  th { font-size: 12px; color: #52514e; }\n"
+        "</style></head>\n"
+        "<body><h1>ute-serve — datasets</h1>\n"
+        f"{body}\n"
+        '<p><a href="/metrics">metrics</a> &middot; '
+        '<a href="/api/datasets">listing (JSON)</a></p>\n'
+        "</body></html>\n"
     )
 
 
@@ -59,6 +108,7 @@ hover = details &nbsp; frames load lazily from the API</div></header>
 <div id="tip"></div>
 <script>
 "use strict";
+const API = "__API_BASE__";
 const ROW_H = 22, BAR_H = 14, LABEL_W = 200, AXIS_H = 26;
 const main = document.getElementById("main");
 const prev = document.getElementById("preview");
@@ -183,7 +233,7 @@ async function loadFrame(i) {
   if (i < 0 || i >= FRAMES.length) return;
   const kind = document.getElementById("kind").value;
   try {
-    FRAME = await getJSON(`/api/frame/${i}?view=${encodeURIComponent(kind)}`);
+    FRAME = await getJSON(`${API}/frame/${i}?view=${encodeURIComponent(kind)}`);
     frameIdx = i;
     drawFrame();
     drawPreview();
@@ -228,8 +278,8 @@ window.addEventListener("resize", () => { drawPreview(); drawFrame(); });
 
 (async () => {
   try {
-    PREVIEW = await getJSON("/api/preview");
-    const dir = await getJSON("/api/frames");
+    PREVIEW = await getJSON(API + "/preview");
+    const dir = await getJSON(API + "/frames");
     FRAMES = dir.frames;
     drawPreview();
     if (FRAMES.length) loadFrame(0);

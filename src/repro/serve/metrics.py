@@ -141,11 +141,36 @@ class Gauge:
         yield f"{self.name} {_fmt(float(self.fn()))}"
 
 
+class LabelledGauge:
+    """A gauge family sampled from one callback returning ``{label value:
+    number}`` at scrape time (e.g. resident cache bytes per dataset)."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelname: str,
+        fn: Callable[[], dict[str, float]],
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelname = labelname
+        self.fn = fn
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help_text}"
+        yield f"# TYPE {self.name} gauge"
+        sample = self.fn()
+        for key in sorted(sample):
+            labels = _labels_text((self.labelname,), (str(key),))
+            yield f"{self.name}{labels} {_fmt(float(sample[key]))}"
+
+
 class Registry:
     """An ordered collection of metrics, rendered as one text document."""
 
     def __init__(self) -> None:
-        self._metrics: list[Counter | Histogram | Gauge] = []
+        self._metrics: list[Counter | Histogram | Gauge | LabelledGauge] = []
 
     def counter(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> Counter:
         metric = Counter(name, help_text, labelnames)
@@ -161,6 +186,17 @@ class Registry:
 
     def gauge(self, name: str, help_text: str, fn: Callable[[], float]) -> Gauge:
         metric = Gauge(name, help_text, fn)
+        self._metrics.append(metric)
+        return metric
+
+    def labelled_gauge(
+        self,
+        name: str,
+        help_text: str,
+        labelname: str,
+        fn: Callable[[], dict[str, float]],
+    ) -> LabelledGauge:
+        metric = LabelledGauge(name, help_text, labelname, fn)
         self._metrics.append(metric)
         return metric
 

@@ -58,14 +58,27 @@ class FrameDecodeError(FormatError):
 
 
 class TraceSession:
-    """One SLOG file opened for serving: viewer + lock + ETag base."""
+    """One SLOG file opened for serving: viewer + lock + ETag base.
+
+    ``dataset`` names the repository dataset this session serves; it is
+    folded into every ETag so two datasets whose files happen to be
+    byte-identical (same mtime, same size) still produce distinct
+    validators — a client can never revalidate one dataset's frame
+    against another's.
+    """
 
     def __init__(
-        self, path: str | Path, *, cache_frames: int = DEFAULT_SERVER_CACHE
+        self,
+        path: str | Path,
+        *,
+        cache_frames: int = DEFAULT_SERVER_CACHE,
+        dataset: str | None = None,
     ) -> None:
         self.path = Path(path)
+        self.dataset = dataset
         stat = os.stat(self.path)
-        self.etag_base = f"{stat.st_mtime_ns}-{stat.st_size}"
+        prefix = f"{dataset}-" if dataset else ""
+        self.etag_base = f"{prefix}{stat.st_mtime_ns}-{stat.st_size}"
         self.viewer = Jumpshot(self.path, cache_frames=cache_frames)
         # The query layer's view of the same SlogFile: shares the byte
         # source and frame cache, adds the frame list the planner prunes.
@@ -288,6 +301,27 @@ class TraceSession:
     def frame_count(self) -> int:
         """Number of frames in the file."""
         return len(self.viewer.slog.frames)
+
+    # --------------------------------------------------- memory accounting
+    # The repository's global budget aggregates these across sessions.
+
+    def resident_bytes(self) -> int:
+        """Encoded bytes of the frames this session holds decoded."""
+        return self.viewer.slog.resident_bytes()
+
+    def cached_frames(self) -> int:
+        """Cache entries this session currently holds."""
+        return self.viewer.slog.cached_frames()
+
+    def shrink_cache(self, max_bytes: int) -> int:
+        """Drop LRU cached frames until at most ``max_bytes`` resident."""
+        return self.viewer.slog.shrink_cache(max_bytes)
+
+    def reload_index(self) -> None:
+        """Re-probe the sidecar index (a background build just published
+        one); queries planned after this call prune through it."""
+        with self.lock:
+            self.index, self.index_reason = load_fresh_index(self.path)
 
     # ------------------------------------------------------------ internals
 

@@ -314,6 +314,12 @@ class SlogFile:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        # Optional admission governor (set by a Repository sharing one
+        # memory budget across readers): reserve(nbytes) is called before
+        # a cache miss decodes, commit(nbytes) after the insert settles.
+        # Never invoked while _cache_lock is held — the governor may take
+        # other readers' cache locks to make room.
+        self.cache_governor = None
         # Serializes frame reads so one SlogFile can back many concurrent
         # server requests: both the LRU mutation and the byte source's
         # chunk cache need exclusion.
@@ -403,26 +409,76 @@ class SlogFile:
                 self._frame_cache.move_to_end(key)
                 self.cache_hits += 1
                 return list(cached)
-            self.cache_misses += 1
-            records = self._decode_frame(frame)
-            if self._cache_frames:
-                self._frame_cache[key] = records
-                while len(self._frame_cache) > self._cache_frames:
-                    self._frame_cache.popitem(last=False)
-                    self.cache_evictions += 1
-            return list(records)
+        governor = self.cache_governor if self._cache_frames else None
+        if governor is not None:
+            governor.reserve(frame.size)
+        try:
+            with self._cache_lock:
+                cached = self._frame_cache.get(key)
+                if cached is not None:  # raced with another decoder
+                    self._frame_cache.move_to_end(key)
+                    self.cache_hits += 1
+                    return list(cached)
+                self.cache_misses += 1
+                records = self._decode_frame(frame)
+                if self._cache_frames:
+                    self._frame_cache[key] = records
+                    while len(self._frame_cache) > self._cache_frames:
+                        self._frame_cache.popitem(last=False)
+                        self.cache_evictions += 1
+                return list(records)
+        finally:
+            if governor is not None:
+                governor.commit(frame.size)
 
     def stats(self) -> dict[str, int]:
         """Cache and IO accounting in the shared stats shape:
         ``{"hits", "misses", "evictions", "fetch_count", "bytes_fetched"}``,
-        extended with the salvage counters (zero in strict mode)."""
+        extended with ``resident_bytes`` (see :meth:`resident_bytes`) and
+        the salvage counters (zero in strict mode)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
+            "resident_bytes": self.resident_bytes(),
             **self.source.stats(),
             **salvage_stats(self.salvage),
         }
+
+    def resident_bytes(self) -> int:
+        """Encoded bytes of the frames currently cached (record + batch
+        caches).  Cache keys are ``(offset, size)``, so the resident
+        footprint falls straight out of them — this is the number a
+        multi-session memory budget aggregates."""
+        with self._cache_lock:
+            return sum(k[1] for k in self._frame_cache) + sum(
+                k[1] for k in self._batch_cache
+            )
+
+    def cached_frames(self) -> int:
+        """Entries currently held across both frame caches."""
+        with self._cache_lock:
+            return len(self._frame_cache) + len(self._batch_cache)
+
+    def shrink_cache(self, max_bytes: int) -> int:
+        """Evict least-recently-used cached frames until the resident
+        footprint is at most ``max_bytes``; returns the number of entries
+        dropped.  Each drop counts as a cache eviction."""
+        dropped = 0
+        with self._cache_lock:
+            resident = sum(k[1] for k in self._frame_cache) + sum(
+                k[1] for k in self._batch_cache
+            )
+            while resident > max_bytes and (self._frame_cache or self._batch_cache):
+                # Evict from whichever cache holds the older entry; with no
+                # cross-cache timestamps, alternate by preferring the record
+                # cache (the batch cache backs the hot columnar path).
+                cache = self._frame_cache if self._frame_cache else self._batch_cache
+                key, _ = cache.popitem(last=False)
+                resident -= key[1]
+                self.cache_evictions += 1
+                dropped += 1
+        return dropped
 
     def read_frame_batch(self, frame: SlogFrameEntry):
         """Decode one frame into a columnar :class:`~repro.query.columnar.
@@ -438,6 +494,24 @@ class SlogFile:
         with self._cache_lock:
             cached = self._batch_cache.get(key)
             if cached is not None:
+                self._batch_cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+        governor = self.cache_governor if self._cache_frames else None
+        if governor is not None:
+            governor.reserve(frame.size)
+        try:
+            return self._read_frame_batch_miss(frame, key)
+        finally:
+            if governor is not None:
+                governor.commit(frame.size)
+
+    def _read_frame_batch_miss(self, frame: SlogFrameEntry, key: tuple[int, int]):
+        from repro.query.columnar import batch_from_records, decode_frame_batch
+
+        with self._cache_lock:
+            cached = self._batch_cache.get(key)
+            if cached is not None:  # raced with another decoder
                 self._batch_cache.move_to_end(key)
                 self.cache_hits += 1
                 return cached

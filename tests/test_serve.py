@@ -178,7 +178,7 @@ class TestEndpoints:
         response = client.request("/")
         assert response.status == 200
         assert response.headers["content-type"].startswith("text/html")
-        assert "/api/preview" in response.text
+        assert 'const API = "/api"' in response.text
         assert "<canvas" in response.text
 
     def test_metrics(self, served):
