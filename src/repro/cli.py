@@ -4,7 +4,9 @@
 command        role
 =============  =============================================================
 ute-trace      run a built-in workload under tracing -> raw trace files
-ute-convert    raw trace files -> per-node interval files (+ profile)
+ute-convert    raw trace files -> per-node interval files (+ profile);
+               --to/--from translate one trace to/from Chrome trace-event
+               JSON or OTF2-style text (repro.interop)
 ute-merge      interval files -> one merged interval file
 slogmerge      interval files -> merged interval file + SLOG
 ute-stats      interval files + table program -> TSV tables (+ SVG viewer)
@@ -55,6 +57,8 @@ def _input_error(paths) -> str | None:
             return f"input file not found: {name}"
         if not os.access(path, os.R_OK):
             return f"input file not readable: {name}"
+        if path.stat().st_size == 0:
+            return f"input file is empty: {name}"
     return None
 
 
@@ -156,28 +160,135 @@ def main_trace(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _convert_export(args) -> int:
+    """``ute-convert --to``: one trace file out to a foreign format."""
+    from repro.interop import export_chrome_json, export_otf2_text
+
+    profile = _profile_for(args)
+    if args.to_fmt == "chrome-json":
+        result = export_chrome_json(args.raw[0], args.out, profile=profile)
+        summary = f"{result.records} interval records -> {result.events} trace events"
+    else:
+        result = export_otf2_text(args.raw[0], args.out, profile=profile)
+        summary = (
+            f"{result.records} interval records -> {result.events} events "
+            f"on {result.lines} lines"
+        )
+    print(result.out_path)
+    print(summary, file=sys.stderr)
+    return 0
+
+
+def _convert_import(args) -> int:
+    """``ute-convert --from``: one foreign file in to an interval file."""
+    from repro.interop import import_chrome_json, import_otf2_text
+
+    profile = _profile_for(args)
+    if args.from_fmt == "chrome-json":
+        result = import_chrome_json(
+            args.raw[0], args.out, profile=profile, errors=args.errors,
+            frame_bytes=args.frame_bytes,
+        )
+        summary = (
+            f"{result.events_total} trace events -> "
+            f"{result.records_written} interval records"
+            + (f" ({result.events_skipped} salvaged away)"
+               if result.events_skipped else "")
+        )
+    else:
+        result = import_otf2_text(
+            args.raw[0], args.out, profile=profile, errors=args.errors,
+            frame_bytes=args.frame_bytes,
+        )
+        salvage = result.salvage
+        repaired = (
+            salvage.malformed_lines + salvage.unmatched_leaves
+            + salvage.autoclosed_regions
+        )
+        summary = (
+            f"{salvage.events} events -> {result.records_written} interval records"
+            + (f" ({repaired} defects salvaged)" if repaired else "")
+        )
+    print(result.out_path)
+    print(summary, file=sys.stderr)
+    return 0
+
+
 def main_convert(argv: list[str] | None = None) -> int:
-    """Convert raw trace files into interval files."""
+    """Convert raw trace files into interval files, or translate one trace
+    to/from a foreign format (``--to`` / ``--from``)."""
     parser = argparse.ArgumentParser(
-        "ute-convert", description="Convert raw event traces to interval files."
+        "ute-convert",
+        description="Convert raw event traces to interval files, or "
+        "translate traces to/from foreign formats.",
     )
-    parser.add_argument("raw", nargs="+", help="raw trace files (one per node)")
-    parser.add_argument("-o", "--out", default="intervals", help="output directory")
+    parser.add_argument(
+        "raw", nargs="+",
+        help="raw trace files (one per node); with --to/--from, exactly one "
+        "trace or foreign-format file",
+    )
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="output directory (default: intervals); with --to/--from, the "
+        "output file (required)",
+    )
     parser.add_argument("--frame-bytes", type=int, default=32 * 1024)
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="convert node files in N parallel processes (output is "
         "byte-identical to the serial pass)",
     )
+    parser.add_argument(
+        "--to", dest="to_fmt", default=None,
+        choices=["chrome-json", "otf2-text"],
+        help="export one .ute/.slog file to a foreign format",
+    )
+    parser.add_argument(
+        "--from", dest="from_fmt", default=None,
+        choices=["chrome-json", "otf2-text"],
+        help="import one foreign-format file into a .ute interval file",
+    )
+    parser.add_argument(
+        "--errors", default="strict", choices=["strict", "salvage"],
+        help="--from only: fail on the first defect, or skip-and-count",
+    )
+    parser.add_argument("--profile", default=None, help="profile file (default: standard)")
     args = parser.parse_args(argv)
-    if (code := _usage_error("ute-convert", _input_error(args.raw))) is not None:
+
+    prog = "ute-convert"
+    if args.to_fmt and args.from_fmt:
+        return _usage_error(prog, "--to and --from are mutually exclusive")
+    if (code := _usage_error(prog, _input_error(args.raw))) is not None:
         return code
+    from repro.errors import ReproError
+
+    if args.to_fmt or args.from_fmt:
+        if len(args.raw) != 1:
+            return _usage_error(
+                prog, "--to/--from converts exactly one input file"
+            )
+        if args.out is None:
+            return _usage_error(
+                prog, "--to/--from needs an explicit -o OUTPUT file"
+            )
+        if (code := _usage_error(prog, _output_error(args.out))) is not None:
+            return code
+        try:
+            if args.to_fmt:
+                return _convert_export(args)
+            return _convert_import(args)
+        except ReproError as exc:
+            return _usage_error(prog, str(exc))
 
     from repro.utils.convert import convert_traces
 
-    result = convert_traces(
-        args.raw, args.out, frame_bytes=args.frame_bytes, jobs=args.jobs
-    )
+    try:
+        result = convert_traces(
+            args.raw, args.out or "intervals",
+            frame_bytes=args.frame_bytes, jobs=args.jobs,
+        )
+    except ReproError as exc:
+        return _usage_error(prog, str(exc))
     for path in result.interval_paths:
         print(path)
     print(

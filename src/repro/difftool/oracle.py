@@ -24,6 +24,12 @@ check                  the two paths compared
                        :class:`PiecewiseAdjustment` on constant-rate
                        clock-pair sets (they must agree within one tick
                        of rounding)
+``export_import_roundtrip``
+                       every foreign-format adapter pair (Chrome
+                       trace-event JSON, OTF2-style text): export ->
+                       import -> ``ute-diff`` against the original must
+                       be divergence-free modulo the adapter's declared
+                       mask (pseudo-records, frame boundaries)
 =====================  ====================================================
 
 A clean pipeline yields zero findings; any finding is a consistency bug.
@@ -370,6 +376,59 @@ def _check_stats_vs_serve(report: OracleReport, path: Path, profile) -> None:
         )
 
 
+def _check_export_import_roundtrip(report: OracleReport, path: Path, profile) -> None:
+    """Every foreign-format adapter must round-trip the trace without
+    divergence, modulo its declared mask.  Exports and reimports happen in
+    a temp directory (the oracle never writes next to the input)."""
+    import tempfile
+
+    from repro.difftool.differ import diff_traces
+    from repro.interop import (
+        CHROME_ROUNDTRIP_CONFIG,
+        OTF2_ROUNDTRIP_CONFIG,
+        export_chrome_json,
+        export_otf2_text,
+        import_chrome_json,
+        import_otf2_text,
+    )
+    from repro.query.trace import open_trace
+
+    report.checks.append("export_import_roundtrip")
+    with open_trace(path, profile) as handle:
+        # Imported files are written against the original's own profile so
+        # the differ's version check compares like against like.
+        trace_profile = handle.profile
+    with tempfile.TemporaryDirectory(prefix="ute-oracle-") as tmp:
+        tmp_path = Path(tmp)
+        adapters = (
+            (
+                "chrome-json",
+                tmp_path / "export.json",
+                export_chrome_json,
+                import_chrome_json,
+                CHROME_ROUNDTRIP_CONFIG,
+            ),
+            (
+                "otf2-text",
+                tmp_path / "export.txt",
+                export_otf2_text,
+                import_otf2_text,
+                OTF2_ROUNDTRIP_CONFIG,
+            ),
+        )
+        for name, foreign, exporter, importer, config in adapters:
+            reimported = tmp_path / f"reimport-{name}.ute"
+            exporter(path, foreign, profile=profile)
+            importer(foreign, reimported, profile=trace_profile)
+            diff = diff_traces(path, reimported, config, profile=trace_profile)
+            if not diff.identical:
+                report.add(
+                    _divergence_finding(
+                        "export_import_roundtrip", f"{path} via {name}", diff
+                    )
+                )
+
+
 #: Constant-rate clock-pair scenarios for the adjuster parity check:
 #: (ratio, global origin, local origin) — drift-free, fast, and slow clocks.
 ADJUST_SCENARIOS = ((1.0, 0, 0), (0.5, 1_000, 40), (2.0, 77, 123), (0.999, 5, 5))
@@ -439,6 +498,7 @@ def run_oracle(
         _check_indexed_vs_full(report, path, profile)
         _check_columnar_vs_record(report, path, profile)
         _check_dump_vs_query(report, path, profile)
+        _check_export_import_roundtrip(report, path, profile)
     if kind == "slog" and serve:
         _check_stats_vs_serve(report, path, profile)
     _check_adjust_parity(report)

@@ -1,0 +1,72 @@
+"""Foreign-format interop: Chrome trace-event JSON and OTF2-style text.
+
+Two adapter families connect the pipeline to the outside world:
+
+* :mod:`repro.interop.chrome` — export ``.ute``/``.slog`` traces to the
+  Chrome trace-event JSON format (openable in Perfetto and
+  ``chrome://tracing``) with a streaming, frame-at-a-time writer, and
+  import such files back into interval files.
+* :mod:`repro.interop.otf2text` — export to and import from OTF2-style
+  text event streams (the ``otf2-print`` dialect: ENTER/LEAVE/SEND/RECV
+  lines with per-location region stacks).
+
+Every adapter is proven by the ``export_import_roundtrip`` oracle check:
+export → import → ``ute-diff`` must be divergence-free modulo the
+*declared field masks* below.  The masks say exactly what an adapter is
+allowed to lose:
+
+* **pseudo-records** — the merge's injected continuation records exist to
+  make frames self-contained; foreign formats have no frames, so exports
+  skip them (``ignore_pseudo`` drops them from the original side too);
+* **frame boundaries** — both foreign formats are frame-less; the
+  importer re-frames freely.
+
+Everything else — types, bebits, exact tick timestamps, thread identity,
+message fields, vector fields, ``localStart`` — must survive unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.difftool.differ import DiffConfig
+
+#: Declared loss mask of the Chrome JSON round trip: pseudo-records only.
+#: Tick timestamps travel as exact integers in ``args`` (``startTicks`` /
+#: ``durTicks``), so no time slack and no field exclusions are needed.
+CHROME_ROUNDTRIP_CONFIG = DiffConfig(ignore_pseudo=True)
+
+#: Declared loss mask of the OTF2-text round trip: pseudo-records only.
+#: Record fields travel in ``ADDITIONAL ATTRIBUTES`` lines with exact
+#: integer values.
+OTF2_ROUNDTRIP_CONFIG = DiffConfig(ignore_pseudo=True)
+
+from repro.interop.chrome import (  # noqa: E402
+    ChromeExportResult,
+    ChromeImportResult,
+    export_chrome_json,
+    import_chrome_json,
+    iter_chrome_chunks,
+)
+from repro.interop.otf2text import (  # noqa: E402
+    Otf2ExportResult,
+    Otf2ImportResult,
+    TextSalvageReport,
+    export_otf2_text,
+    import_otf2_text,
+    iter_otf2_chunks,
+)
+
+__all__ = [
+    "CHROME_ROUNDTRIP_CONFIG",
+    "OTF2_ROUNDTRIP_CONFIG",
+    "ChromeExportResult",
+    "ChromeImportResult",
+    "Otf2ExportResult",
+    "Otf2ImportResult",
+    "TextSalvageReport",
+    "export_chrome_json",
+    "import_chrome_json",
+    "iter_chrome_chunks",
+    "export_otf2_text",
+    "import_otf2_text",
+    "iter_otf2_chunks",
+]

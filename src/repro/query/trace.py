@@ -33,6 +33,10 @@ class TraceFrame:
     n_records: int
     start_time: int
     end_time: int
+    #: Leading pseudo (continuation) records of the frame.  SLOG frame
+    #: entries carry the exact count; interval frames have none at this
+    #: level (the merge's injected records are recognized structurally).
+    n_pseudo: int = 0
 
     def overlaps(self, t0: int | None, t1: int | None) -> bool:
         """Whether the frame's time range intersects the (closed) window."""
@@ -54,7 +58,8 @@ class TraceHandle:
             self.ticks_per_sec = reader.ticks_per_sec
         self.frames = [
             TraceFrame(
-                i, e.offset, e.size, e.n_records, e.start_time, e.end_time
+                i, e.offset, e.size, e.n_records, e.start_time, e.end_time,
+                getattr(e, "n_pseudo", 0),
             )
             for i, e in enumerate(entries)
         ]
@@ -75,6 +80,18 @@ class TraceHandle:
     def source(self):
         """The underlying byte source (for fetch accounting)."""
         return self._reader.source
+
+    @property
+    def field_mask(self) -> int:
+        """The file's field-selection mask."""
+        if self.kind == "interval":
+            return self._reader.header.field_mask
+        return self._reader.field_mask
+
+    @property
+    def node_cpus(self):
+        """The node table: node id -> CPU count."""
+        return self._reader.node_cpus
 
     def read_frame(self, ordinal: int) -> list[IntervalRecord]:
         """Decode frame ``ordinal`` (LRU-cached by the underlying reader)."""

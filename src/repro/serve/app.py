@@ -22,6 +22,9 @@ endpoint                            returns
 ``GET /api/d/{ds}/stats?table=...`` a statlang table run server-side;
                                     ``?window=T0:T1`` prunes via the index
 ``GET /api/d/{ds}/query``           an indexed query with plan + IO stats
+``GET /api/d/{ds}/export/chrome``   the trace as Chrome trace-event JSON
+                                    (Perfetto-openable), streamed with
+                                    chunked transfer coding
 ``GET /api/*``                      the same API, aliased to the default
                                     dataset (single-trace compatibility)
 ``GET /metrics``                    Prometheus-style counters
@@ -57,7 +60,7 @@ import time
 import urllib.parse
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import FormatError, StatsError
 from repro.repository import (
@@ -163,6 +166,11 @@ class Response:
     body: bytes = b""
     content_type: str = "application/json"
     headers: dict[str, str] | None = None
+    #: Incremental body: an iterator of byte chunks sent with chunked
+    #: transfer coding instead of ``body``.  The writer consumes it on the
+    #: executor (chunk production may decode frames) and always closes it,
+    #: so a generator's ``finally`` is the place to pin resources.
+    stream: Iterator[bytes] | None = field(default=None, repr=False)
 
     @classmethod
     def json(cls, payload: Any, status: int = 200) -> "Response":
@@ -522,6 +530,17 @@ class TraceServer:
                 raise _HttpError(504, "request timed out") from None
             finally:
                 self._active -= 1
+            if response.stream is not None and request.session is not None:
+                # Streaming responses read the session while the body goes
+                # out: hand the pin to the stream wrapper, which releases
+                # exactly once when the writer exhausts or closes it (a
+                # plain generator would skip its finally if closed before
+                # the first chunk — e.g. a HEAD request).
+                dataset = request.dataset
+                response.stream = _SessionStream(
+                    response.stream, lambda: self.repository.release(dataset)
+                )
+                request.session = None
         finally:
             if request.session is not None:
                 # The request boundary: unpin and let the budget close any
@@ -614,6 +633,8 @@ class TraceServer:
                 ).encode()
             ).hexdigest()[:16]
             return "/query", self._h_query, tag
+        if segs == ["export", "chrome"]:
+            return "/export/chrome", self._h_export_chrome, "export-chrome"
         return "", None, None
 
     @staticmethod
@@ -700,6 +721,14 @@ class TraceServer:
 
     def _h_arrows(self, request: Request, index: int) -> Response:
         return Response.json(request.session.arrows_payload(index))
+
+    def _h_export_chrome(self, request: Request) -> Response:
+        """``/export/chrome``: the dataset as Chrome trace-event JSON,
+        streamed incrementally (chunked) so the whole trace is never
+        materialized server-side."""
+        response = Response(200, b"", "application/json")
+        response.stream = request.session.export_chrome_chunks()
+        return response
 
     def _h_view(self, request: Request, kind: str) -> Response:
         if "t" not in request.query:
@@ -840,9 +869,18 @@ class TraceServer:
         self, writer: asyncio.StreamWriter, response: Response, *, head_only: bool = False
     ) -> None:
         reason = _REASONS.get(response.status, "Unknown")
+        streaming = (
+            response.stream is not None
+            and not head_only
+            and response.status != 304
+        )
         headers = {
             "Content-Type": response.content_type,
-            "Content-Length": str(len(response.body)),
+            **(
+                {"Transfer-Encoding": "chunked"}
+                if streaming
+                else {"Content-Length": str(len(response.body))}
+            ),
             "Connection": "close",
             **(response.headers or {}),
         }
@@ -852,9 +890,78 @@ class TraceServer:
             f"{k}: {v}\r\n" for k, v in headers.items()
         ) + "\r\n"
         writer.write(head.encode("latin-1"))
+        if streaming:
+            await self._write_chunked(writer, response.stream)
+            return
+        if response.stream is not None:
+            # HEAD or 304 never consumes the body: close the generator so
+            # whatever it pins (the dataset session) is let go now.
+            _close_stream(response.stream)
         if not head_only and response.status != 304:
             writer.write(response.body)
         await writer.drain()
+
+    async def _write_chunked(
+        self, writer: asyncio.StreamWriter, stream: Iterator[bytes]
+    ) -> None:
+        """Send a stream as chunked transfer coding, pulling each chunk on
+        the executor (producing one may decode frames).  A mid-stream
+        producer error truncates the chunked body without the terminating
+        chunk, so clients can tell a partial payload from a complete one."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                chunk = await loop.run_in_executor(None, next, stream, None)
+                if chunk is None:
+                    writer.write(b"0\r\n\r\n")
+                    await writer.drain()
+                    return
+                if not chunk:
+                    continue
+                writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                await writer.drain()
+        except ConnectionError:
+            raise
+        except Exception:
+            log.exception("streaming response aborted mid-body")
+        finally:
+            _close_stream(stream)
+
+
+def _close_stream(stream: Iterator[bytes]) -> None:
+    close = getattr(stream, "close", None)
+    if close is not None:
+        close()
+
+
+class _SessionStream:
+    """A byte-chunk iterator that runs a release callback exactly once —
+    on exhaustion, on error, or on close, even a close before the first
+    chunk was pulled."""
+
+    def __init__(self, stream: Iterator[bytes], release: Callable[[], None]) -> None:
+        self._stream = stream
+        self._release = release
+        self._done = False
+
+    def __iter__(self) -> "_SessionStream":
+        return self
+
+    def __next__(self) -> bytes:
+        try:
+            return next(self._stream)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        try:
+            _close_stream(self._stream)
+        finally:
+            self._release()
 
 
 # ---------------------------------------------------------------------------

@@ -197,6 +197,11 @@ class ServeClient:
         """Run ``/api/.../query`` with raw query parameters."""
         return self.request(f"{self.api_base}/query?" + urllib.parse.urlencode(params))
 
+    def export_chrome(self) -> ServeResponse:
+        """The whole trace as Chrome trace-event JSON (chunked transfer;
+        ``urllib`` reassembles the chunks, ETag revalidation applies)."""
+        return self.request(f"{self.api_base}/export/chrome")
+
     # ------------------------------------------------------------ repository
 
     def datasets(self) -> dict:

@@ -263,6 +263,17 @@ class TraceSession:
                 "executor": executor,
             }
 
+    def export_chrome_chunks(self):
+        """The trace as Chrome trace-event JSON, one byte chunk at a time
+        (``/api/export/chrome``).  The iterator takes the session lock per
+        frame — never across the whole export — so concurrent requests
+        interleave with a long-running export instead of stalling behind
+        it."""
+        from repro.interop import iter_chrome_chunks
+
+        name = self.dataset or self.path.name
+        return iter_chrome_chunks(self.handle, source_name=name, lock=self.lock)
+
     @staticmethod
     def query_tsv(payload: dict[str, Any]) -> str:
         """Render a :meth:`query_payload` result as TSV (header + rows)."""

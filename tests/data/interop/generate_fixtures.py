@@ -1,0 +1,193 @@
+"""Regenerate the interop golden fixtures (deterministic).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/interop/generate_fixtures.py
+
+Produces, next to this script:
+
+==========================  ===============================================
+``golden.ute``              a small hand-verifiable interval file covering
+                            every record shape the adapters must carry
+                            (plain states, a send/recv pair, a Waitall
+                            seqnos vector, markers, IO, a zero-duration
+                            interval, and a BEGIN/CONT/END piece chain)
+``golden.chrome.json``      its Chrome trace-event export
+``golden.otf2.txt``         its OTF2-style text export
+``foreign.chrome.json``     a hand-written foreign Chrome trace (no
+                            otherData block, float timestamps)
+``foreign.otf2.txt``        a hand-written foreign OTF2-style stream with
+                            nesting and unknown event types
+``salvage.otf2.txt``        the foreign stream plus injected defects, for
+                            pinning salvage counters
+``manifest.json``           exact record/event counts for every file
+==========================  ===============================================
+
+Everything is derived from fixed literals — no randomness, no clocks — so
+a rerun is byte-stable and any diff in review is a real behavior change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.fields import MASK_ALL_MERGED
+from repro.core.profilefmt import standard_profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.core.writer import IntervalFileWriter
+from repro.interop import export_chrome_json, export_otf2_text, import_otf2_text
+
+HERE = Path(__file__).resolve().parent
+PROFILE = standard_profile()
+
+R = IntervalRecord
+C, B, K, E = BeBits.COMPLETE, BeBits.BEGIN, BeBits.CONTINUATION, BeBits.END
+SEND = IntervalType.for_mpi_fn(0)       # MPI_Send
+RECV = IntervalType.for_mpi_fn(1)       # MPI_Recv
+WAITALL = IntervalType.for_mpi_fn(8)    # MPI_Waitall
+
+#: The golden records, in ascending end-time order.  Times are plain
+#: ticks at 1 GHz; every adapter-relevant shape appears at least once.
+GOLDEN_RECORDS = [
+    # An interrupted Running state: BEGIN / CONTINUATION / END pieces.
+    R(IntervalType.RUNNING, B, 0, 1_000, 0, 0, 0, {}),
+    R(IntervalType.RUNNING, K, 1_500, 500, 0, 0, 0, {}),
+    # A zero-duration interval (legal; must survive both formats).
+    R(IntervalType.IO, C, 1_800, 0, 0, 0, 0, {"addr": 64}),
+    # A send/recv pair across nodes, matched by seqno 9.
+    R(SEND, C, 1_000, 1_200, 0, 1, 0,
+      {"peer": 1, "tag": 42, "msgSizeSent": 8_192, "seqno": 9, "addr": 4096}),
+    R(RECV, C, 900, 1_500, 1, 0, 0,
+      {"peer": 0, "tag": 42, "msgSizeRecv": 8_192, "seqno": 9, "addr": 4096}),
+    R(IntervalType.RUNNING, E, 2_000, 500, 0, 0, 0, {}),
+    # Overlapping marker on the same thread as the Running pieces.
+    R(IntervalType.MARKER, C, 200, 2_400, 0, 0, 0,
+      {"markerId": 7, "beginAddr": 1 << 40, "endAddr": (1 << 40) + 8}),
+    # A Waitall completing two receives at once (vector field).
+    R(WAITALL, C, 2_500, 300, 1, 0, 0, {"seqnos": [11, 12], "addr": 0}),
+    R(IntervalType.PAGEFAULT, C, 2_850, 10, 1, 0, 1, {"addr": 1 << 20}),
+]
+
+GOLDEN_THREADS = ThreadTable([
+    ThreadEntry(0, 4_001, 9_001, 0, 0, 0, "rank0"),
+    ThreadEntry(1, 4_002, 9_002, 1, 0, 0, "rank1"),
+    ThreadEntry(-1, 4_002, 9_003, 1, 1, 1, "worker"),
+])
+
+FOREIGN_CHROME = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 7,
+         "args": {"name": "solver"}},
+        {"name": "compute", "cat": "app", "ph": "X", "pid": 7, "tid": 70,
+         "ts": 1.5, "dur": 10.0, "args": {}},
+        {"name": "MPI_Send", "cat": "mpi", "ph": "X", "pid": 7, "tid": 70,
+         "ts": 12.0, "dur": 3.25, "args": {"peer": 1}},
+        {"name": "compute", "cat": "app", "ph": "X", "pid": 8, "tid": 80,
+         "ts": 2.0, "dur": 9.5, "args": {}},
+        # A counter event the importer must skip (not an X phase).
+        {"name": "mem", "ph": "C", "pid": 7, "ts": 5.0,
+         "args": {"resident": 123}},
+    ],
+}
+
+FOREIGN_OTF2 = """\
+# a foreign otf2-print-style stream: two locations, nested regions,
+# unknown event types, no ute:: attributes anywhere
+ENTER 0 100 Region: "main"
+ENTER 0 250 Region: "MPI_Send"
+MPI_SEND 0 260 Receiver: 1, Tag: 3, Length: 64
+LEAVE 0 400 Region: "MPI_Send"
+METRIC 0 410 Value: 17
+ENTER 1 120 Region: "main"
+LEAVE 1 480 Region: "main"
+LEAVE 0 500 Region: "main"
+"""
+
+#: The foreign stream with injected defects: a malformed line, a LEAVE
+#: that matches nothing, and a truncated (never-left) region.
+SALVAGE_OTF2 = FOREIGN_OTF2 + """\
+this line is not an event at all
+LEAVE 1 600 Region: "never_entered"
+ENTER 0 700 Region: "truncated_phase"
+"""
+
+
+def main() -> None:
+    golden = HERE / "golden.ute"
+    with IntervalFileWriter(
+        golden, PROFILE, GOLDEN_THREADS, markers={7: "timestep"},
+        node_cpus={0: 2, 1: 2}, field_mask=MASK_ALL_MERGED,
+        frame_bytes=512, ticks_per_sec=1e9,
+    ) as writer:
+        for record in sorted(GOLDEN_RECORDS, key=lambda r: r.end):
+            writer.write(record)
+
+    chrome = export_chrome_json(golden, HERE / "golden.chrome.json")
+    otf2 = export_otf2_text(golden, HERE / "golden.otf2.txt")
+
+    (HERE / "foreign.chrome.json").write_text(
+        json.dumps(FOREIGN_CHROME, indent=1) + "\n"
+    )
+    (HERE / "foreign.otf2.txt").write_text(FOREIGN_OTF2)
+    (HERE / "salvage.otf2.txt").write_text(SALVAGE_OTF2)
+
+    foreign_result = import_otf2_text(
+        HERE / "foreign.otf2.txt", HERE / "_probe.ute", errors="strict"
+    )
+    salvage_result = import_otf2_text(
+        HERE / "salvage.otf2.txt", HERE / "_probe.ute", errors="salvage"
+    )
+    (HERE / "_probe.ute").unlink()
+
+    manifest = {
+        "golden.ute": {
+            "kind": "interval",
+            "records": len(GOLDEN_RECORDS),
+            "pseudo_records": 0,
+            "threads": len(GOLDEN_THREADS),
+            "markers": 1,
+        },
+        "golden.chrome.json": {
+            "kind": "chrome-json",
+            "source": "golden.ute",
+            "x_events": chrome.records,
+            "events_total": chrome.events,
+        },
+        "golden.otf2.txt": {
+            "kind": "otf2-text",
+            "source": "golden.ute",
+            "records": otf2.records,
+            "events": otf2.events,
+            "lines": otf2.lines,
+        },
+        "foreign.chrome.json": {
+            "kind": "chrome-json",
+            "source": "hand-written",
+            "x_events": 3,
+            "events_total": len(FOREIGN_CHROME["traceEvents"]),
+        },
+        "foreign.otf2.txt": {
+            "kind": "otf2-text",
+            "source": "hand-written",
+            "records": foreign_result.records_written,
+            "salvage": foreign_result.salvage.as_dict(),
+        },
+        "salvage.otf2.txt": {
+            "kind": "otf2-text",
+            "source": "hand-written",
+            "records": salvage_result.records_written,
+            "salvage": salvage_result.salvage.as_dict(),
+        },
+    }
+    (HERE / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    for name, info in manifest.items():
+        print(f"{name}: {info}")
+
+
+if __name__ == "__main__":
+    main()
