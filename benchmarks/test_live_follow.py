@@ -1,0 +1,190 @@
+"""Latency benchmark for live follow mode (``repro.live``).
+
+Measures the append-to-notification path end to end: a writer calls
+``publish()`` and a follower's poll loop surfaces the new epoch.  Four
+concurrent writers each feed two followers (4 writers x 8 followers, the
+multi-run dashboard scenario), and the observed publish->event latency
+is pinned against a budget derived from the follower poll interval.
+
+Exactly-once delivery is asserted alongside the latency numbers: every
+follower must see every epoch exactly once, in order, and end on the
+``"final"`` event with the complete non-pseudo record stream.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import report
+from repro.core import standard_profile
+from repro.core.fields import MASK_ALL_MERGED
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.live import FollowReader, LiveSlogWriter
+
+N_WRITERS = 4
+FOLLOWERS_PER_WRITER = 2
+N_EPOCHS = 12
+RECORDS_PER_EPOCH = 25
+PUBLISH_GAP_S = 0.05
+POLL_INTERVAL_S = 0.01
+
+# The follower discovers an epoch at most one poll interval after the
+# publish, plus scheduling noise from 12 concurrent threads.  The budget
+# pins the whole path — fsync, atomic republish, stat, manifest read,
+# frame decode — well under interactive latency.
+BUDGET_P50_S = 0.15
+BUDGET_P95_S = 0.60
+
+PROFILE = standard_profile()
+
+
+def _table() -> ThreadTable:
+    return ThreadTable([ThreadEntry(0, 100, 5000, 0, 0, 0, "rank-0")])
+
+
+def _running(start: int, dura: int) -> IntervalRecord:
+    return IntervalRecord(
+        IntervalType.RUNNING, BeBits.COMPLETE, start, dura, 0, 0, 0
+    )
+
+
+def _writer_script(path, publish_ts: dict, lock: threading.Lock,
+                   ready: threading.Event, go: threading.Event) -> None:
+    """Publish N_EPOCHS epochs at a steady cadence, stamping each one."""
+    writer = LiveSlogWriter(
+        path, PROFILE, _table(),
+        field_mask=MASK_ALL_MERGED, frame_bytes=512,
+    )
+    try:
+        ready.set()
+        go.wait(timeout=30.0)
+        t = 0
+        for _ in range(N_EPOCHS):
+            for _ in range(RECORDS_PER_EPOCH):
+                writer.write(_running(t, 40))
+                t += 100
+            seq = writer.publish(seal=True)
+            with lock:
+                publish_ts[(path.name, seq)] = time.monotonic()
+            time.sleep(PUBLISH_GAP_S)
+    finally:
+        writer.close()
+
+
+def _follower_script(path, arrivals: list, lock: threading.Lock,
+                     outcome: dict, key: str) -> None:
+    """Record (epoch seq, arrival time) for every event until final."""
+    seen: list[int] = []
+    n_records = 0
+    n_pseudo = 0
+    saw_final = False
+    with FollowReader(
+        path, poll_interval=POLL_INTERVAL_S, connect_timeout=10.0
+    ) as follower:
+        for event in follower.events(timeout=30.0):
+            now = time.monotonic()
+            if event.kind == "epoch":
+                seen.append(event.seq)
+                with lock:
+                    arrivals.append((path.name, event.seq, now))
+            elif event.kind == "final":
+                saw_final = True
+            n_records += len(event.records)
+            n_pseudo += event.n_pseudo
+    with lock:
+        outcome[key] = {
+            "seqs": seen,
+            "final": saw_final,
+            "nonpseudo": n_records - n_pseudo,
+        }
+
+
+def test_live_follow_notification_latency(workspace):
+    root = workspace / "live-follow"
+    root.mkdir()
+    paths = [root / f"run-{i}.slog" for i in range(N_WRITERS)]
+
+    lock = threading.Lock()
+    publish_ts: dict = {}
+    arrivals: list = []
+    outcome: dict = {}
+    go = threading.Event()
+
+    writer_threads = []
+    readies = []
+    for path in paths:
+        ready = threading.Event()
+        readies.append(ready)
+        writer_threads.append(threading.Thread(
+            target=_writer_script, args=(path, publish_ts, lock, ready, go),
+        ))
+    follower_threads = [
+        threading.Thread(
+            target=_follower_script,
+            args=(path, arrivals, lock, outcome, f"{path.name}#{j}"),
+        )
+        for path in paths
+        for j in range(FOLLOWERS_PER_WRITER)
+    ]
+
+    for t in writer_threads:
+        t.start()
+    for ready in readies:
+        assert ready.wait(timeout=30.0), "writer failed to open its container"
+    # Followers attach to the already-published epoch 0, before any data.
+    for t in follower_threads:
+        t.start()
+    t0 = time.monotonic()
+    go.set()
+    for t in writer_threads + follower_threads:
+        t.join(timeout=120.0)
+        assert not t.is_alive(), "benchmark thread hung"
+    elapsed = time.monotonic() - t0
+
+    # Exactly-once, in-order, complete delivery per follower.
+    assert len(outcome) == N_WRITERS * FOLLOWERS_PER_WRITER
+    expected_nonpseudo = N_EPOCHS * RECORDS_PER_EPOCH
+    for key, got in outcome.items():
+        assert got["final"], f"{key}: never saw the final event"
+        assert got["seqs"] == sorted(set(got["seqs"])), (
+            f"{key}: epoch seqs not strictly monotonic: {got['seqs']}"
+        )
+        assert got["nonpseudo"] == expected_nonpseudo, (
+            f"{key}: delivered {got['nonpseudo']} non-pseudo records, "
+            f"expected {expected_nonpseudo}"
+        )
+
+    # Publish -> notification latency, across every (follower, epoch) pair.
+    samples = []
+    for name, seq, arrived in arrivals:
+        published = publish_ts.get((name, seq))
+        if published is not None:  # the final epoch may merge into "final"
+            samples.append(arrived - published)
+    assert len(samples) >= N_WRITERS * FOLLOWERS_PER_WRITER * (N_EPOCHS - 2), (
+        f"too few latency samples: {len(samples)}"
+    )
+    samples.sort()
+    p50 = statistics.median(samples)
+    p95 = samples[int(0.95 * (len(samples) - 1))]
+    worst = samples[-1]
+
+    assert p50 <= BUDGET_P50_S, (
+        f"follow p50 {p50 * 1e3:.1f}ms over budget {BUDGET_P50_S * 1e3:.0f}ms"
+    )
+    assert p95 <= BUDGET_P95_S, (
+        f"follow p95 {p95 * 1e3:.1f}ms over budget {BUDGET_P95_S * 1e3:.0f}ms"
+    )
+    report(
+        "", "LIVE — follow notification latency "
+        f"({N_WRITERS} writers x {N_WRITERS * FOLLOWERS_PER_WRITER} followers, "
+        f"{N_EPOCHS} epochs each, poll {POLL_INTERVAL_S * 1e3:.0f}ms)",
+        f"  publish->event latency over {len(samples)} samples: "
+        f"p50 {p50 * 1e3:.1f}ms  p95 {p95 * 1e3:.1f}ms  max {worst * 1e3:.1f}ms"
+        f"  (budget p50<={BUDGET_P50_S * 1e3:.0f}ms p95<={BUDGET_P95_S * 1e3:.0f}ms)",
+        f"  all {N_WRITERS * FOLLOWERS_PER_WRITER} followers: exactly-once, "
+        f"in-order, {expected_nonpseudo} records delivered, final seen; "
+        f"wall {elapsed:.2f}s",
+    )

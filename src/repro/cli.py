@@ -21,6 +21,10 @@ ute-diff       two trace artifacts -> semantic record-by-record divergence
                report (exit 0 identical / 1 divergent / 2 usage)
 ute-oracle     trace artifacts -> pipeline-consistency findings (every
                equivalent read-path pair must agree)
+ute-tail       live trace (TRACE.live/ container or a ute-serve /follow
+               stream) -> one line per published epoch until finalization;
+               --out re-emits the followed records for ute-diff
+
 =============  =============================================================
 
 Each ``main_*`` function doubles as a console-script entry point and a
@@ -124,7 +128,34 @@ def main_trace(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--out", default="trace-out", help="output directory")
     parser.add_argument("--rounds", type=int, default=None, help="synthetic rounds")
     parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument(
+        "--live", default=None, metavar="TRACE",
+        help="additionally replay the run through the live pipeline: "
+        "convert+merge, then stream the records into TRACE's live "
+        "container paced over --live-duration seconds (follow it with "
+        "ute-tail or a ute-serve /follow endpoint); TRACE is assembled "
+        "as an ordinary trace when the replay finishes",
+    )
+    parser.add_argument(
+        "--live-duration", type=float, default=2.0, metavar="S",
+        help="wall-clock seconds the live replay is paced over",
+    )
+    parser.add_argument(
+        "--live-interval", type=float, default=0.1, metavar="S",
+        help="seconds between published live epochs",
+    )
+    parser.add_argument(
+        "--live-flavor", choices=["slog", "interval"], default="slog",
+        help="format of the assembled trace (and the live frames)",
+    )
     args = parser.parse_args(argv)
+    if args.live is not None:
+        if (code := _usage_error("ute-trace", _output_error(args.live))) is not None:
+            return code
+        if Path(args.live).exists():
+            return _usage_error(
+                "ute-trace", f"--live target already exists: {args.live}"
+            ) or 2
 
     from repro.workloads import (
         run_flash,
@@ -157,6 +188,18 @@ def main_trace(argv: list[str] | None = None) -> int:
     for path in run.raw_paths:
         print(path)
     print(f"simulated {run.elapsed_ns / 1e9:.4f}s", file=sys.stderr)
+    if args.live is not None:
+        from repro.workloads.harness import live_replay_run
+
+        final = live_replay_run(
+            run,
+            args.live,
+            duration_s=args.live_duration,
+            publish_interval_s=args.live_interval,
+            flavor=args.live_flavor,
+        )
+        print(final)
+        print(f"live replay finished: {final}", file=sys.stderr)
     return 0
 
 
@@ -1167,8 +1210,13 @@ def main_serve(argv: list[str] | None = None) -> int:
             "ute-serve", "pass exactly one of a SLOG file or --repository ROOT"
         ) or 2
     if args.slog is not None:
-        if (code := _usage_error("ute-serve", _input_error([args.slog]))) is not None:
-            return code
+        from repro.live import has_live_container
+
+        # A not-yet-assembled live trace (its .live/ container exists) is
+        # servable: the follow endpoints stream it as it grows.
+        if not (not Path(args.slog).exists() and has_live_container(args.slog)):
+            if (code := _usage_error("ute-serve", _input_error([args.slog]))) is not None:
+                return code
 
     overrides: dict[str, float] = {}
     for item in args.quota_overrides:
@@ -1219,6 +1267,176 @@ def main_serve(argv: list[str] | None = None) -> int:
     else:
         serve_file(args.slog, config)
     return 0
+
+def main_tail(argv: list[str] | None = None) -> int:
+    """Follow a growing (live) trace, epoch by epoch."""
+    parser = argparse.ArgumentParser(
+        "ute-tail",
+        description="Follow a live trace: print one line per published "
+        "frame-directory epoch as records arrive, stop at finalization.  "
+        "Reads the TRACE.live/ container directly (and hands over to the "
+        "finished file when the writer assembles it), or --server URL to "
+        "follow a ute-serve /follow SSE stream instead.",
+    )
+    parser.add_argument(
+        "trace", nargs="?", default=None,
+        help="the trace's final path; its .live/ container is tailed while "
+        "it grows (omit with --server)",
+    )
+    parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="follow a ute-serve instance over Server-Sent Events",
+    )
+    parser.add_argument(
+        "--dataset", default=None, metavar="NAME",
+        help="dataset to follow on --server (default: the server's default)",
+    )
+    parser.add_argument("--poll", type=float, default=0.05, metavar="S",
+                        help="poll interval (seconds)")
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="give up after this long with no new epoch (default: wait "
+        "forever; exit status 1 on timeout)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="S",
+        help="wait this long for the live container (or finished trace) "
+        "to appear",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="re-emit every followed non-pseudo record as an interval "
+        "file — ute-diff --ignore-pseudo FILE TRACE must come back "
+        "divergence-free (filesystem mode only)",
+    )
+    parser.add_argument("--errors", choices=["strict", "salvage"],
+                        default="strict")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-epoch lines")
+    args = parser.parse_args(argv)
+    if (args.trace is None) and (args.server is None):
+        return _usage_error("ute-tail", "pass a trace path or --server URL") or 2
+    if args.trace is not None and args.server is not None:
+        return _usage_error(
+            "ute-tail", "pass either a trace path or --server URL, not both"
+        ) or 2
+    if args.out is not None:
+        if args.server is not None:
+            return _usage_error(
+                "ute-tail", "--out needs filesystem mode (SSE events carry "
+                "no records)"
+            ) or 2
+        if (code := _usage_error("ute-tail", _output_error(args.out))) is not None:
+            return code
+    if args.server is not None:
+        return _tail_server(args)
+    return _tail_follow(args)
+
+
+def _tail_server(args) -> int:
+    """``ute-tail --server``: follow one dataset's SSE preview stream."""
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.server, dataset=args.dataset)
+    params = {"poll": str(max(args.poll, 0.02))}
+    if args.idle_timeout is not None:
+        params["max_s"] = str(args.idle_timeout)
+    try:
+        for event in client.follow_events(mode="preview", params=params):
+            if event.event == "epoch":
+                if not args.quiet:
+                    print(
+                        f"epoch {event.seq}: {event.data.get('frames', '?')} "
+                        f"frames published"
+                    )
+            elif event.event == "final":
+                if not args.quiet:
+                    print(
+                        f"final: epoch {event.seq}, "
+                        f"{event.data.get('frames', '?')} frames"
+                    )
+                return 0
+            elif event.event == "timeout":
+                print("ute-tail: server stream timed out", file=sys.stderr)
+                return 1
+            elif event.event == "error":
+                print(f"ute-tail: {event.data.get('error')}", file=sys.stderr)
+                return 1
+    except OSError as exc:
+        return _usage_error("ute-tail", f"cannot follow {args.server}: {exc}") or 2
+    return 0
+
+
+def _tail_follow(args) -> int:
+    """``ute-tail TRACE``: follow the live container on the filesystem."""
+    from repro.core.records import BeBits
+    from repro.errors import FormatError
+    from repro.live import FollowReader
+
+    try:
+        follower = FollowReader(
+            args.trace, poll_interval=args.poll, errors=args.errors,
+            connect_timeout=args.connect_timeout,
+        )
+    except FormatError as exc:
+        return _usage_error("ute-tail", str(exc)) or 2
+    writer = None
+    total_records = 0
+    try:
+        with follower:
+            for event in follower.events(timeout=args.idle_timeout):
+                if event.kind == "epoch":
+                    if args.out is not None and writer is None:
+                        writer = _tail_writer(args.out, follower)
+                    kept = 0
+                    for record in event.records:
+                        if (
+                            record.bebits is BeBits.CONTINUATION
+                            and record.duration == 0
+                        ):
+                            continue
+                        if writer is not None:
+                            writer.write(record)
+                        kept += 1
+                    total_records += kept
+                    if not args.quiet:
+                        print(
+                            f"epoch {event.seq}: +{event.n_new_frames} frames, "
+                            f"{kept} records ({event.n_pseudo} pseudo), "
+                            f"total {event.total_frames} frames"
+                        )
+                else:
+                    if not args.quiet:
+                        print(
+                            f"final: epoch {event.seq}, {event.total_frames} "
+                            f"frames, {total_records} records followed"
+                        )
+                    if writer is not None:
+                        writer.close()
+                        writer = None
+                    return 0
+        print("ute-tail: timed out waiting for new epochs", file=sys.stderr)
+        if writer is not None:
+            writer.close()
+            writer = None
+        return 1
+    finally:
+        if writer is not None:
+            writer.abort()
+
+
+def _tail_writer(out, follower):
+    """An interval writer mirroring the followed trace's metadata."""
+    from repro.core.writer import IntervalFileWriter
+
+    reader = follower.reader
+    return IntervalFileWriter(
+        out, reader.profile, reader.thread_table,
+        markers=dict(reader.markers), node_cpus=dict(reader.node_cpus),
+        field_mask=reader.field_mask,
+        ticks_per_sec=reader.ticks_per_sec,
+    )
+
 
 def main_diff(argv: list[str] | None = None) -> int:
     """Semantically diff two trace artifacts record by record."""

@@ -1,0 +1,84 @@
+"""Drive a live trace from an already-merged interval file.
+
+The cluster simulator produces a whole run's records instantly; to
+exercise the live subsystem (many watchers over a *growing* trace) the
+driver replays those records through a live writer paced against the
+wall clock: the record stream is cut into contiguous batches, one batch
+is written and published per tick, and the writer closes into the final
+file when the stream runs dry.  ``ute-trace --live`` and the CI
+live-smoke job are thin wrappers around :func:`replay_live`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.profilefmt import Profile, standard_profile
+from repro.core.records import IntervalType
+from repro.errors import FormatError
+from repro.live.writer import LiveIntervalWriter, LiveSlogWriter
+
+#: Live writer flavors by the final file they assemble.
+FLAVORS = ("slog", "interval")
+
+
+def replay_live(
+    merged_path: str | Path,
+    out_path: str | Path,
+    *,
+    profile: Profile | None = None,
+    duration_s: float = 2.0,
+    publish_interval_s: float = 0.1,
+    frame_bytes: int = 8 * 1024,
+    preview_bins: int = 50,
+    flavor: str = "slog",
+    sleeper=time.sleep,
+) -> Path:
+    """Replay ``merged_path`` into a live container at ``out_path``,
+    paced over roughly ``duration_s`` seconds of wall clock with one
+    epoch published every ``publish_interval_s``.  Returns the finished
+    file's path (clock-pair records are consumed by the merge layer and
+    are dropped here exactly as the batch SLOG build drops them)."""
+    from repro.core.reader import IntervalReader
+
+    if flavor not in FLAVORS:
+        raise FormatError(f"unknown live flavor {flavor!r}; pick one of {FLAVORS}")
+    profile = profile or standard_profile()
+    with IntervalReader(merged_path, profile) as reader:
+        records = [
+            r for r in reader.intervals() if r.itype != IntervalType.CLOCKPAIR
+        ]
+        writer_cls = LiveSlogWriter if flavor == "slog" else LiveIntervalWriter
+        writer = writer_cls(
+            out_path,
+            profile,
+            reader.thread_table,
+            markers=reader.markers,
+            node_cpus=reader.node_cpus,
+            field_mask=reader.header.field_mask,
+            frame_bytes=frame_bytes,
+            preview_bins=preview_bins,
+            ticks_per_sec=reader.header.ticks_per_sec,
+        )
+    try:
+        n_batches = max(1, round(duration_s / max(publish_interval_s, 1e-3)))
+        n_batches = min(n_batches, max(1, len(records)))
+        per_batch = max(1, -(-len(records) // n_batches))
+        start = time.monotonic()
+        tick = 0
+        for lo in range(0, len(records), per_batch):
+            for record in records[lo : lo + per_batch]:
+                writer.write(record)
+            writer.publish(seal=True)
+            tick += 1
+            target = start + tick * publish_interval_s
+            delay = target - time.monotonic()
+            if delay > 0:
+                sleeper(delay)
+        if not records:
+            writer.publish()
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close()

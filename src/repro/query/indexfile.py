@@ -237,12 +237,24 @@ class TraceIndex:
 # Building.
 
 
-def hash_file(path: str | Path, *, chunk: int = 1 << 20) -> bytes:
-    """SHA-256 of a file's content, read in bounded chunks."""
+def hash_file(
+    path: str | Path, *, chunk: int = 1 << 20, limit: int | None = None
+) -> bytes:
+    """SHA-256 of a file's content (or its first ``limit`` bytes), read
+    in bounded chunks."""
     digest = hashlib.sha256()
+    remaining = limit
     with open(path, "rb") as fh:
-        while block := fh.read(chunk):
+        while True:
+            take = chunk if remaining is None else min(chunk, remaining)
+            if take <= 0:
+                break
+            block = fh.read(take)
+            if not block:
+                break
             digest.update(block)
+            if remaining is not None:
+                remaining -= len(block)
     return digest.digest()
 
 
@@ -346,3 +358,114 @@ def load_fresh_index(
         if hash_file(source) != index.source_sha256:
             return None, "stale:content"
     return index, "fresh"
+
+
+def load_index_for_extension(
+    source: str | Path, sidecar: str | Path | None = None
+) -> tuple[TraceIndex | None, str]:
+    """Like :func:`load_fresh_index`, additionally recognizing a
+    **prefix-fresh** sidecar: the source grew — or was atomically
+    replaced by a live-epoch republish — with the indexed bytes intact as
+    a prefix.  Returns ``(index, "fresh")``, ``(index, "prefix")``, or
+    ``(None, reason)``.
+
+    A prefix index is *not* usable for planning (its posting lists know
+    nothing about the tail frames, so pruning on it would silently drop
+    tail records); it is only a valid base for :func:`extend_index`.
+    That is why this check lives beside, not inside,
+    :func:`load_fresh_index`."""
+    source = Path(source)
+    sidecar = index_path_for(source) if sidecar is None else Path(sidecar)
+    index, reason = load_fresh_index(source, sidecar)
+    if index is not None or reason != "stale:size":
+        return index, reason
+    try:
+        index = load_index(sidecar)
+        size = os.stat(source).st_size
+    except (FormatError, OSError) as exc:
+        return None, f"corrupt:{exc}"
+    if size < index.source_size:
+        return None, "stale:size"
+    if hash_file(source, limit=index.source_size) != index.source_sha256:
+        return None, "stale:content"
+    return index, "prefix"
+
+
+def extend_index(handle: TraceHandle, base: TraceIndex) -> TraceIndex:
+    """Extend a prefix-fresh ``base`` over ``handle``'s full frame list
+    by indexing only the tail frames.
+
+    The base's frames must be a byte-level prefix of the handle's
+    (verified; :class:`FormatError` otherwise — the caller falls back to
+    :func:`build_index`).  Frame summaries and posting lists come out
+    exactly as a full rebuild would produce them; the coarse time bins
+    are *redistributed*: each base bin's totals land wholly in the new
+    bin containing its midpoint, then tail records accumulate exactly —
+    totals are preserved, the distribution is approximate at old-bin
+    granularity."""
+    frames = handle.frames
+    if len(base.frames) > len(frames):
+        raise FormatError("index prefix has more frames than the trace")
+    for have, want in zip(base.frames, frames):
+        if (
+            have.offset != want.offset
+            or have.size != want.size
+            or have.n_records != want.n_records
+            or have.start_time != want.start_time
+            or have.end_time != want.end_time
+        ):
+            raise FormatError(
+                f"frame {want.ordinal} diverges from the index prefix"
+            )
+    n_bins = base.n_bins
+    tail = frames[len(base.frames) :]
+    if base.frames:
+        t_min = min([base.t_min, *(f.start_time for f in tail)])
+        t_max = max([base.t_max, *(f.end_time for f in tail)])
+    else:
+        t_min = min((f.start_time for f in tail), default=0)
+        t_max = max((f.end_time for f in tail), default=0)
+    span = max(t_max - t_min, 1)
+    bin_counts = [0] * n_bins
+    bin_durations = [0] * n_bins
+    if base.frames:
+        old_span = max(base.t_max - base.t_min, 1)
+        old_width = old_span / n_bins
+        for b, (count, duration) in enumerate(base.bins):
+            if not count and not duration:
+                continue
+            mid = base.t_min + (b + 0.5) * old_width
+            nb = min(max(int((mid - t_min) * n_bins / span), 0), n_bins - 1)
+            bin_counts[nb] += count
+            bin_durations[nb] += duration
+    summaries = list(base.frames)
+    postings: dict[int, list[int]] = {k: list(v) for k, v in base.postings.items()}
+    for frame in tail:
+        bits = bytearray(TYPE_BITMAP_BYTES)
+        keys: set[int] = set()
+        for record in handle.read_frame(frame.ordinal):
+            type_bit_set(bits, record.itype)
+            keys.add(thread_key(record.node, record.thread))
+            b = min((record.start - t_min) * n_bins // span, n_bins - 1)
+            b = max(b, 0)
+            bin_counts[b] += 1
+            bin_durations[b] += record.duration
+        sorted_keys = tuple(sorted(keys))
+        summaries.append(
+            FrameSummary(
+                frame.ordinal, frame.offset, frame.size, frame.n_records,
+                frame.start_time, frame.end_time, bytes(bits), sorted_keys,
+            )
+        )
+        for key in sorted_keys:
+            postings.setdefault(key, []).append(frame.ordinal)
+    return TraceIndex(
+        source_size=os.stat(handle.path).st_size,
+        source_sha256=hash_file(handle.path),
+        t_min=t_min,
+        t_max=t_max,
+        n_bins=n_bins,
+        bins=tuple(zip(bin_counts, bin_durations)),
+        frames=summaries,
+        postings={k: tuple(v) for k, v in postings.items()},
+    )

@@ -67,6 +67,23 @@ class TraceHandle:
         self.thread_table = reader.thread_table
         self.markers = reader.markers
 
+    def refresh_entries(self) -> None:
+        """Re-snapshot the reader's frame directory.  A live reader's
+        frame list only ever grows (monotonic epochs), so existing
+        ordinals keep naming the same frames."""
+        if self.kind == "interval":
+            entries = list(self._reader.frames())
+        else:
+            entries = list(self._reader.frames)
+        self.frames = [
+            TraceFrame(
+                i, e.offset, e.size, e.n_records, e.start_time, e.end_time,
+                getattr(e, "n_pseudo", 0),
+            )
+            for i, e in enumerate(entries)
+        ]
+        self._entries = entries
+
     # ------------------------------------------------------------------ API
 
     @property

@@ -118,6 +118,9 @@ class Dataset:
     managed: bool
     index_status: str = INDEX_NONE
     index_error: str = ""
+    #: Whether the last index build reused a prefix-fresh sidecar
+    #: (extend) instead of scanning the whole file (rebuild).
+    index_extended: bool = False
     #: Set once the background index build reaches a terminal state.
     index_done: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -191,10 +194,15 @@ class Repository:
 
     def attach(self, name: str, path: str | Path) -> Dataset:
         """Register a dataset that references ``path`` in place — nothing
-        is copied, nothing written to the manifest."""
+        is copied, nothing written to the manifest.  A path whose live
+        container exists (``<path>.live/``) is accepted before the final
+        file does: the session follows the growing trace."""
+        from repro.live import has_live_container
+
         check_dataset_name(name)
         path = Path(path)
-        if not path.exists():
+        live = not path.exists() and has_live_container(path)
+        if not path.exists() and not live:
             raise RepositoryError(f"dataset file not found: {path}")
         with self._lock:
             if name in self._datasets:
@@ -202,10 +210,10 @@ class Repository:
             dataset = Dataset(
                 name=name,
                 path=path,
-                bytes=path.stat().st_size,
+                bytes=_trace_bytes(path),
                 created=_now_iso(),
                 managed=False,
-                index_status=self._sidecar_status(path),
+                index_status=INDEX_NONE if live else self._sidecar_status(path),
             )
             dataset.index_done.set()
             self._datasets[name] = dataset
@@ -324,7 +332,7 @@ class Repository:
             dataset = Dataset(
                 name=name,
                 path=Path(session.path),
-                bytes=Path(session.path).stat().st_size,
+                bytes=_trace_bytes(Path(session.path)),
                 created=_now_iso(),
                 managed=False,
                 index_status=(
@@ -641,12 +649,30 @@ class Repository:
 
     def _build_index(self, dataset: Dataset) -> None:
         from repro.query import build_index, index_path_for, open_trace, write_index
+        from repro.query.indexfile import extend_index, load_index_for_extension
 
         dataset.index_status = INDEX_BUILDING
         try:
-            with open_trace(dataset.path) as handle:
-                index = build_index(handle)
-            write_index(index, index_path_for(dataset.path))
+            # A sidecar that is a verified prefix of the grown/republished
+            # file (same bytes, more of them — a live finalization, an
+            # append, an atomic same-content replace) is extended over the
+            # tail instead of rebuilt from scratch; a fully fresh one
+            # needs no work at all.
+            base, reason = load_index_for_extension(dataset.path)
+            index = None
+            if base is None or reason != "fresh":
+                with open_trace(dataset.path) as handle:
+                    if base is not None and reason == "prefix":
+                        try:
+                            index = extend_index(handle, base)
+                            dataset.index_extended = True
+                        except FormatError:
+                            base = None
+                    if base is None or reason != "prefix":
+                        index = build_index(handle)
+                        dataset.index_extended = False
+            if index is not None:
+                write_index(index, index_path_for(dataset.path))
         except Exception as exc:  # build failures degrade, never crash
             dataset.index_status = INDEX_FAILED
             dataset.index_error = str(exc)
@@ -661,6 +687,19 @@ class Repository:
                 session.reload_index()
         finally:
             dataset.index_done.set()
+
+
+def _trace_bytes(path: Path) -> int:
+    """Size of a dataset's trace: the file itself, or the live container's
+    published data while the final file does not exist yet."""
+    if path.exists():
+        return path.stat().st_size
+    from repro.live.container import data_path, live_dir_for
+
+    try:
+        return data_path(live_dir_for(path)).stat().st_size
+    except OSError:
+        return 0
 
 
 def _now_iso() -> str:

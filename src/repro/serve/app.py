@@ -25,6 +25,15 @@ endpoint                            returns
 ``GET /api/d/{ds}/export/chrome``   the trace as Chrome trace-event JSON
                                     (Perfetto-openable), streamed with
                                     chunked transfer coding
+``GET /api/d/{ds}/follow/preview``  Server-Sent Events: one ``epoch``
+                                    event (preview payload) per published
+                                    frame-directory epoch, then ``final``
+``GET /api/d/{ds}/follow/query``    the same stream carrying an indexed
+                                    query result (``?window=T0:T1`` and
+                                    the /query parameters) per epoch
+``GET /api/d/{ds}/follow/poll``     long-poll fallback: block until the
+                                    epoch advances past ``?since=SEQ``
+                                    (per-epoch ETags; 304 on no change)
 ``GET /api/*``                      the same API, aliased to the default
                                     dataset (single-trace compatibility)
 ``GET /metrics``                    Prometheus-style counters
@@ -234,6 +243,16 @@ class TraceServer:
         self.m_frame_salvage = self.registry.counter(
             "ute_serve_frame_salvage_total",
             "Frames that failed strict decode and were answered with a salvage payload.",
+        )
+        self.m_follow = self.registry.counter(
+            "ute_serve_follow_events_total",
+            "Follow events emitted over SSE streams.", ("dataset", "kind"),
+        )
+        self._follow_active = 0
+        self._follow_lock = threading.Lock()
+        self.registry.gauge(
+            "ute_serve_follow_streams", "Follow SSE streams currently open.",
+            lambda: self._follow_active,
         )
         self.registry.gauge(
             "ute_serve_inflight_requests", "Requests currently executing.",
@@ -509,6 +528,16 @@ class TraceServer:
             except RepositoryError as exc:
                 raise _HttpError(404, str(exc)) from None
             request.dataset = dataset
+            if getattr(request.session, "live", False):
+                # Hot-reload a live dataset to the latest published epoch
+                # before the ETag is computed, so validators advance with
+                # the writer (cheap: one small manifest read).
+                try:
+                    request.session.maybe_refresh()
+                except FormatError as exc:
+                    raise _HttpError(
+                        409, f"live container protocol violation: {exc}"
+                    ) from None
         try:
             etag = request.session.etag(etag_tag) if etag_tag else None
             if etag is not None:
@@ -635,6 +664,14 @@ class TraceServer:
             return "/query", self._h_query, tag
         if segs == ["export", "chrome"]:
             return "/export/chrome", self._h_export_chrome, "export-chrome"
+        # Follow endpoints manage their own freshness (SSE streams and the
+        # long-poll's per-epoch ETag), so no dispatch-level ETag tag.
+        if segs == ["follow", "preview"]:
+            return "/follow/preview", self._h_follow_preview, None
+        if segs == ["follow", "query"]:
+            return "/follow/query", self._h_follow_query, None
+        if segs == ["follow", "poll"]:
+            return "/follow/poll", self._h_follow_poll, None
         return "", None, None
 
     @staticmethod
@@ -801,6 +838,22 @@ class TraceServer:
         return response
 
     def _h_query(self, request: Request) -> Response:
+        query, window, executor, fmt = self._parse_query_spec(request)
+        payload = request.session.query_payload(query, window=window, executor=executor)
+        extra = {"X-UTE-Bytes-Read": str(payload["io"]["bytes_read"])}
+        if fmt == "tsv":
+            response = Response.text(
+                request.session.query_tsv(payload),
+                content_type="text/tab-separated-values",
+            )
+        else:
+            response = Response.json(payload)
+        response.headers = extra
+        return response
+
+    def _parse_query_spec(self, request: Request):
+        """The /query (and /follow/query) parameter surface: returns
+        (query, window, executor, format)."""
         from repro.query.model import CORE_COLUMNS, Aggregate, Query, ThreadSel
 
         q = request.query
@@ -851,17 +904,122 @@ class TraceServer:
             )
         except FormatError as exc:
             raise _HttpError(400, str(exc)) from None
-        payload = request.session.query_payload(query, window=window, executor=executor)
-        extra = {"X-UTE-Bytes-Read": str(payload["io"]["bytes_read"])}
-        if fmt == "tsv":
-            response = Response.text(
-                request.session.query_tsv(payload),
-                content_type="text/tab-separated-values",
-            )
-        else:
-            response = Response.json(payload)
-        response.headers = extra
+        return query, window, executor, fmt
+
+    # ------------------------------------------------------- follow handlers
+
+    def _h_follow_preview(self, request: Request) -> Response:
+        """``/follow/preview``: SSE, one preview payload per epoch."""
+        return self._follow_sse(request, mode="preview")
+
+    def _h_follow_query(self, request: Request) -> Response:
+        """``/follow/query``: SSE, one query result per epoch."""
+        return self._follow_sse(request, mode="query")
+
+    def _follow_sse(self, request: Request, *, mode: str) -> Response:
+        session = request.session
+        dataset = request.dataset
+        since = self._follow_since(request)
+        poll = _clampf(request.query.get("poll", "0.1"), 0.02, 2.0, "poll")
+        max_s = _clampf(request.query.get("max_s", "3600"), 0.1, 86400.0, "max_s")
+        spec = self._parse_query_spec(request) if mode == "query" else None
+
+        def gen() -> Iterator[bytes]:
+            with self._follow_lock:
+                self._follow_active += 1
+            try:
+                last = since
+                deadline = time.monotonic() + max_s
+                # Open the stream immediately so clients see headers+bytes
+                # before the first epoch lands.
+                yield b": ute-serve follow stream\n\n"
+                while True:
+                    try:
+                        session.maybe_refresh()
+                        state = session.follow_state()
+                        if state["seq"] > last:
+                            last = state["seq"]
+                            if mode == "preview":
+                                payload = session.preview_payload()
+                            else:
+                                query, window, executor, _fmt = spec
+                                payload = session.query_payload(
+                                    query, window=window, executor=executor
+                                )
+                            body = {
+                                "seq": last,
+                                "live": state["live"],
+                                "finalized": state["finalized"],
+                                "frames": state["frames"],
+                                mode: payload,
+                            }
+                            self.m_follow.inc(dataset=dataset, kind="epoch")
+                            yield _sse_event("epoch", last, body)
+                        if state["finalized"]:
+                            self.m_follow.inc(dataset=dataset, kind="final")
+                            yield _sse_event(
+                                "final", last,
+                                {"seq": last, "frames": state["frames"]},
+                            )
+                            return
+                    except (FormatError, FrameDecodeError) as exc:
+                        self.m_follow.inc(dataset=dataset, kind="error")
+                        yield _sse_event("error", last, {"error": str(exc)})
+                        return
+                    if time.monotonic() >= deadline:
+                        self.m_follow.inc(dataset=dataset, kind="timeout")
+                        yield _sse_event("timeout", last, {"seq": last})
+                        return
+                    time.sleep(poll)
+            finally:
+                with self._follow_lock:
+                    self._follow_active -= 1
+
+        response = Response(200, b"", "text/event-stream")
+        response.stream = gen()
+        response.headers = {"Cache-Control": "no-cache", "X-Accel-Buffering": "no"}
         return response
+
+    def _h_follow_poll(self, request: Request) -> Response:
+        """``/follow/poll``: the long-poll fallback.  Blocks until the
+        epoch advances past ``since`` (or the trace finalizes, or ``wait``
+        elapses) and answers with the follow state under a per-epoch ETag;
+        an ``If-None-Match`` revalidation of the answered epoch is 304.
+        Unlike the SSE streams this holds a concurrency slot while it
+        waits — prefer SSE for many long-lived followers."""
+        session = request.session
+        since = self._follow_since(request)
+        cap = max(0.0, self.config.request_timeout - 1.0)
+        wait = _clampf(request.query.get("wait", "10"), 0.0, cap, "wait")
+        deadline = time.monotonic() + wait
+        while True:
+            session.maybe_refresh()
+            state = session.follow_state()
+            if state["seq"] > since or state["finalized"]:
+                break
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
+        etag = session.etag(f"follow-{state['seq']}")
+        candidates = request.headers.get("if-none-match", "")
+        if etag in [c.strip() for c in candidates.split(",")]:
+            response = Response(304, b"", "application/json")
+            response.headers = {"ETag": etag}
+            return response
+        response = Response.json({**state, "changed": state["seq"] > since})
+        response.headers = {"ETag": etag, "Cache-Control": "no-cache"}
+        return response
+
+    def _follow_since(self, request: Request) -> int:
+        """The resume point: ``?since=SEQ`` or the SSE ``Last-Event-ID``
+        reconnect header; -1 (everything) by default."""
+        raw = request.query.get(
+            "since", request.headers.get("last-event-id", "-1")
+        )
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HttpError(400, f"bad since/Last-Event-ID {raw!r}") from None
 
     # --------------------------------------------------------------- output
 
@@ -926,6 +1084,22 @@ class TraceServer:
             log.exception("streaming response aborted mid-body")
         finally:
             _close_stream(stream)
+
+
+def _sse_event(event: str, seq: int, payload: Any) -> bytes:
+    """One Server-Sent Event: ``id`` carries the epoch sequence so a
+    reconnecting client resumes via ``Last-Event-ID``."""
+    return (
+        f"event: {event}\nid: {seq}\ndata: {json.dumps(payload)}\n\n".encode()
+    )
+
+
+def _clampf(raw: str, lo: float, hi: float, what: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _HttpError(400, f"bad {what} {raw!r}; expected seconds") from None
+    return max(lo, min(value, hi))
 
 
 def _close_stream(stream: Iterator[bytes]) -> None:
@@ -1057,8 +1231,18 @@ class ServerThread:
         self._loop.run_until_complete(self.server.start())
         self._ready.set()
         self._loop.run_forever()
-        # Drain: close the listener inside the loop before it is torn down.
+        # Drain: close the listener inside the loop before it is torn
+        # down, then let in-flight connection tasks unwind so their
+        # transports close while the loop is still alive (a follow stream
+        # may be mid-write when stop() lands).
         self._loop.run_until_complete(self.server.stop())
+        pending = [t for t in asyncio.all_tasks(self._loop) if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
         self._loop.close()
 
     def stop(self) -> None:

@@ -45,6 +45,32 @@ class ServeResponse:
 _RETRYABLE = (503, 429)
 
 
+class RetriesExhausted(urllib.error.URLError):
+    """The retry loop gave up on connection-level failures.
+
+    A :class:`urllib.error.URLError` (so existing handlers keep working)
+    that additionally carries how many attempts were made and how much
+    wall clock the loop spent — a caller can tell a fast-fail from an
+    exhausted time budget."""
+
+    def __init__(self, reason: object, *, attempts: int, elapsed: float) -> None:
+        super().__init__(
+            f"{reason} (after {attempts} attempt{'s' if attempts != 1 else ''}"
+            f" over {elapsed:.2f}s)"
+        )
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
+@dataclass
+class FollowEvent:
+    """One Server-Sent Event from a ``/follow/*`` stream."""
+
+    event: str
+    seq: int
+    data: Any
+
+
 @dataclass
 class ServeClient:
     """Blocking API client with transparent ETag revalidation.
@@ -62,6 +88,12 @@ class ServeClient:
     retries: int = 0
     #: First retry delay (seconds); doubles per attempt, capped at 2s.
     backoff: float = 0.05
+    #: Total wall-clock budget of one request's retry loop (seconds).
+    #: However many :attr:`retries` remain, once this much time has
+    #: passed the next failure is surfaced instead of slept on — a slow
+    #: server cannot turn "3 retries" into an unbounded stall.  Backoff
+    #: sleeps are also trimmed to never overshoot the budget.
+    max_retry_seconds: float = 30.0
     dataset: str | None = None
     tenant: str | None = None
     _etags: dict[str, str] = field(default_factory=dict, repr=False)
@@ -116,6 +148,11 @@ class ServeClient:
         ):
             send["If-None-Match"] = self._etags[path]
         delay = self.backoff
+        start = time.monotonic()
+
+        def budget_left() -> float:
+            return self.max_retry_seconds - (time.monotonic() - start)
+
         for attempt in range(self.retries + 1):
             req = urllib.request.Request(url, data=body, headers=send, method=method)
             try:
@@ -131,20 +168,27 @@ class ServeClient:
                     exc.code, {k.lower(): v for k, v in exc.headers.items()},
                     exc.read(),
                 )
-            except urllib.error.URLError:
-                if attempt >= self.retries:
-                    raise
-                time.sleep(min(delay, 2.0))
+            except urllib.error.URLError as exc:
+                if attempt >= self.retries or budget_left() <= 0:
+                    raise RetriesExhausted(
+                        exc.reason, attempts=attempt + 1,
+                        elapsed=time.monotonic() - start,
+                    ) from exc
+                time.sleep(max(0.0, min(delay, 2.0, budget_left())))
                 delay *= 2
                 continue
-            if response.status not in _RETRYABLE or attempt >= self.retries:
+            if (
+                response.status not in _RETRYABLE
+                or attempt >= self.retries
+                or budget_left() <= 0
+            ):
                 break
             retry_after = response.headers.get("retry-after")
             try:
                 wait = float(retry_after) if retry_after else delay
             except ValueError:
                 wait = delay
-            time.sleep(min(wait, 2.0))
+            time.sleep(max(0.0, min(wait, 2.0, budget_left())))
             delay *= 2
         if cacheable and response.status == 200 and "etag" in response.headers:
             self._etags[path] = response.headers["etag"]
@@ -201,6 +245,67 @@ class ServeClient:
         """The whole trace as Chrome trace-event JSON (chunked transfer;
         ``urllib`` reassembles the chunks, ETag revalidation applies)."""
         return self.request(f"{self.api_base}/export/chrome")
+
+    # ---------------------------------------------------------------- follow
+
+    def follow_events(
+        self,
+        *,
+        mode: str = "preview",
+        since: int = -1,
+        params: dict[str, str] | None = None,
+        timeout: float | None = None,
+    ):
+        """Generate :class:`FollowEvent` objects from a ``/follow/{mode}``
+        SSE stream until the server sends ``final``/``timeout``/``error``
+        (each of which is yielded, then the generator returns).  ``since``
+        resumes after an already-seen epoch; ``params`` passes extra query
+        parameters (``window``, ``poll``, ``max_s``, the /query surface)."""
+        query = {"since": str(since), **(params or {})}
+        url = (
+            f"{self.base_url}{self.api_base}/follow/{mode}?"
+            + urllib.parse.urlencode(query)
+        )
+        send = {"Accept": "text/event-stream"}
+        if self.tenant:
+            send["X-UTE-Tenant"] = self.tenant
+        req = urllib.request.Request(url, headers=send)
+        with urllib.request.urlopen(
+            req, timeout=self.timeout if timeout is None else timeout
+        ) as resp:
+            if resp.status != 200:
+                raise RuntimeError(f"GET {url} -> {resp.status}")
+            event, seq, data_lines = "message", -1, []
+            for raw in resp:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue
+                if not line:
+                    if data_lines:
+                        yield FollowEvent(
+                            event, seq, json.loads("\n".join(data_lines))
+                        )
+                        if event in ("final", "timeout", "error"):
+                            return
+                    event, data_lines = "message", []
+                    continue
+                name, _, value = line.partition(":")
+                value = value.removeprefix(" ")
+                if name == "event":
+                    event = value
+                elif name == "id":
+                    try:
+                        seq = int(value)
+                    except ValueError:
+                        pass
+                elif name == "data":
+                    data_lines.append(value)
+
+    def follow_poll(self, *, since: int = -1, wait: float = 10.0) -> dict:
+        """One long-poll round: the follow state once the epoch advances
+        past ``since`` (or ``wait`` elapses)."""
+        query = urllib.parse.urlencode({"since": since, "wait": wait})
+        return self.get_json(f"{self.api_base}/follow/poll?{query}")
 
     # ------------------------------------------------------------ repository
 

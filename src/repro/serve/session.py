@@ -74,16 +74,34 @@ class TraceSession:
         cache_frames: int = DEFAULT_SERVER_CACHE,
         dataset: str | None = None,
     ) -> None:
+        from repro.live import has_live_container
+
         self.path = Path(path)
         self.dataset = dataset
-        stat = os.stat(self.path)
-        prefix = f"{dataset}-" if dataset else ""
-        self.etag_base = f"{prefix}{stat.st_mtime_ns}-{stat.st_size}"
-        self.viewer = Jumpshot(self.path, cache_frames=cache_frames)
-        # The query layer's view of the same SlogFile: shares the byte
-        # source and frame cache, adds the frame list the planner prunes.
-        self.handle = TraceHandle(self.path, self.viewer.slog, "slog")
-        self.index, self.index_reason = load_fresh_index(self.path)
+        self._cache_frames = cache_frames
+        self._etag_prefix = f"{dataset}-" if dataset else ""
+        #: True while the session reads a live container (a growing trace
+        #: whose final file does not exist yet).
+        self.live = not self.path.exists() and has_live_container(self.path)
+        #: Last observed frame-directory epoch; 0 for ordinary files.
+        self.epoch_seq = 0
+        if self.live:
+            from repro.live import LiveReader
+
+            reader = LiveReader(self.path, cache_frames=cache_frames)
+            self.epoch_seq = reader.seq
+            self.etag_base = f"{self._etag_prefix}live-{reader.seq}"
+            self.viewer = Jumpshot(self.path, slog=reader)
+            self.handle = TraceHandle(self.path, reader, "slog")
+            self.index, self.index_reason = self._load_live_index()
+        else:
+            stat = os.stat(self.path)
+            self.etag_base = f"{self._etag_prefix}{stat.st_mtime_ns}-{stat.st_size}"
+            self.viewer = Jumpshot(self.path, cache_frames=cache_frames)
+            # The query layer's view of the same SlogFile: shares the byte
+            # source and frame cache, adds the frame list the planner prunes.
+            self.handle = TraceHandle(self.path, self.viewer.slog, "slog")
+            self.index, self.index_reason = load_fresh_index(self.path)
         # Planner accounting, scraped by /metrics.
         self.index_frames_scanned = 0
         self.index_frames_pruned = 0
@@ -332,7 +350,94 @@ class TraceSession:
         """Re-probe the sidecar index (a background build just published
         one); queries planned after this call prune through it."""
         with self.lock:
-            self.index, self.index_reason = load_fresh_index(self.path)
+            if self.live:
+                self.index, self.index_reason = self._load_live_index()
+            else:
+                self.index, self.index_reason = load_fresh_index(self.path)
+
+    # ------------------------------------------------------------- live mode
+
+    def maybe_refresh(self) -> bool:
+        """Hot-reload a live session to the latest published epoch.
+
+        No-op (False) for ordinary file sessions.  When the writer has
+        finalized and assembled the trace, the session swaps to the
+        finished file in place — open requests keep their pins, the
+        repository never evicts over a finalization.  Returns True when
+        the visible state advanced (new epoch or finalization)."""
+        if not self.live:
+            return False
+        with self.lock:
+            if not self.live:
+                return False
+            reader = self.viewer.slog
+            changed = reader.refresh()
+            if changed:
+                self.epoch_seq = reader.seq
+                self.etag_base = f"{self._etag_prefix}live-{reader.seq}"
+                self.handle.refresh_entries()
+                self.viewer.reload_preview()
+                self.index, self.index_reason = self._load_live_index()
+            if not reader.container_exists() and self.path.exists():
+                self._switch_to_final()
+                return True
+            return changed
+
+    def follow_state(self) -> dict[str, Any]:
+        """The follow endpoints' notion of progress: epoch sequence,
+        frame count, and whether the trace is finished."""
+        with self.lock:
+            if self.live:
+                reader = self.viewer.slog
+                return {
+                    "live": True,
+                    "seq": reader.seq,
+                    "finalized": reader.finalized,
+                    "frames": len(reader.frames),
+                }
+            return {
+                "live": False,
+                "seq": self.epoch_seq,
+                "finalized": True,
+                "frames": self.frame_count(),
+            }
+
+    def _load_live_index(self) -> tuple[Any, str]:
+        """The live container's incrementally republished sidecar, usable
+        only when it covers exactly the pinned epoch's extent."""
+        from repro.live.container import index_path
+        from repro.query.indexfile import load_index
+
+        reader = self.viewer.slog
+        try:
+            index = load_index(index_path(reader.live_dir))
+        except (FormatError, OSError):
+            return None, "live:missing"
+        expected = reader.manifest.meta_size + reader.manifest.data_size
+        if index.source_size != expected or len(index.frames) != len(reader.frames):
+            # The writer published a newer (or older) index than the epoch
+            # we are pinned to; plan full scans until they line up again.
+            return None, "live:stale"
+        return index, "live"
+
+    def _switch_to_final(self) -> None:
+        """The writer assembled the finished file and removed the live
+        container: re-open the session over the ordinary file.  Lock held
+        by caller.  The final epoch is published before assembly, so the
+        live view already covered every frame; the swap only moves the
+        byte source and re-arms the mtime/size ETag discipline."""
+        old = self.viewer
+        governor = getattr(old.slog, "cache_governor", None)
+        stat = os.stat(self.path)
+        self.live = False
+        self.epoch_seq += 1  # finalization is itself an observable step
+        self.etag_base = f"{self._etag_prefix}{stat.st_mtime_ns}-{stat.st_size}"
+        self.viewer = Jumpshot(self.path, cache_frames=self._cache_frames)
+        if governor is not None:
+            self.viewer.slog.cache_governor = governor
+        self.handle = TraceHandle(self.path, self.viewer.slog, "slog")
+        self.index, self.index_reason = load_fresh_index(self.path)
+        old.close()
 
     # ------------------------------------------------------------ internals
 

@@ -244,31 +244,64 @@ class SlogWriter:
 
     def _metadata_bytes(self) -> bytes:
         """Everything before the frame data: tables, preview, frame index."""
-        out = bytearray()
-        out += MAGIC
-        profile_blob = _profile_blob(self.profile)
-        out += struct.pack("<I", len(profile_blob)) + profile_blob
-        table_blob = self.thread_table.encode()
-        out += struct.pack("<I", len(self.thread_table)) + table_blob
-        marker_blob = encode_marker_table(self.markers)
-        out += struct.pack("<I", len(self.markers)) + marker_blob
-        node_blob = encode_node_table(self.node_cpus)
-        out += struct.pack("<I", len(self.node_cpus)) + node_blob
-        out += struct.pack(
-            "<QdQQ", self.field_mask, self.ticks_per_sec, *self.time_range
+        return slog_metadata_bytes(
+            self.profile,
+            self.thread_table,
+            markers=self.markers,
+            node_cpus=self.node_cpus,
+            field_mask=self.field_mask,
+            ticks_per_sec=self.ticks_per_sec,
+            time_range=self.time_range,
+            preview_bins=self.preview_bins,
+            counters=self._counters,
+            frames=self._frames,
         )
-        # Preview.
-        out += struct.pack("<II", self.preview_bins, len(self._counters))
-        for itype in sorted(self._counters):
-            out += struct.pack("<I", itype)
-            out += self._counters[itype].tobytes()
-        # Frame index; frame data follows at data_start in spill order.
-        out += struct.pack("<I", len(self._frames))
-        offset = len(out) + len(self._frames) * _FRAME_ENTRY.size
-        for start, end, size, n, n_pseudo in self._frames:
-            out += _FRAME_ENTRY.pack(start, end, offset, size, n, n_pseudo)
-            offset += size
-        return bytes(out)
+
+
+def slog_metadata_bytes(
+    profile: Profile,
+    thread_table: ThreadTable,
+    *,
+    markers: dict[int, str],
+    node_cpus: dict[int, int],
+    field_mask: int,
+    ticks_per_sec: float,
+    time_range: tuple[int, int],
+    preview_bins: int,
+    counters: dict[int, np.ndarray],
+    frames: list[tuple[int, int, int, int, int]],
+) -> bytes:
+    """A SLOG file's metadata section: tables, preview, frame index.
+
+    ``frames`` holds ``(start, end, size, n_records, n_pseudo)`` per frame
+    in file order; frame-index offsets are computed so the frame data
+    follows the metadata contiguously.  Shared by :class:`SlogWriter` and
+    the live container, whose growing files carry a zero-frame metadata
+    prefix in exactly this encoding.
+    """
+    out = bytearray()
+    out += MAGIC
+    profile_blob = _profile_blob(profile)
+    out += struct.pack("<I", len(profile_blob)) + profile_blob
+    table_blob = thread_table.encode()
+    out += struct.pack("<I", len(thread_table)) + table_blob
+    marker_blob = encode_marker_table(markers)
+    out += struct.pack("<I", len(markers)) + marker_blob
+    node_blob = encode_node_table(node_cpus)
+    out += struct.pack("<I", len(node_cpus)) + node_blob
+    out += struct.pack("<QdQQ", field_mask, ticks_per_sec, *time_range)
+    # Preview.
+    out += struct.pack("<II", preview_bins, len(counters))
+    for itype in sorted(counters):
+        out += struct.pack("<I", itype)
+        out += np.asarray(counters[itype], dtype=np.float64).tobytes()
+    # Frame index; frame data follows at data_start in spill order.
+    out += struct.pack("<I", len(frames))
+    offset = len(out) + len(frames) * _FRAME_ENTRY.size
+    for start, end, size, n, n_pseudo in frames:
+        out += _FRAME_ENTRY.pack(start, end, offset, size, n, n_pseudo)
+        offset += size
+    return bytes(out)
 
 
 def _profile_blob(profile: Profile) -> bytes:

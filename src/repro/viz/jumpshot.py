@@ -48,9 +48,20 @@ class Jumpshot:
     """Viewer over one SLOG file."""
 
     def __init__(
-        self, slog_path: str | Path, *, cache_frames: int = DEFAULT_FRAME_CACHE
+        self,
+        slog_path: str | Path,
+        *,
+        cache_frames: int = DEFAULT_FRAME_CACHE,
+        slog: SlogFile | None = None,
     ) -> None:
-        self.slog = SlogFile(slog_path, cache_frames=cache_frames)
+        # A pre-opened reader (e.g. a live-container view) may be injected;
+        # the viewer owns it either way.
+        self.slog = slog if slog is not None else SlogFile(slog_path, cache_frames=cache_frames)
+        self.preview = Preview.from_slog(self.slog)
+
+    def reload_preview(self) -> None:
+        """Rebuild the preview from the reader's current counters (a live
+        reader's refresh may have replaced them)."""
         self.preview = Preview.from_slog(self.slog)
 
     def close(self) -> None:

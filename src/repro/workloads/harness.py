@@ -27,6 +27,47 @@ class TracedRun:
     elapsed_ns: int
 
 
+def live_replay_run(
+    run: TracedRun,
+    out_path: str | Path,
+    *,
+    duration_s: float = 2.0,
+    publish_interval_s: float = 0.1,
+    frame_bytes: int = 8 * 1024,
+    flavor: str = "slog",
+    jobs: int = 1,
+) -> Path:
+    """Replay a traced run through the live pipeline (``ute-trace
+    --live``): convert the raw files, merge them, then feed the merged
+    record stream through a live writer paced over ``duration_s`` seconds
+    of wall clock — one published epoch per ``publish_interval_s``.
+    Returns the finished trace's path (``out_path``); while the replay
+    runs, followers tail ``out_path``'s live container."""
+    from repro.live import replay_live
+    from repro.utils.convert import convert_traces
+    from repro.utils.merge import merge_interval_files
+
+    out_path = Path(out_path)
+    work = out_path.parent / (out_path.name + ".work")
+    work.mkdir(parents=True, exist_ok=True)
+    from repro.core.profilefmt import Profile
+
+    converted = convert_traces(run.raw_paths, work, jobs=jobs)
+    profile = Profile.read(converted.profile_path)
+    merged = merge_interval_files(
+        converted.interval_paths, work / "merged.ute", profile, jobs=jobs
+    )
+    return replay_live(
+        merged.merged_path,
+        out_path,
+        profile=profile,
+        duration_s=duration_s,
+        publish_interval_s=publish_interval_s,
+        frame_bytes=frame_bytes,
+        flavor=flavor,
+    )
+
+
 def run_traced_workload(
     body: Callable[[TaskContext], object],
     out_dir: str | Path,

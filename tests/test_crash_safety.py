@@ -210,3 +210,81 @@ class TestKilledWriters:
         with SlogFile(target) as slog:
             assert len(slog.records()) == 20
         assert _leftovers(tmp_path) == ["out.slog"]
+
+
+class TestKilledLiveWriter:
+    """A live writer killed mid-append: the epoch pins what readers see.
+
+    The live protocol's crash window is between ``flush_data`` (durable
+    appended bytes) and ``publish`` (the epoch naming them).  A writer
+    dying inside that window leaves a torn tail in ``data`` that no epoch
+    references — a strict reader must see the previous epoch byte-for-
+    byte, and a salvaging reader must find nothing to repair."""
+
+    def test_killed_between_flush_and_publish(self, tmp_path):
+        from repro.live import LiveReader
+        from repro.live.container import data_path, live_dir_for, read_manifest
+
+        target = tmp_path / "run.slog"
+
+        def child():
+            from repro.live import LiveSlogWriter
+
+            writer = LiveSlogWriter(
+                target, PROFILE, TABLE, field_mask=MASK_ALL_PER_NODE,
+                frame_bytes=256,
+            )
+            for i in range(20):
+                writer.write(_record(i))
+            writer.publish(seal=True)  # epoch 1: 20 records visible
+            for i in range(20, 40):
+                writer.write(_record(i))
+            writer.seal_frame()
+            writer.flush_data()  # durable bytes the epoch never names
+            os._exit(3)
+
+        assert _run_in_child(child) == 3
+        live_dir = live_dir_for(target)
+        manifest = read_manifest(live_dir)
+        assert manifest.seq == 1 and not manifest.finalized
+        # The torn tail is really on disk — and really invisible.
+        assert data_path(live_dir).stat().st_size > manifest.data_size
+
+        strict = LiveReader(target)
+        records = [r for e in strict.frames for r in strict.read_frame(e)]
+        assert [
+            (r.start, r.duration) for r in records
+        ] == [(i * 100, 50) for i in range(20)]
+        strict.close()
+
+        salvage = LiveReader(target, errors="salvage")
+        seen = [r for e in salvage.frames for r in salvage.read_frame(e)]
+        assert seen == records  # zero loss, zero repair
+        salvage.close()
+
+    def test_killed_before_first_publish_of_data(self, tmp_path):
+        """Dying before any frame is published leaves epoch 0: a valid,
+        empty live trace — not an error, not a partial file."""
+        from repro.live import LiveReader
+        from repro.live.container import live_dir_for, read_manifest
+
+        target = tmp_path / "run.slog"
+
+        def child():
+            from repro.live import LiveSlogWriter
+
+            writer = LiveSlogWriter(
+                target, PROFILE, TABLE, field_mask=MASK_ALL_PER_NODE,
+                frame_bytes=256,
+            )
+            for i in range(10):
+                writer.write(_record(i))
+            writer.seal_frame()
+            writer.flush_data()
+            os._exit(3)
+
+        assert _run_in_child(child) == 3
+        assert read_manifest(live_dir_for(target)).seq == 0
+        assert not target.exists()
+        with LiveReader(target) as reader:
+            assert reader.frames == []

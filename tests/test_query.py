@@ -566,3 +566,110 @@ def test_salvage_parity_indexed_vs_full(salvage_corpus, pick, frac0, span, threa
     assert indexed.plan.mode == MODE_INDEXED
     assert indexed.to_tsv() == plain.to_tsv()
     assert indexed.io["bytes_read"] <= plain.io["bytes_read"]
+
+
+# ---------------------------------------------------------------------------
+# Index extension (live-epoch republish / grown-file staleness).
+
+
+class TestIndexExtension:
+    """A sidecar whose bytes are a verified prefix of the grown trace is
+    extended over the tail, never rebuilt from scratch — the staleness
+    rule live-epoch republishes rely on."""
+
+    @staticmethod
+    def _prefix_base(path, k):
+        """The sidecar a shorter, byte-prefix version of ``path`` would
+        have had: index the first ``k`` frames, stamp size/sha of the
+        prefix they cover."""
+        import dataclasses
+
+        from repro.query.indexfile import hash_file
+
+        with open_trace(path, PROFILE) as handle:
+            all_frames = list(handle.frames)
+            handle.frames = all_frames[:k]
+            base = build_index(handle)
+        size = all_frames[k - 1].offset + all_frames[k - 1].size
+        return dataclasses.replace(
+            base, source_size=size, source_sha256=hash_file(path, limit=size)
+        )
+
+    def test_prefix_verdict_and_extension(self, ivl):
+        from repro.query.indexfile import extend_index, load_index_for_extension
+
+        base = self._prefix_base(ivl, 2)
+        write_index(base, index_path_for(ivl))
+
+        # The planner's freshness check refuses it...
+        index, reason = load_fresh_index(ivl)
+        assert index is None and reason == "stale:size"
+        # ...but the extension check recognizes the intact prefix.
+        loaded, reason = load_index_for_extension(ivl)
+        assert reason == "prefix"
+        assert loaded.source_size == base.source_size
+
+        with open_trace(ivl, PROFILE) as handle:
+            extended = extend_index(handle, loaded)
+            full = build_index(handle)
+        assert extended.source_size == full.source_size
+        assert extended.source_sha256 == full.source_sha256
+        assert extended.frames == full.frames
+        assert extended.postings == full.postings
+        assert sum(c for c, _ in extended.bins) == sum(c for c, _ in full.bins)
+        assert sum(d for _, d in extended.bins) == sum(d for _, d in full.bins)
+        # Published, it is fresh for the grown file.
+        write_index(extended, index_path_for(ivl))
+        _, reason = load_fresh_index(ivl)
+        assert reason == "fresh"
+
+    def test_diverged_prefix_rejected(self, ivl):
+        """Same length story, different bytes: the sha check catches a
+        replace that is not a pure extension."""
+        from repro.query.indexfile import load_index_for_extension
+
+        base = self._prefix_base(ivl, 2)
+        base = type(base)(
+            source_size=base.source_size,
+            source_sha256=b"\x00" * 32,
+            t_min=base.t_min, t_max=base.t_max, n_bins=base.n_bins,
+            bins=base.bins, frames=base.frames, postings=base.postings,
+        )
+        write_index(base, index_path_for(ivl))
+        index, reason = load_index_for_extension(ivl)
+        assert index is None and reason == "stale:content"
+
+    def test_registry_extends_instead_of_rebuilding(self, ivl):
+        from repro.repository import Repository
+
+        base = self._prefix_base(ivl, 2)
+        write_index(base, index_path_for(ivl))
+        repo = Repository(None, build_indexes=True)
+        dataset = repo.attach("grown", ivl)
+        repo._build_index(dataset)
+        assert dataset.index_status == "ready"
+        assert dataset.index_extended is True
+        _, reason = load_fresh_index(ivl)
+        assert reason == "fresh"
+
+    def test_same_content_replace_skips_rebuild(self, indexed_ivl):
+        """An atomic same-bytes replace bumps the mtime only; the sidecar
+        stays fresh and the build path does no work at all."""
+        from repro.core.atomicio import atomic_write_bytes
+        from repro.repository import Repository
+
+        sidecar = index_path_for(indexed_ivl)
+        before = sidecar.stat().st_mtime_ns
+        os.utime(
+            indexed_ivl, ns=(before + 2_000_000_000, before + 2_000_000_000)
+        )
+        atomic_write_bytes(indexed_ivl, indexed_ivl.read_bytes())
+        _, reason = load_fresh_index(indexed_ivl)
+        assert reason == "fresh"
+
+        repo = Repository(None, build_indexes=True)
+        dataset = repo.attach("same", indexed_ivl)
+        assert dataset.index_status == "ready"
+        repo._build_index(dataset)
+        assert dataset.index_extended is False
+        assert sidecar.stat().st_mtime_ns == before  # never rewritten
