@@ -819,6 +819,108 @@ def main_dump(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _utilization_tsv(payload: dict) -> str:
+    """Render an ``/api/utilization``-shaped payload as TSV (one row per
+    occupied cell) — shared by the local and --server paths."""
+    lane_field = "thread" if payload.get("kind") == "thread" else "cpu"
+    lines = [
+        f"node\t{lane_field}\tstart_s\tend_s\tcount\tbusy_s\tbusy_frac\tdominant"
+    ]
+    names = payload.get("state_names", {})
+    for lane in payload.get("lanes", []):
+        for cell in lane["cells"]:
+            dominant = cell["dominant"]
+            lines.append(
+                f"{lane['node']}\t{lane[lane_field]}\t{cell['start']:.9g}"
+                f"\t{cell['end']:.9g}\t{cell['count']}\t{cell['busy']:.9g}"
+                f"\t{cell['busy_frac']:.4f}"
+                f"\t{names.get(str(dominant), dominant)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _local_utilization(args, profile) -> int:
+    """``ute-query TRACE --utilization``: busy-time aggregates from the
+    sidecar's utilization hierarchy.  When the sidecar is missing, stale,
+    or predates the hierarchy (format v1), the index is rebuilt in memory
+    — the printed cells never silently fall behind the trace."""
+    from repro.errors import ReproError
+    from repro.query import (
+        DEFAULT_TIME_BINS,
+        build_index,
+        load_fresh_index,
+        open_trace,
+    )
+
+    try:
+        with open_trace(args.trace, profile, errors=args.errors) as handle:
+            index = None
+            if not args.no_index:
+                index, _reason = load_fresh_index(
+                    args.trace, Path(args.index) if args.index else None
+                )
+            if index is None or index.utilization is None:
+                index = build_index(handle, n_bins=DEFAULT_TIME_BINS)
+            tps = handle.ticks_per_sec
+    except ReproError as exc:
+        return _usage_error("ute-query", str(exc)) or 2
+    util = index.utilization
+    if util is None:
+        return _usage_error("ute-query", "trace holds no records to aggregate") or 2
+    try:
+        window = _parse_window(args.window) if args.window else (None, None)
+    except ValueError as exc:
+        return _usage_error("ute-query", str(exc)) or 2
+    w0 = util.t_min if window[0] is None else int(window[0] * tps)
+    w1 = util.t_max if window[1] is None else int(window[1] * tps)
+    w1 = max(w1, w0 + 1)
+    shift, lanes = util.query(args.lane, w0, w1, max_bins=args.bins or 512)
+    width = 1 << shift
+    lane_field = "thread" if args.lane == "thread" else "cpu"
+    lanes_out = []
+    for key in sorted(lanes):
+        node, sub = key >> 32, key & 0xFFFFFFFF
+        lanes_out.append({
+            "node": node,
+            lane_field: sub,
+            "cells": [
+                {
+                    "start": t0 / tps,
+                    "end": t1 / tps,
+                    "count": count,
+                    "busy": busy / tps,
+                    "busy_frac": min(busy / width, 1.0),
+                    "dominant": min(states, key=lambda s: (-states[s], s)),
+                }
+                for t0, t1, count, busy, states in lanes[key]
+            ],
+        })
+    names = {}
+    for itype in sorted({c["dominant"] for ln in lanes_out for c in ln["cells"]}):
+        try:
+            names[str(itype)] = profile.record_name(itype)
+        except Exception:
+            names[str(itype)] = f"type-{itype}"
+    payload = {
+        "kind": args.lane,
+        "ticks_per_sec": tps,
+        "window": [w0 / tps, w1 / tps],
+        "bin_seconds": width / tps,
+        "shift": shift,
+        "levels": util.n_levels,
+        "base_shift": util.base_shift,
+        "state_names": names,
+        "lanes": lanes_out,
+    }
+    if args.format == "json":
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        sys.stdout.write(_utilization_tsv(payload))
+    return 0
+
+
 def _remote_query(args) -> int:
     """``ute-query --server URL [--dataset NAME]``: run the query against a
     ute-serve repository over HTTP, reusing the server's TSV/JSON
@@ -841,6 +943,33 @@ def _remote_query(args) -> int:
         return _usage_error(
             "ute-query", f"{', '.join(local_only)} cannot be combined with --server"
         ) or 2
+    if args.utilization:
+        params = {"lane": args.lane}
+        if args.window:
+            params["window"] = args.window
+        if args.bins:
+            params["bins"] = str(args.bins)
+        client = ServeClient(args.server, dataset=args.dataset, retries=2)
+        try:
+            response = client.utilization(params)
+        except OSError as exc:
+            return _usage_error("ute-query", f"server unreachable: {exc}") or 2
+        if response.status not in (200, 304):
+            detail = response.text.strip()
+            try:
+                detail = response.json().get("error", detail)
+            except Exception:
+                pass
+            return _usage_error(
+                "ute-query", f"server returned {response.status}: {detail}"
+            ) or 2
+        if args.format == "json":
+            import json
+
+            print(json.dumps(response.json(), indent=2))
+        else:
+            sys.stdout.write(_utilization_tsv(response.json()))
+        return 0
     profile = _profile_for(args)
     try:
         types = [_resolve_type(t, profile) for t in args.types]
@@ -949,6 +1078,14 @@ def main_query(argv: list[str] | None = None) -> int:
     parser.add_argument("--agg", action="append", default=[],
                         metavar="FN[:FIELD]", help="aggregate column (repeatable)")
     parser.add_argument("--limit", type=int, default=None, help="max result rows")
+    parser.add_argument(
+        "--utilization", action="store_true",
+        help="print busy-time aggregates from the sidecar's utilization "
+        "hierarchy instead of running a record query (honors --window, "
+        "--bins, --format)",
+    )
+    parser.add_argument("--lane", default="thread", choices=("thread", "cpu"),
+                        help="utilization lane kind (with --utilization)")
     parser.add_argument("--format", default="tsv", choices=["tsv", "json"])
     parser.add_argument("--explain", action="store_true",
                         help="print the frame plan and IO accounting on stderr")
@@ -984,6 +1121,12 @@ def main_query(argv: list[str] | None = None) -> int:
     from repro.query.model import CORE_COLUMNS
 
     profile = _profile_for(args)
+    if args.utilization:
+        if args.build_index:
+            return _usage_error(
+                "ute-query", "--utilization cannot be combined with --build-index"
+            ) or 2
+        return _local_utilization(args, profile)
     sidecar = Path(args.index) if args.index else index_path_for(args.trace)
 
     if args.build_index:

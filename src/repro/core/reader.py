@@ -87,6 +87,12 @@ class IntervalReader:
         # Columnar batches cache separately: a query session tends to stick
         # with one executor, so the two caches rarely both fill.
         self._batch_cache: OrderedDict[tuple[int, int], object] = OrderedDict()
+        # Parsed frame-directory chain, filled by the first complete strict
+        # walk.  Interval files are immutable once written (live appends go
+        # through their own container protocol), so re-decoding the chain on
+        # every find_frame would make random access O(directories) instead of
+        # the O(1)-per-lookup the frame directory exists to provide.
+        self._dir_chain: list[FrameDirectory] | None = None
         self._cache_frames = max(0, cache_frames)
         # Serializes frame reads: the LRU mutation (move_to_end + eviction)
         # and the byte source's internal chunk cache are not safe under
@@ -160,10 +166,16 @@ class IntervalReader:
         trusts — the doubly linked list means every genuine successor
         carries that exact byte pattern — and resumes the chain there."""
         if self._salvage_mode:
+            # Salvage walks never cache: resync decisions and the report's
+            # skip accounting are per-walk side effects.
             yield from self._salvage_directories()
+            return
+        if self._dir_chain is not None:
+            yield from self._dir_chain
             return
         offset = self.header.first_dir_offset
         seen: set[int] = set()
+        chain: list[FrameDirectory] = []
         while offset != NO_DIRECTORY:
             if offset in seen:
                 raise FormatError(
@@ -176,8 +188,13 @@ class IntervalReader:
                 raise FormatError(
                     f"{self.path}: corrupt frame directory at {offset} ({exc})"
                 ) from exc
+            chain.append(directory)
             yield directory
             offset = directory.next_offset
+        # Publish only after a complete walk — an abandoned generator must
+        # not freeze a partial chain.  (Plain assignment: atomic under the
+        # GIL, so concurrent walkers at worst both do the full parse.)
+        self._dir_chain = chain
 
     def _salvage_directories(self) -> Iterator[FrameDirectory]:
         report = self.salvage

@@ -17,6 +17,10 @@ check                  the two paths compared
                        byte-identical)
 ``dump_vs_query``      ``ute-dump --window`` record selection vs. a
                        ``ute-query`` window over the same range
+``aggregate_vs_exact`` the sidecar's utilization hierarchy (finest-level
+                       busy/count cells and the coarse start bins) vs. a
+                       direct recompute over columnar frame batches on
+                       the same absolute grid
 ``stats_vs_serve``     the in-process ``ute-stats`` path vs. the daemon's
                        ``/api/stats`` (SLOG only; spins an ephemeral
                        server on 127.0.0.1)
@@ -434,6 +438,105 @@ def _check_export_import_roundtrip(report: OracleReport, path: Path, profile) ->
 ADJUST_SCENARIOS = ((1.0, 0, 0), (0.5, 1_000, 40), (2.0, 77, 123), (0.999, 5, 5))
 
 
+def _check_aggregate_vs_exact(report: OracleReport, path: Path, profile) -> None:
+    """The sidecar's utilization hierarchy vs. a direct recompute over
+    columnar frame batches.
+
+    Per finest-level cell: the per-state busy durations must equal the
+    clipped overlap of every busy record with that bin, and the cell count
+    must equal the number of busy records *starting* in the bin.  The
+    published coarse ``bins`` must equal start-bin (count, summed duration)
+    sums of **all** records on the same absolute grid.  Any difference
+    means an aggregate-driven view would lie about the records below it.
+    """
+    from repro.core.records import IntervalType
+    from repro.query.indexfile import build_index
+    from repro.query.trace import open_trace
+    from repro.query.utilization import cpu_key, thread_key
+
+    report.checks.append("aggregate_vs_exact")
+    with open_trace(path, profile) as handle:
+        index = build_index(handle)
+        util = index.utilization
+        if util is None:
+            return
+        k = util.base_shift
+        exact: dict[str, dict[int, dict[int, list]]] = {"thread": {}, "cpu": {}}
+        coarse: dict[int, list] = {}
+        for frame in handle.frames:
+            batch = handle.read_frame_batch(frame.ordinal)
+            rows = zip(
+                batch.start.tolist(), batch.end.tolist(), batch.dura.tolist(),
+                batch.node.tolist(), batch.cpu.tolist(), batch.thread.tolist(),
+                batch.itype.tolist(),
+            )
+            for start, end, dura, node, cpu, thread, itype in rows:
+                cidx = start >> index.bin_shift
+                ccell = coarse.get(cidx)
+                if ccell is None:
+                    coarse[cidx] = [1, dura]
+                else:
+                    ccell[0] += 1
+                    ccell[1] += dura
+                if dura <= 0 or itype == IntervalType.CLOCKPAIR:
+                    continue
+                for lane_kind, key in (
+                    ("thread", thread_key(node, thread)),
+                    ("cpu", cpu_key(node, cpu)),
+                ):
+                    cells = exact[lane_kind].setdefault(key, {})
+                    first, last = start >> k, (end - 1) >> k
+                    for idx in range(first, last + 1):
+                        bin_lo = idx << k
+                        overlap = min(end, bin_lo + (1 << k)) - max(start, bin_lo)
+                        cell = cells.get(idx)
+                        if cell is None:
+                            cell = cells[idx] = [0, {}]
+                        states = cell[1]
+                        states[itype] = states.get(itype, 0) + overlap
+                    cells[first][0] += 1
+        for lane_kind, lanes in (("thread", util.thread), ("cpu", util.cpu)):
+            got = {
+                key: {idx: (c[0], dict(c[1])) for idx, c in levels[0].items()}
+                for key, levels in lanes.items()
+            }
+            want = {
+                key: {idx: (c[0], dict(c[1])) for idx, c in cells.items()}
+                for key, cells in exact[lane_kind].items()
+            }
+            if got != want:
+                bad = next(
+                    key for key in sorted(set(got) | set(want))
+                    if got.get(key) != want.get(key)
+                )
+                report.add(
+                    Finding(
+                        "aggregate_vs_exact",
+                        f"{path} lane={lane_kind} key={bad}",
+                        "utilization level-0 cells differ from the exact "
+                        "windowed recompute",
+                        {
+                            "aggregate": repr(got.get(bad)),
+                            "exact": repr(want.get(bad)),
+                        },
+                    )
+                )
+        origin = index.bin_origin
+        want_bins = tuple(
+            tuple(coarse.get(origin + i, (0, 0))) for i in range(index.n_bins)
+        )
+        if tuple(index.bins) != want_bins:
+            report.add(
+                Finding(
+                    "aggregate_vs_exact",
+                    f"{path} coarse bins",
+                    "published coarse bins differ from start-bin sums on "
+                    "the same grid",
+                    {"aggregate": repr(index.bins), "exact": repr(want_bins)},
+                )
+            )
+
+
 def _check_adjust_parity(report: OracleReport) -> None:
     """On constant-rate clocks the piecewise adjuster must agree with the
     single-ratio adjuster: same adjust() within one tick of rounding, same
@@ -498,6 +601,7 @@ def run_oracle(
         _check_indexed_vs_full(report, path, profile)
         _check_columnar_vs_record(report, path, profile)
         _check_dump_vs_query(report, path, profile)
+        _check_aggregate_vs_exact(report, path, profile)
         _check_export_import_roundtrip(report, path, profile)
     if kind == "slog" and serve:
         _check_stats_vs_serve(report, path, profile)

@@ -56,10 +56,8 @@ from repro.query.indexfile import (
     type_bit_set,
     write_index,
 )
+from repro.query.utilization import UtilizationBuilder
 from repro.utils.slog import SlogFrameEntry, slog_metadata_bytes
-
-#: Fine-grained accumulation bins behind the published coarse index bins.
-_FINE_BINS = 1024
 
 
 class _DoublingPreview:
@@ -104,11 +102,12 @@ class _IncrementalIndex:
     """Maintains a ``.uteidx`` for the growing virtual file.
 
     Frame summaries and posting lists are exact (built from each frame's
-    records at seal time, never by re-decoding).  The coarse time bins
-    accumulate into fine doubling-horizon bins keyed by record start and
-    are downsampled onto the published ``[t_min, t_max]`` grid at
-    snapshot time — record and duration totals are exact, the
-    distribution is fine-bin-approximate (docs/FORMAT.md section 8).
+    records at seal time, never by re-decoding).  Coarse time bins and
+    the utilization hierarchy accumulate through
+    :class:`~repro.query.utilization.UtilizationBuilder` on the absolute
+    power-of-two grid, so every snapshot — including the final one — is
+    *identical* to what a post-hoc rebuild of the same bytes produces
+    (docs/FORMAT.md sections 7-8).
     """
 
     def __init__(self, meta: bytes, *, n_bins: int = DEFAULT_TIME_BINS) -> None:
@@ -120,17 +119,7 @@ class _IncrementalIndex:
         self.postings: dict[int, list[int]] = {}
         self.t_min: int | None = None
         self.t_max = 0
-        self._horizon = 1
-        self._fine_counts = [0] * _FINE_BINS
-        self._fine_durations = [0] * _FINE_BINS
-
-    def _grow_to(self, t: int) -> None:
-        while self._horizon < t:
-            for fine in (self._fine_counts, self._fine_durations):
-                folded = [fine[2 * i] + fine[2 * i + 1] for i in range(_FINE_BINS // 2)]
-                fine[: _FINE_BINS // 2] = folded
-                fine[_FINE_BINS // 2 :] = [0] * (_FINE_BINS - _FINE_BINS // 2)
-            self._horizon *= 2
+        self._builder = UtilizationBuilder(coarse_bins=n_bins)
 
     def add_frame(
         self, entry: SlogFrameEntry, records: list[IntervalRecord], blob: bytes
@@ -147,11 +136,7 @@ class _IncrementalIndex:
             keys.add(thread_key(record.node, record.thread))
             self.t_min = record.start if self.t_min is None else min(self.t_min, record.start)
             self.t_max = max(self.t_max, record.end)
-            if record.start >= self._horizon:
-                self._grow_to(record.start + 1)
-            b = record.start * _FINE_BINS // self._horizon
-            self._fine_counts[b] += 1
-            self._fine_durations[b] += record.duration
+            self._builder.add(record)
         sorted_keys = tuple(sorted(keys))
         self.frames.append(
             FrameSummary(
@@ -166,26 +151,19 @@ class _IncrementalIndex:
     def snapshot(self) -> TraceIndex:
         t_min = self.t_min if self.t_min is not None else 0
         t_max = self.t_max
-        span = max(t_max - t_min, 1)
-        counts = [0] * self.n_bins
-        durations = [0] * self.n_bins
-        fine_width = self._horizon / _FINE_BINS
-        for f in range(_FINE_BINS):
-            if not self._fine_counts[f] and not self._fine_durations[f]:
-                continue
-            mid = (f + 0.5) * fine_width
-            b = min(max(int((mid - t_min) * self.n_bins / span), 0), self.n_bins - 1)
-            counts[b] += self._fine_counts[f]
-            durations[b] += self._fine_durations[f]
+        built = self._builder.build()
         return TraceIndex(
             source_size=self._size,
             source_sha256=self._sha.copy().digest(),
             t_min=t_min,
             t_max=t_max,
             n_bins=self.n_bins,
-            bins=tuple(zip(counts, durations)),
+            bins=built.bins,
             frames=list(self.frames),
             postings={k: tuple(v) for k, v in self.postings.items()},
+            bin_origin=built.bin_origin,
+            bin_shift=built.bin_shift,
+            utilization=built.utilization,
         )
 
 
@@ -444,6 +422,9 @@ class LiveSlogWriter(_LiveWriterBase):
                 for f in live.frames
             ],
             postings=live.postings,
+            bin_origin=live.bin_origin,
+            bin_shift=live.bin_shift,
+            utilization=live.utilization,
         )
         write_index(final, index_path_for(self.path))
 

@@ -51,6 +51,13 @@ from repro.query.indexfile import (
 from repro.query.model import Aggregate, Query, ThreadSel
 from repro.query.planner import MODE_FULL_SCAN, MODE_INDEXED, QueryPlan, plan_query
 from repro.query.trace import TraceHandle, open_trace, trace_kind
+from repro.query.utilization import (
+    UtilizationBuilder,
+    UtilizationIndex,
+    cpu_key,
+    split_thread_key,
+    thread_key,
+)
 
 __all__ = [
     "Aggregate",
@@ -68,8 +75,11 @@ __all__ = [
     "ThreadSel",
     "TraceHandle",
     "TraceIndex",
+    "UtilizationBuilder",
+    "UtilizationIndex",
     "batch_from_records",
     "build_index",
+    "cpu_key",
     "decode_frame_batch",
     "execute",
     "index_path_for",
@@ -81,6 +91,8 @@ __all__ = [
     "planned_records",
     "resolve_index",
     "run_query",
+    "split_thread_key",
+    "thread_key",
     "trace_kind",
     "window_to_ticks",
     "write_index",

@@ -25,6 +25,16 @@ source size must match; then, if the source's mtime is not newer than the
 sidecar's, the index is trusted; otherwise the recorded SHA-256 of the
 source content is re-verified — an atomic replace with identical bytes
 keeps the index valid, any content change invalidates it.
+
+Format **version 2** (version 1 sidecars still decode) adds two things:
+
+* the coarse time bins move from a span-relative grid to an **absolute
+  power-of-two grid** (``bin_origin``/``bin_shift``: bin ``b`` covers
+  ``[(bin_origin + b) << bin_shift, ...)``), so :func:`extend_index` is
+  exact — an extended index is bit-identical to a full rebuild;
+* a **utilization section** (:mod:`repro.query.utilization`): per-thread
+  and per-CPU busy/count/state-histogram bins at power-of-two
+  resolutions, the aggregate store behind density-capped views.
 """
 
 from __future__ import annotations
@@ -40,9 +50,18 @@ from repro.core.atomicio import AtomicFile
 from repro.core.windows import overlaps_window
 from repro.errors import FormatError
 from repro.query.trace import TraceHandle
+from repro.query.utilization import (
+    UtilizationBuilder,
+    UtilizationIndex,
+    split_thread_key,
+    thread_key,
+)
 
 MAGIC = b"UTEIDX1\x00"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :meth:`TraceIndex.decode` accepts (v1 lacks the absolute bin
+#: grid and the utilization section; it still plans queries).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Suffix appended to the trace file's full name (``run.slog.uteidx``).
 SIDECAR_SUFFIX = ".uteidx"
@@ -59,21 +78,12 @@ DEFAULT_TIME_BINS = 64
 _HEADER = struct.Struct("<8sII")          # magic, version, flags
 _SOURCE = struct.Struct("<Q32s")          # source size, sha256
 _SPAN = struct.Struct("<qqIIII")          # t_min, t_max, n_frames, n_bins, n_postings, reserved
+_BINGRID = struct.Struct("<qI")           # v2: bin grid origin, bin grid shift
 _FRAME = struct.Struct("<QQQQII")         # offset, size, start, end, n_records, n_thread_keys
 _BIN = struct.Struct("<QQ")               # record count, summed duration
 _POSTING = struct.Struct("<QI")           # thread key, n_frames
 
 _DECODE_ERRORS = (struct.error, IndexError, ValueError, OverflowError)
-
-
-def thread_key(node: int, thread: int) -> int:
-    """Pack a (node, thread) pair into the index's 64-bit thread key."""
-    return ((node & 0xFFFFFFFF) << 32) | (thread & 0xFFFFFFFF)
-
-
-def split_thread_key(key: int) -> tuple[int, int]:
-    """Unpack a 64-bit thread key back into (node, thread)."""
-    return key >> 32, key & 0xFFFFFFFF
 
 
 def type_bit_set(bitmap: bytearray, itype: int) -> None:
@@ -112,7 +122,13 @@ class FrameSummary:
 
 @dataclass
 class TraceIndex:
-    """A parsed (or freshly built) sidecar index."""
+    """A parsed (or freshly built) sidecar index.
+
+    In a version-2 index the coarse ``bins`` live on the absolute grid:
+    bin ``b`` covers ``[(bin_origin + b) << bin_shift, ...)`` ticks, and
+    ``utilization`` carries the per-lane aggregate hierarchy.  A decoded
+    version-1 index has ``bin_origin``/``bin_shift`` of ``None`` (its
+    bins are span-relative) and no utilization."""
 
     source_size: int
     source_sha256: bytes
@@ -123,6 +139,9 @@ class TraceIndex:
     frames: list[FrameSummary]
     postings: dict[int, tuple[int, ...]]
     version: int = FORMAT_VERSION
+    bin_origin: int | None = None
+    bin_shift: int | None = None
+    utilization: UtilizationIndex | None = None
 
     # -------------------------------------------------------------- queries
 
@@ -145,7 +164,7 @@ class TraceIndex:
 
     def summary(self) -> dict:
         """JSON-friendly overview (``ute-query --build-index`` prints it)."""
-        return {
+        out = {
             "version": self.version,
             "frames": len(self.frames),
             "threads": len(self.postings),
@@ -154,11 +173,16 @@ class TraceIndex:
             "records": sum(count for count, _ in self.bins),
             "source_sha256": self.source_sha256.hex(),
         }
+        if self.utilization is not None:
+            out["utilization"] = self.utilization.summary()
+        return out
 
     # ------------------------------------------------------------- encoding
 
     def encode(self) -> bytes:
-        """Serialize; deterministic for a given trace content."""
+        """Serialize; deterministic for a given trace content.  A decoded
+        version-1 index re-encodes in its own layout (byte-preserving);
+        everything freshly built writes version 2."""
         out = bytearray()
         out += _HEADER.pack(MAGIC, self.version, 0)
         out += _SOURCE.pack(self.source_size, self.source_sha256)
@@ -166,6 +190,8 @@ class TraceIndex:
             self.t_min, self.t_max, len(self.frames), self.n_bins,
             len(self.postings), 0,
         )
+        if self.version >= 2:
+            out += _BINGRID.pack(self.bin_origin or 0, self.bin_shift or 0)
         for f in self.frames:
             out += _FRAME.pack(
                 f.offset, f.size, f.start_time, f.end_time,
@@ -180,6 +206,11 @@ class TraceIndex:
             ordinals = self.postings[key]
             out += _POSTING.pack(key, len(ordinals))
             out += struct.pack(f"<{len(ordinals)}I", *ordinals)
+        if self.version >= 2:
+            if self.utilization is not None:
+                out += self.utilization.encode()
+            else:
+                out += UtilizationIndex.encode_absent()
         out += struct.pack("<I", zlib.crc32(bytes(out)))
         return bytes(out)
 
@@ -192,7 +223,7 @@ class TraceIndex:
             magic, version, _flags = _HEADER.unpack_from(data, 0)
             if magic != MAGIC:
                 raise FormatError(f"not a sidecar index (magic {magic!r})")
-            if version != FORMAT_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise FormatError(f"unsupported index version {version}")
             (crc,) = struct.unpack_from("<I", data, len(data) - 4)
             if zlib.crc32(data[:-4]) != crc:
@@ -202,6 +233,10 @@ class TraceIndex:
             pos += _SOURCE.size
             t_min, t_max, n_frames, n_bins, n_postings, _ = _SPAN.unpack_from(data, pos)
             pos += _SPAN.size
+            bin_origin = bin_shift = None
+            if version >= 2:
+                bin_origin, bin_shift = _BINGRID.unpack_from(data, pos)
+                pos += _BINGRID.size
             frames: list[FrameSummary] = []
             for ordinal in range(n_frames):
                 offset, size, start, end, n_records, n_keys = _FRAME.unpack_from(data, pos)
@@ -226,11 +261,18 @@ class TraceIndex:
                 ordinals = struct.unpack_from(f"<{count}I", data, pos)
                 pos += count * 4
                 postings[key] = ordinals
+            utilization = None
+            if version >= 2:
+                utilization, pos = UtilizationIndex.decode(data, pos)
             if pos != len(data) - 4:
                 raise FormatError("sidecar index has trailing bytes")
         except _DECODE_ERRORS as exc:
             raise FormatError(f"corrupt sidecar index ({exc})") from exc
-        return cls(source_size, sha, t_min, t_max, n_bins, tuple(bins), frames, postings)
+        return cls(
+            source_size, sha, t_min, t_max, n_bins, tuple(bins), frames, postings,
+            version=version, bin_origin=bin_origin, bin_shift=bin_shift,
+            utilization=utilization,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -263,16 +305,16 @@ def build_index(handle: TraceHandle, *, n_bins: int = DEFAULT_TIME_BINS) -> Trac
 
     Deterministic: frames are visited in file order, thread keys and
     posting lists are emitted sorted, and nothing time- or
-    environment-dependent is recorded.
+    environment-dependent is recorded.  Coarse time bins live on an
+    absolute power-of-two grid (``bin_origin``/``bin_shift``) and the
+    per-lane utilization hierarchy is accumulated in the same pass.
     """
     if n_bins < 1:
         raise FormatError(f"need at least one time bin, got {n_bins}")
     frames = handle.frames
     t_min = min((f.start_time for f in frames), default=0)
     t_max = max((f.end_time for f in frames), default=0)
-    span = max(t_max - t_min, 1)
-    bin_counts = [0] * n_bins
-    bin_durations = [0] * n_bins
+    builder = UtilizationBuilder(coarse_bins=n_bins)
     summaries: list[FrameSummary] = []
     postings: dict[int, list[int]] = {}
     for frame in frames:
@@ -281,10 +323,7 @@ def build_index(handle: TraceHandle, *, n_bins: int = DEFAULT_TIME_BINS) -> Trac
         for record in handle.read_frame(frame.ordinal):
             type_bit_set(bits, record.itype)
             keys.add(thread_key(record.node, record.thread))
-            b = min((record.start - t_min) * n_bins // span, n_bins - 1)
-            b = max(b, 0)
-            bin_counts[b] += 1
-            bin_durations[b] += record.duration
+            builder.add(record)
         sorted_keys = tuple(sorted(keys))
         summaries.append(
             FrameSummary(
@@ -294,15 +333,19 @@ def build_index(handle: TraceHandle, *, n_bins: int = DEFAULT_TIME_BINS) -> Trac
         )
         for key in sorted_keys:
             postings.setdefault(key, []).append(frame.ordinal)
+    built = builder.build()
     return TraceIndex(
         source_size=os.stat(handle.path).st_size,
         source_sha256=hash_file(handle.path),
         t_min=t_min,
         t_max=t_max,
         n_bins=n_bins,
-        bins=tuple(zip(bin_counts, bin_durations)),
+        bins=built.bins,
         frames=summaries,
         postings={k: tuple(v) for k, v in postings.items()},
+        bin_origin=built.bin_origin,
+        bin_shift=built.bin_shift,
+        utilization=built.utilization,
     )
 
 
@@ -397,15 +440,20 @@ def extend_index(handle: TraceHandle, base: TraceIndex) -> TraceIndex:
 
     The base's frames must be a byte-level prefix of the handle's
     (verified; :class:`FormatError` otherwise — the caller falls back to
-    :func:`build_index`).  Frame summaries and posting lists come out
-    exactly as a full rebuild would produce them; the coarse time bins
-    are *redistributed*: each base bin's totals land wholly in the new
-    bin containing its midpoint, then tail records accumulate exactly —
-    totals are preserved, the distribution is approximate at old-bin
-    granularity."""
+    :func:`build_index`).  The result is **exact**: because coarse bins
+    and utilization cells live on an absolute power-of-two grid, the
+    base's aggregates are re-seeded at their persisted shifts, tail
+    records accumulate on the same grid, and the extended index equals a
+    full rebuild bit for bit.  A version-1 base (no grid, no
+    utilization section) cannot be extended exactly and raises
+    :class:`FormatError`, sending the caller down the rebuild path."""
     frames = handle.frames
     if len(base.frames) > len(frames):
         raise FormatError("index prefix has more frames than the trace")
+    if base.utilization is None or base.bin_origin is None or base.bin_shift is None:
+        raise FormatError(
+            "index predates the utilization section; rebuild required"
+        )
     for have, want in zip(base.frames, frames):
         if (
             have.offset != want.offset
@@ -425,19 +473,9 @@ def extend_index(handle: TraceHandle, base: TraceIndex) -> TraceIndex:
     else:
         t_min = min((f.start_time for f in tail), default=0)
         t_max = max((f.end_time for f in tail), default=0)
-    span = max(t_max - t_min, 1)
-    bin_counts = [0] * n_bins
-    bin_durations = [0] * n_bins
-    if base.frames:
-        old_span = max(base.t_max - base.t_min, 1)
-        old_width = old_span / n_bins
-        for b, (count, duration) in enumerate(base.bins):
-            if not count and not duration:
-                continue
-            mid = base.t_min + (b + 0.5) * old_width
-            nb = min(max(int((mid - t_min) * n_bins / span), 0), n_bins - 1)
-            bin_counts[nb] += count
-            bin_durations[nb] += duration
+    builder = UtilizationBuilder.from_aggregates(
+        base.utilization, base.bin_origin, base.bin_shift, base.bins,
+    )
     summaries = list(base.frames)
     postings: dict[int, list[int]] = {k: list(v) for k, v in base.postings.items()}
     for frame in tail:
@@ -446,10 +484,7 @@ def extend_index(handle: TraceHandle, base: TraceIndex) -> TraceIndex:
         for record in handle.read_frame(frame.ordinal):
             type_bit_set(bits, record.itype)
             keys.add(thread_key(record.node, record.thread))
-            b = min((record.start - t_min) * n_bins // span, n_bins - 1)
-            b = max(b, 0)
-            bin_counts[b] += 1
-            bin_durations[b] += record.duration
+            builder.add(record)
         sorted_keys = tuple(sorted(keys))
         summaries.append(
             FrameSummary(
@@ -459,13 +494,17 @@ def extend_index(handle: TraceHandle, base: TraceIndex) -> TraceIndex:
         )
         for key in sorted_keys:
             postings.setdefault(key, []).append(frame.ordinal)
+    built = builder.build()
     return TraceIndex(
         source_size=os.stat(handle.path).st_size,
         source_sha256=hash_file(handle.path),
         t_min=t_min,
         t_max=t_max,
         n_bins=n_bins,
-        bins=tuple(zip(bin_counts, bin_durations)),
+        bins=built.bins,
         frames=summaries,
         postings={k: tuple(v) for k, v in postings.items()},
+        bin_origin=built.bin_origin,
+        bin_shift=built.bin_shift,
+        utilization=built.utilization,
     )

@@ -1,0 +1,590 @@
+"""Sparse utilization hierarchy: aggregate answers for any zoom level.
+
+The frame display is O(frame), but a *wide* window — the whole run of a
+multi-GB trace — still touches every record it covers.  This module is
+the aggregate layer that breaks that dependency: per-thread (and
+per-CPU) utilization bins at power-of-two resolutions, so a view over
+any window answers from O(pixels · levels) dictionary lookups instead of
+record decodes (Traveler's sparse utilization lists, with the
+drill-down-below-a-density-threshold discipline of aggregate-driven
+visualization).
+
+Every bin lives on an **absolute power-of-two grid**: at shift ``k`` a
+bin covers ``[i << k, (i + 1) << k)`` ticks and a timestamp ``t`` falls
+in bin ``t >> k``.  Two sibling bins at shift ``k`` merge *exactly* into
+their parent at ``k + 1`` — counts add, per-state busy overlaps add —
+which buys three properties the span-relative grids of earlier formats
+could not offer:
+
+* **determinism** — the finest shift and the level count are pure
+  functions of the record span, never of arrival order;
+* **exact extension** — extending an index over appended frames folds
+  the old bins onto the (possibly coarser) new grid and lands on
+  *bit-identical* bytes to a full rebuild;
+* **exact live incrementality** — the streaming writer's snapshot is the
+  same structure a post-hoc rebuild of the assembled file produces.
+
+Each occupied bin carries the **record count** (records *starting* in
+the bin), and a **per-state busy histogram** (clipped overlap of every
+record against the bin, keyed by interval type); total busy duration is
+the histogram sum and the dominant state is its argmax.  Clock pairs and
+zero-duration pseudo-pieces are excluded, mirroring what the piece views
+draw.  All levels are persisted (a geometric sum, at most twice the
+finest level) so any zoom is a direct lookup.
+
+The same builder also accumulates the sidecar's **coarse time bins**
+(count + summed duration, attributed by record start, every record
+included) on the same absolute grid, which is what makes
+:func:`repro.query.indexfile.extend_index` exact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.records import IntervalRecord, IntervalType
+from repro.errors import FormatError
+
+__all__ = [
+    "DEFAULT_BASE_BINS",
+    "BuiltAggregates",
+    "UtilizationBuilder",
+    "UtilizationIndex",
+    "cpu_key",
+    "dominant_state",
+    "levels_for_span",
+    "shift_for_span",
+    "split_thread_key",
+    "thread_key",
+]
+
+#: Target number of occupied bins at the finest level: the finest shift is
+#: the smallest ``k`` with ``(t_max >> k) - (t_min >> k) + 1 <= cap``.
+DEFAULT_BASE_BINS = 4096
+
+#: Hard ceiling on persisted levels (2^48 ticks at nanosecond resolution
+#: is three days — no trace outgrows this).
+MAX_LEVELS = 48
+
+_UTIL_HEADER = struct.Struct("<IIqqII")  # base_shift, n_levels, t_min, t_max, n_thread, n_cpu
+_LANE = struct.Struct("<QI")             # lane key, n_cells of level 0 (levels follow)
+_LEVEL = struct.Struct("<I")             # n_cells of one level
+_CELL = struct.Struct("<qIH")            # bin index, record count, n_states
+_STATE = struct.Struct("<IQ")            # interval type, busy ticks
+
+#: One occupied bin: (records starting here, {interval type: busy ticks}).
+Cell = tuple[int, dict[int, int]]
+
+
+def thread_key(node: int, thread: int) -> int:
+    """Pack a (node, thread) pair into a 64-bit lane key."""
+    return ((node & 0xFFFFFFFF) << 32) | (thread & 0xFFFFFFFF)
+
+
+def split_thread_key(key: int) -> tuple[int, int]:
+    """Unpack a 64-bit lane key back into its (node, sub) pair."""
+    return key >> 32, key & 0xFFFFFFFF
+
+
+def cpu_key(node: int, cpu: int) -> int:
+    """Pack a (node, cpu) pair into a 64-bit lane key (same scheme as
+    :func:`thread_key`; the two key spaces never mix)."""
+    return ((node & 0xFFFFFFFF) << 32) | (cpu & 0xFFFFFFFF)
+
+
+def shift_for_span(t_min: int, t_max: int, cap: int) -> int:
+    """The smallest shift whose grid covers ``[t_min, t_max]`` in at most
+    ``cap`` bins — deterministic in the span alone, and monotone: a wider
+    span can only yield an equal or larger shift (the extension-exactness
+    invariant)."""
+    k = 0
+    while (t_max >> k) - (t_min >> k) + 1 > cap:
+        k += 1
+    return k
+
+
+def levels_for_span(t_min: int, t_max: int, base_shift: int) -> int:
+    """Number of levels from ``base_shift`` until one bin holds the whole
+    span (so the coarsest level answers any window in O(1))."""
+    n = 1
+    while (
+        (t_max >> (base_shift + n - 1)) != (t_min >> (base_shift + n - 1))
+        and n < MAX_LEVELS
+    ):
+        n += 1
+    return n
+
+
+def dominant_state(states: dict[int, int]) -> int:
+    """The state with the largest busy share (smallest type id on ties,
+    so the answer is deterministic)."""
+    return min(states, key=lambda s: (-states[s], s))
+
+
+def _fold_cells(cells: dict[int, Cell]) -> dict[int, Cell]:
+    """Merge sibling bins into their parents (one shift step, exact)."""
+    out: dict[int, Cell] = {}
+    for idx, (count, states) in cells.items():
+        parent = idx >> 1
+        prior = out.get(parent)
+        if prior is None:
+            out[parent] = (count, dict(states))
+        else:
+            merged = prior[1]
+            for state, busy in states.items():
+                merged[state] = merged.get(state, 0) + busy
+            out[parent] = (prior[0] + count, merged)
+    return out
+
+
+def _fold_cells_to(cells: dict[int, Cell], steps: int) -> dict[int, Cell]:
+    out = {idx: (count, dict(states)) for idx, (count, states) in cells.items()}
+    for _ in range(steps):
+        out = _fold_cells(out)
+    return out
+
+
+@dataclass
+class UtilizationIndex:
+    """The persisted hierarchy: per-lane sparse bins at every level.
+
+    ``thread`` maps :func:`thread_key` lanes, ``cpu`` maps
+    :func:`cpu_key` lanes; each lane holds ``n_levels`` sparse bin maps,
+    level ``L`` at shift ``base_shift + L``.  ``t_min``/``t_max`` are the
+    extremes over *all* records (the builder's span — what extension
+    needs to reproduce the grid exactly)."""
+
+    base_shift: int
+    n_levels: int
+    t_min: int
+    t_max: int
+    thread: dict[int, list[dict[int, Cell]]]
+    cpu: dict[int, list[dict[int, Cell]]]
+
+    # -------------------------------------------------------------- queries
+
+    def lanes(self, kind: str) -> dict[int, list[dict[int, Cell]]]:
+        if kind == "thread":
+            return self.thread
+        if kind == "cpu":
+            return self.cpu
+        raise FormatError(f"unknown lane kind {kind!r}; pick 'thread' or 'cpu'")
+
+    def level_for(self, t0: int, t1: int, max_bins: int) -> int:
+        """The finest level whose bin count over ``[t0, t1]`` fits
+        ``max_bins`` (the coarsest level as a last resort)."""
+        for level in range(self.n_levels):
+            k = self.base_shift + level
+            if (t1 >> k) - (t0 >> k) + 1 <= max_bins:
+                return level
+        return self.n_levels - 1
+
+    def query(
+        self, kind: str, t0: int, t1: int, max_bins: int
+    ) -> tuple[int, dict[int, list[tuple[int, int, int, int, dict[int, int]]]]]:
+        """Aggregate cells over a window, at the finest level that fits.
+
+        Returns ``(shift, {lane_key: [(bin_t0, bin_t1, count, busy,
+        states), ...]})`` — pure dictionary lookups, no trace IO.  The
+        window is clamped to the indexed span."""
+        lanes = self.lanes(kind)
+        t0 = max(t0, self.t_min)
+        t1 = min(max(t1, t0), self.t_max)
+        level = self.level_for(t0, t1, max_bins)
+        k = self.base_shift + level
+        b0, b1 = t0 >> k, t1 >> k
+        out: dict[int, list[tuple[int, int, int, int, dict[int, int]]]] = {}
+        for key in sorted(lanes):
+            cells = lanes[key][level]
+            picked = []
+            for idx in range(b0, b1 + 1):
+                cell = cells.get(idx)
+                if cell is None:
+                    continue
+                count, states = cell
+                picked.append(
+                    (idx << k, (idx + 1) << k, count, sum(states.values()), states)
+                )
+            if picked:
+                out[key] = picked
+        return k, out
+
+    def summary(self) -> dict:
+        return {
+            "base_shift": self.base_shift,
+            "levels": self.n_levels,
+            "thread_lanes": len(self.thread),
+            "cpu_lanes": len(self.cpu),
+            "time_range": [self.t_min, self.t_max],
+        }
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self) -> bytes:
+        """Serialize the hierarchy section (deterministic: lanes sorted by
+        key, cells by bin index, states by type)."""
+        out = bytearray()
+        out += _UTIL_HEADER.pack(
+            self.base_shift, self.n_levels, self.t_min, self.t_max,
+            len(self.thread), len(self.cpu),
+        )
+        for lanes in (self.thread, self.cpu):
+            for key in sorted(lanes):
+                levels = lanes[key]
+                out += _LANE.pack(key, len(levels[0]))
+                for li, cells in enumerate(levels):
+                    if li:
+                        out += _LEVEL.pack(len(cells))
+                    for idx in sorted(cells):
+                        count, states = cells[idx]
+                        out += _CELL.pack(idx, count, len(states))
+                        for state in sorted(states):
+                            out += _STATE.pack(state, states[state])
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, pos: int) -> tuple["UtilizationIndex | None", int]:
+        """Parse one hierarchy section starting at ``pos``.  A zero-level
+        header means "no utilization recorded" and decodes to ``None``."""
+        base_shift, n_levels, t_min, t_max, n_thread, n_cpu = _UTIL_HEADER.unpack_from(
+            data, pos
+        )
+        pos += _UTIL_HEADER.size
+        if n_levels == 0:
+            return None, pos
+        if n_levels > MAX_LEVELS:
+            raise FormatError(f"utilization section claims {n_levels} levels")
+
+        def read_lanes(n: int) -> dict[int, list[dict[int, Cell]]]:
+            nonlocal pos
+            lanes: dict[int, list[dict[int, Cell]]] = {}
+            for _ in range(n):
+                key, n_cells = _LANE.unpack_from(data, pos)
+                pos += _LANE.size
+                levels: list[dict[int, Cell]] = []
+                for li in range(n_levels):
+                    if li:
+                        (n_cells,) = _LEVEL.unpack_from(data, pos)
+                        pos += _LEVEL.size
+                    cells: dict[int, Cell] = {}
+                    for _ in range(n_cells):
+                        idx, count, n_states = _CELL.unpack_from(data, pos)
+                        pos += _CELL.size
+                        states: dict[int, int] = {}
+                        for _ in range(n_states):
+                            state, busy = _STATE.unpack_from(data, pos)
+                            pos += _STATE.size
+                            states[state] = busy
+                        cells[idx] = (count, states)
+                    levels.append(cells)
+                lanes[key] = levels
+            return lanes
+
+        thread = read_lanes(n_thread)
+        cpu = read_lanes(n_cpu)
+        return cls(base_shift, n_levels, t_min, t_max, thread, cpu), pos
+
+    @staticmethod
+    def encode_absent() -> bytes:
+        """The section bytes for an index without utilization data."""
+        return _UTIL_HEADER.pack(0, 0, 0, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class BuiltAggregates:
+    """Everything one builder pass produces: the hierarchy plus the coarse
+    time-bin grid the sidecar's fixed ``bins`` array publishes."""
+
+    utilization: UtilizationIndex
+    bin_origin: int
+    bin_shift: int
+    bins: tuple[tuple[int, int], ...]
+
+
+#: Ceiling on the bins a single record may span at the accumulation
+#: shift.  Without it, a long record arriving while the occupied range —
+#: and therefore the shift — is still small costs O(duration/width) bin
+#: writes, which makes streaming accumulation quadratic-ish on regular
+#: traces.  With it, accumulation is O(_RECORD_BINS) per record and the
+#: finest published level is at worst ``longest_record / span`` * cap /
+#: _RECORD_BINS coarser than the range-optimal shift.  Like the range
+#: rule, this constraint is a function of the record multiset only, so
+#: the final shift stays independent of arrival order — the property the
+#: extend-vs-rebuild byte-exactness proof rests on.
+_RECORD_BINS = 64
+
+
+class _LaneAccum:
+    """Per-lane busy accumulation at one (growing) shift.
+
+    Folds every lane one shift step whenever the occupied global bin
+    range outgrows ``cap`` or one record would span more than
+    :data:`_RECORD_BINS` bins — the final shift is the smallest
+    satisfying both over all records, independent of arrival order."""
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.shift = 0
+        self.lanes: dict[int, dict[int, list]] = {}
+        self._lo: int | None = None
+        self._hi = 0
+
+    def ensure(self, lo_t: int, hi_t: int) -> None:
+        while True:
+            k = self.shift
+            lo, hi = lo_t >> k, hi_t >> k
+            record_ok = hi - lo + 1 <= _RECORD_BINS
+            if self._lo is not None:
+                lo, hi = min(lo, self._lo), max(hi, self._hi)
+            if record_ok and hi - lo + 1 <= self.cap:
+                self._lo, self._hi = lo, hi
+                return
+            for key, cells in self.lanes.items():
+                folded: dict[int, list] = {}
+                for idx, cell in cells.items():
+                    prior = folded.get(idx >> 1)
+                    if prior is None:
+                        folded[idx >> 1] = cell
+                    else:
+                        prior[0] += cell[0]
+                        states = prior[1]
+                        for state, busy in cell[1].items():
+                            states[state] = states.get(state, 0) + busy
+                self.lanes[key] = folded
+            self.shift += 1
+            if self._lo is not None:
+                self._lo >>= 1
+                self._hi >>= 1
+
+    def add(self, key: int, record: IntervalRecord) -> None:
+        k = self.shift
+        itype = record.itype
+        start, end = record.start, record.end
+        cells = self.lanes.setdefault(key, {})
+        first = start >> k
+        last = (end - 1) >> k
+        if first == last:
+            cell = cells.get(first)
+            if cell is None:
+                cells[first] = [1, {itype: end - start}]
+            else:
+                cell[0] += 1
+                states = cell[1]
+                states[itype] = states.get(itype, 0) + (end - start)
+            return
+        # Interior bins are fully covered; only the edge bins are partial.
+        width = 1 << k
+        overlap = ((first + 1) << k) - start
+        count = 1
+        for idx in range(first, last + 1):
+            cell = cells.get(idx)
+            if cell is None:
+                cells[idx] = [count, {itype: overlap}]
+            else:
+                cell[0] += count
+                states = cell[1]
+                states[itype] = states.get(itype, 0) + overlap
+            count = 0
+            overlap = width if idx + 1 < last else end - (last << k)
+
+    def seed(self, key: int, cells: dict[int, Cell]) -> None:
+        mut = {idx: [count, dict(states)] for idx, (count, states) in cells.items()}
+        self.lanes[key] = mut
+        for idx in mut:
+            lo = idx if self._lo is None else min(idx, self._lo)
+            hi = idx if self._lo is None else max(idx, self._hi)
+            self._lo, self._hi = lo, hi
+
+    def frozen(self, target_shift: int) -> dict[int, dict[int, Cell]]:
+        """Copies of every lane folded up to ``target_shift``."""
+        steps = target_shift - self.shift
+        if steps < 0:
+            raise FormatError(
+                f"accumulated shift {self.shift} exceeds target {target_shift}"
+            )
+        return {
+            key: _fold_cells_to(
+                {idx: (c[0], c[1]) for idx, c in cells.items()}, steps
+            )
+            for key, cells in self.lanes.items()
+        }
+
+
+class _StartAccum:
+    """The coarse-bin accumulator: (count, summed duration) keyed by the
+    bin containing each record's *start* — every record included, exactly
+    the semantics the v1 sidecar's ``bins`` array had, now on the
+    absolute grid so folds (and therefore extension) are exact."""
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.shift = 0
+        self.cells: dict[int, list] = {}
+        self._lo: int | None = None
+        self._hi = 0
+
+    def ensure(self, t: int) -> None:
+        while True:
+            k = self.shift
+            lo = hi = t >> k
+            if self._lo is not None:
+                lo, hi = min(lo, self._lo), max(hi, self._hi)
+            if hi - lo + 1 <= self.cap:
+                self._lo, self._hi = lo, hi
+                return
+            folded: dict[int, list] = {}
+            for idx, cell in self.cells.items():
+                prior = folded.get(idx >> 1)
+                if prior is None:
+                    folded[idx >> 1] = cell
+                else:
+                    prior[0] += cell[0]
+                    prior[1] += cell[1]
+            self.cells = folded
+            self.shift += 1
+            if self._lo is not None:
+                self._lo >>= 1
+                self._hi >>= 1
+
+    def add(self, start: int, duration: int) -> None:
+        cell = self.cells.get(start >> self.shift)
+        if cell is None:
+            self.cells[start >> self.shift] = [1, duration]
+        else:
+            cell[0] += 1
+            cell[1] += duration
+
+    def seed(self, origin: int, shift: int, bins) -> None:
+        self.shift = shift
+        for i, (count, duration) in enumerate(bins):
+            if not count and not duration:
+                continue
+            self.cells[origin + i] = [count, duration]
+            lo = origin + i if self._lo is None else min(origin + i, self._lo)
+            hi = origin + i if self._lo is None else max(origin + i, self._hi)
+            self._lo, self._hi = lo, hi
+
+    def grid(
+        self, t_min: int, t_max: int, n_bins: int
+    ) -> tuple[int, int, tuple[tuple[int, int], ...]]:
+        """Fold (a copy) onto the published grid: ``n_bins`` entries from
+        ``t_min >> shift``, shift the smallest that fits the span."""
+        shift = shift_for_span(t_min, t_max, n_bins)
+        steps = shift - self.shift
+        if steps < 0:
+            raise FormatError(
+                f"coarse shift {self.shift} exceeds grid shift {shift}"
+            )
+        cells = {idx: list(cell) for idx, cell in self.cells.items()}
+        for _ in range(steps):
+            folded: dict[int, list] = {}
+            for idx, cell in cells.items():
+                prior = folded.get(idx >> 1)
+                if prior is None:
+                    folded[idx >> 1] = cell
+                else:
+                    prior[0] += cell[0]
+                    prior[1] += cell[1]
+            cells = folded
+        origin = t_min >> shift
+        bins = tuple(
+            tuple(cells.get(origin + i, (0, 0))) for i in range(n_bins)
+        )
+        return origin, shift, bins
+
+
+class UtilizationBuilder:
+    """Streams records into the exact absolute-grid aggregates.
+
+    Used identically by :func:`~repro.query.indexfile.build_index` (full
+    pass), :func:`~repro.query.indexfile.extend_index` (seeded from the
+    base index, tail records appended), and the live writer's incremental
+    index (records as frames seal) — all three land on the same bytes.
+    """
+
+    def __init__(self, *, base_bins: int = DEFAULT_BASE_BINS, coarse_bins: int = 64) -> None:
+        if base_bins < coarse_bins:
+            raise FormatError(
+                f"base bins {base_bins} must be >= coarse bins {coarse_bins}"
+            )
+        self.base_bins = base_bins
+        self.coarse_bins = coarse_bins
+        self.t_min: int | None = None
+        self.t_max = 0
+        self._threads = _LaneAccum(base_bins)
+        self._cpus = _LaneAccum(base_bins)
+        self._coarse = _StartAccum(coarse_bins)
+
+    def add(self, record: IntervalRecord) -> None:
+        """Account one record (any order; grids are absolute)."""
+        self.t_min = (
+            record.start if self.t_min is None else min(self.t_min, record.start)
+        )
+        self.t_max = max(self.t_max, record.end)
+        self._coarse.ensure(record.start)
+        self._coarse.add(record.start, record.duration)
+        if record.duration <= 0 or record.itype == IntervalType.CLOCKPAIR:
+            return
+        hi = record.end - 1
+        self._threads.ensure(record.start, hi)
+        self._threads.add(thread_key(record.node, record.thread), record)
+        self._cpus.ensure(record.start, hi)
+        self._cpus.add(cpu_key(record.node, record.cpu), record)
+
+    @classmethod
+    def from_aggregates(
+        cls,
+        base: "UtilizationIndex",
+        bin_origin: int,
+        bin_shift: int,
+        bins,
+        *,
+        base_bins: int = DEFAULT_BASE_BINS,
+    ) -> "UtilizationBuilder":
+        """Resume accumulation from a decoded index — the extension path.
+
+        Seeds the lane accumulators from the hierarchy's finest level and
+        the coarse accumulator from the published grid; both are exact
+        representations at their shifts, so appended records continue
+        folding exactly where a rebuild would."""
+        builder = cls(base_bins=base_bins, coarse_bins=len(bins))
+        if sum(count for count, _ in bins) == 0:
+            return builder
+        builder.t_min, builder.t_max = base.t_min, base.t_max
+        for accum, lanes in ((builder._threads, base.thread), (builder._cpus, base.cpu)):
+            accum.shift = base.base_shift
+            for key in lanes:
+                accum.seed(key, lanes[key][0])
+        builder._coarse.seed(bin_origin, bin_shift, bins)
+        return builder
+
+    def build(self) -> BuiltAggregates:
+        """Freeze the accumulated state onto the deterministic grids (the
+        builder stays usable — live snapshots call this per epoch)."""
+        t_min = 0 if self.t_min is None else self.t_min
+        t_max = max(self.t_max, t_min)
+        base_shift = max(
+            shift_for_span(t_min, t_max, self.base_bins),
+            self._threads.shift,
+            self._cpus.shift,
+        )
+        n_levels = levels_for_span(t_min, t_max, base_shift)
+        thread = self._levels(self._threads, base_shift, n_levels)
+        cpu = self._levels(self._cpus, base_shift, n_levels)
+        origin, shift, bins = self._coarse.grid(t_min, t_max, self.coarse_bins)
+        util = UtilizationIndex(base_shift, n_levels, t_min, t_max, thread, cpu)
+        return BuiltAggregates(util, origin, shift, bins)
+
+    @staticmethod
+    def _levels(
+        accum: _LaneAccum, base_shift: int, n_levels: int
+    ) -> dict[int, list[dict[int, Cell]]]:
+        finest = accum.frozen(base_shift)
+        out: dict[int, list[dict[int, Cell]]] = {}
+        for key, cells in finest.items():
+            levels = [cells]
+            for _ in range(1, n_levels):
+                levels.append(_fold_cells(levels[-1]))
+            out[key] = levels
+        return out

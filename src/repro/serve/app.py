@@ -644,10 +644,19 @@ class TraceServer:
         if len(segs) == 2 and segs[0] == "view":
             kind = segs[1]
             tag = "view-" + hashlib.sha1(
-                f"{kind}?t={request.query.get('t', '')}&w={request.query.get('width', '')}"
+                f"{kind}?t={request.query.get('t', '')}"
+                f"&window={request.query.get('window', '')}"
+                f"&w={request.query.get('width', '')}"
                 .encode()
             ).hexdigest()[:16]
             return "/view/{kind}", lambda r: self._h_view(r, kind), tag
+        if segs == ["utilization"]:
+            tag = "util-" + hashlib.sha1(
+                "\x00".join(
+                    request.query.get(k, "") for k in ("lane", "window", "bins")
+                ).encode()
+            ).hexdigest()[:16]
+            return "/utilization", self._h_utilization, tag
         if segs == ["stats"]:
             tag = "stats-" + hashlib.sha1(
                 "\x00".join(
@@ -768,18 +777,55 @@ class TraceServer:
         return response
 
     def _h_view(self, request: Request, kind: str) -> Response:
-        if "t" not in request.query:
-            raise _HttpError(400, "missing required query parameter 't' (seconds)")
-        try:
-            t_seconds = float(request.query["t"])
-        except ValueError:
-            raise _HttpError(400, f"bad instant {request.query['t']!r}") from None
+        """``/view/{kind}?t=`` renders the frame containing an instant;
+        ``/view/{kind}?window=T0:T1`` renders an arbitrary time window
+        (aggregate-driven above the density threshold)."""
         width = self.config.svg_width
         if "width" in request.query:
             width = max(200, min(self._int_seg(request.query["width"], "width"), 4000))
-        svg, io = request.session.view_svg(kind, t_seconds, width=width)
+        window = self._parse_window_param(request)
+        if window is not None:
+            t0, t1 = window
+            if t0 is None or t1 is None:
+                raise _HttpError(400, "view window needs both bounds: T0:T1")
+            svg, io = request.session.view_svg_window(kind, t0, t1, width=width)
+        else:
+            if "t" not in request.query:
+                raise _HttpError(
+                    400,
+                    "missing required query parameter 't' (seconds) or 'window'",
+                )
+            try:
+                t_seconds = float(request.query["t"])
+            except ValueError:
+                raise _HttpError(400, f"bad instant {request.query['t']!r}") from None
+            svg, io = request.session.view_svg(kind, t_seconds, width=width)
         response = Response.text(svg, content_type="image/svg+xml")
         response.headers = {"X-UTE-Bytes-Read": str(io["bytes_read"])}
+        return response
+
+    def _h_utilization(self, request: Request) -> Response:
+        """``/utilization``: raw aggregate cells over a window — answered
+        from the sidecar's utilization hierarchy, zero trace IO (404 when
+        the dataset has no indexed hierarchy yet)."""
+        lane = request.query.get("lane", "thread")
+        if lane not in ("thread", "cpu"):
+            raise _HttpError(400, f"unknown lane {lane!r}; pick 'thread' or 'cpu'")
+        window = self._parse_window_param(request)
+        if window is not None and (window[0] is None or window[1] is None):
+            raise _HttpError(400, "utilization window needs both bounds: T0:T1")
+        bins = 512
+        if "bins" in request.query:
+            bins = max(1, min(self._int_seg(request.query["bins"], "bins"), 8192))
+        payload = request.session.utilization_payload(
+            lane, window=window, max_bins=bins
+        )
+        if payload is None:
+            raise _HttpError(
+                404, "no utilization hierarchy indexed for this dataset yet"
+            )
+        response = Response.json(payload)
+        response.headers = {"X-UTE-Bytes-Read": "0"}
         return response
 
     def _parse_window_param(

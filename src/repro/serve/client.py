@@ -241,6 +241,12 @@ class ServeClient:
         """Run ``/api/.../query`` with raw query parameters."""
         return self.request(f"{self.api_base}/query?" + urllib.parse.urlencode(params))
 
+    def utilization(self, params: dict[str, str]) -> ServeResponse:
+        """Aggregate busy-time cells from ``/api/.../utilization``."""
+        return self.request(
+            f"{self.api_base}/utilization?" + urllib.parse.urlencode(params)
+        )
+
     def export_chrome(self) -> ServeResponse:
         """The whole trace as Chrome trace-event JSON (chunked transfer;
         ``urllib`` reassembles the chunks, ETag revalidation applies)."""

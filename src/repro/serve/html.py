@@ -97,6 +97,7 @@ hover = details &nbsp; frames load lazily from the API</div></header>
   <label>view <select id="kind">__KIND_OPTIONS__</select></label>
   <button id="prev">&#8592; prev frame</button>
   <button id="next">next frame &#8594;</button>
+  <button id="whole">whole run (aggregate)</button>
   <span id="label"></span>
   <span id="status"></span>
 </div>
@@ -240,6 +241,75 @@ async function loadFrame(i) {
   } catch (err) { status_.textContent = String(err); }
 }
 
+const PALETTE = ["#4e79a7","#f28e2b","#e15759","#76b7b2","#59a14f",
+                 "#edc948","#b07aa1","#ff9da7","#9c755f","#bab0ac"];
+
+async function loadUtilization() {
+  // Whole-run heat view from the sidecar's utilization hierarchy: one
+  // aggregate fetch, zero frame loads, any trace size.
+  const lane = document.getElementById("kind").value.startsWith("processor")
+    ? "cpu" : "thread";
+  const w = main.parentElement.clientWidth;
+  const bins = Math.max(Math.floor(w - LABEL_W - 10), 16);
+  try {
+    const U = await getJSON(`${API}/utilization?lane=${lane}&bins=${bins}`);
+    FRAME = null;
+    drawUtilization(U);
+    drawPreview();
+  } catch (err) { status_.textContent = String(err); }
+}
+
+function drawUtilization(U) {
+  const w = widthOf(main);
+  const rows = U.lanes;
+  main.height = (AXIS_H + rows.length * ROW_H + 8) * devicePixelRatio;
+  main.style.height = (AXIS_H + rows.length * ROW_H + 8) + "px";
+  const ctx = main.getContext("2d");
+  ctx.setTransform(devicePixelRatio, 0, 0, devicePixelRatio, 0, 0);
+  const h = main.height / devicePixelRatio;
+  ctx.clearRect(0, 0, w, h);
+  const [t0, t1] = U.window;
+  const xOf = t => LABEL_W + (t - t0) / (t1 - t0) * (w - LABEL_W - 10);
+  ctx.font = "10px system-ui"; ctx.fillStyle = "#52514e";
+  for (let i = 0; i <= 8; i++) {
+    const t = t0 + (t1 - t0) * i / 8, x = xOf(t);
+    ctx.strokeStyle = "#e8e7e4";
+    ctx.beginPath(); ctx.moveTo(x, AXIS_H - 4); ctx.lineTo(x, h - 8); ctx.stroke();
+    ctx.textAlign = "center"; ctx.fillText(t.toPrecision(5) + "s", x, 12);
+  }
+  const colorOf = {}; let nc = 0;
+  rows.forEach((lane, i) => {
+    const y = AXIS_H + i * ROW_H;
+    const label = lane.thread !== undefined
+      ? `n${lane.node}.t${lane.thread}` : `node ${lane.node} CPU ${lane.cpu}`;
+    ctx.fillStyle = "#f1f0ed";
+    ctx.fillRect(LABEL_W, y + (ROW_H - BAR_H) / 2, w - LABEL_W - 10, BAR_H);
+    ctx.fillStyle = "#0b0b0b"; ctx.textAlign = "right"; ctx.font = "10px system-ui";
+    ctx.fillText(label.slice(0, 30), LABEL_W - 6, y + ROW_H / 2 + 3);
+    for (const c of lane.cells) {
+      if (!(c.dominant in colorOf))
+        colorOf[c.dominant] = PALETTE[nc++ % PALETTE.length];
+      ctx.globalAlpha = Math.max(c.busy_frac, 0.15);
+      ctx.fillStyle = colorOf[c.dominant];
+      ctx.fillRect(xOf(c.start), y + (ROW_H - BAR_H) / 2,
+                   Math.max(xOf(c.end) - xOf(c.start), 0.8), BAR_H);
+    }
+    ctx.globalAlpha = 1;
+  });
+  const legend = document.getElementById("legend");
+  legend.innerHTML = "";
+  for (const [itype, color] of Object.entries(colorOf)) {
+    const el = document.createElement("span");
+    const name = (U.state_names || {})[itype] || ("type " + itype);
+    el.innerHTML = `<span class="swatch" style="background:${color}"></span>` +
+      String(name).replace(/&/g, "&amp;").replace(/</g, "&lt;");
+    legend.appendChild(el);
+  }
+  document.getElementById("label").textContent =
+    `whole run (aggregate)  [${t0.toPrecision(5)}s .. ${t1.toPrecision(5)}s]  ` +
+    `bin ${U.bin_seconds.toPrecision(3)}s`;
+}
+
 main.addEventListener("mousemove", e => {
   if (!FRAME || !FRAME.view) return;
   const V = FRAME.view, w = main.width / devicePixelRatio;
@@ -271,6 +341,7 @@ prev.addEventListener("click", e => {
 });
 document.getElementById("prev").addEventListener("click", () => loadFrame(frameIdx - 1));
 document.getElementById("next").addEventListener("click", () => loadFrame(frameIdx + 1));
+document.getElementById("whole").addEventListener("click", loadUtilization);
 document.getElementById("kind").addEventListener("change", () => {
   if (frameIdx >= 0) loadFrame(frameIdx);
 });

@@ -209,11 +209,94 @@ class TraceSession:
         self, kind: str, t_seconds: float, *, width: int = 1100
     ) -> tuple[str, dict[str, int]]:
         """A rendered frame display plus the bytes-read delta of producing
-        it (``/api/view/{kind}?t=...``)."""
+        it (``/api/view/{kind}?t=...``).  Dense frames answer from the
+        sidecar's utilization hierarchy when it is available."""
         with self.lock:
             before = self.handle.stats()
-            svg = self.viewer.view_svg_at(t_seconds, kind=kind, width=width)
+            svg = self.viewer.view_svg_at(
+                t_seconds, kind=kind, width=width, index=self.index
+            )
             return svg, self._io_delta(before)
+
+    def view_svg_window(
+        self, kind: str, t0_seconds: float, t1_seconds: float, *, width: int = 1100
+    ) -> tuple[str, dict[str, int]]:
+        """A rendered view over an arbitrary window plus its bytes-read
+        delta (``/api/view/{kind}?window=T0:T1``).  Above the density
+        threshold the utilization hierarchy answers without frame IO;
+        below it every overlapping frame decodes (exact drill-down)."""
+        with self.lock:
+            before = self.handle.stats()
+            svg = self.viewer.view_svg_window(
+                t0_seconds, t1_seconds, kind=kind, width=width, index=self.index
+            )
+            return svg, self._io_delta(before)
+
+    def utilization_payload(
+        self,
+        kind: str = "thread",
+        window: tuple[float, float] | None = None,
+        max_bins: int = 512,
+    ) -> dict[str, Any] | None:
+        """Raw utilization cells over a window (``/api/utilization``) —
+        pure aggregate lookups, zero trace IO.  ``None`` when the session
+        has no sidecar utilization hierarchy (the handler answers 404)."""
+        with self.lock:
+            index = self.index
+            util = getattr(index, "utilization", None)
+            if util is None:
+                return None
+            tps = self.handle.ticks_per_sec
+            if window is not None:
+                w0, w1 = int(window[0] * tps), int(window[1] * tps)
+            else:
+                w0, w1 = util.t_min, util.t_max
+            w1 = max(w1, w0 + 1)
+            shift, lanes = util.query(kind, w0, w1, max_bins)
+            width = 1 << shift
+            record_name = self.viewer.slog.profile.record_name
+            lanes_out = []
+            for key, cells in lanes.items():
+                node, sub = key >> 32, key & 0xFFFFFFFF
+                lanes_out.append(
+                    {
+                        "node": node,
+                        ("thread" if kind == "thread" else "cpu"): sub,
+                        "cells": [
+                            {
+                                "start": bin_t0 / tps,
+                                "end": bin_t1 / tps,
+                                "count": count,
+                                "busy": busy / tps,
+                                "busy_frac": min(busy / width, 1.0),
+                                "dominant": min(
+                                    states, key=lambda s: (-states[s], s)
+                                ),
+                            }
+                            for bin_t0, bin_t1, count, busy, states in cells
+                        ],
+                    }
+                )
+            dominant_types = sorted(
+                {c["dominant"] for lane in lanes_out for c in lane["cells"]}
+            )
+            names = {}
+            for itype in dominant_types:
+                try:
+                    names[str(itype)] = record_name(itype)
+                except Exception:
+                    names[str(itype)] = f"type-{itype}"
+            return {
+                "kind": kind,
+                "ticks_per_sec": tps,
+                "window": [w0 / tps, w1 / tps],
+                "bin_seconds": width / tps,
+                "shift": shift,
+                "levels": util.n_levels,
+                "base_shift": util.base_shift,
+                "state_names": names,
+                "lanes": lanes_out,
+            }
 
     def stats_tables(
         self,

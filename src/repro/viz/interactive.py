@@ -33,16 +33,18 @@ def view_payload(view: TimelineView, *, ticks_per_sec: float = 1e9) -> dict:
         states.append({"name": str(name), "color": cmap.register(key)})
     rows = []
     for row in view.rows:
-        bars = [
-            {
+        bars = []
+        for bar in sorted(row.bars, key=lambda b: (b.depth, b.start)):
+            item = {
                 "s": bar.start,
                 "e": bar.end,
                 "k": key_ids.get(bar.key, 0),
                 "d": bar.depth,
                 "t": bar.tooltip,
             }
-            for bar in sorted(row.bars, key=lambda b: (b.depth, b.start))
-        ]
+            if bar.opacity < 1.0:
+                item["o"] = round(bar.opacity, 3)
+            bars.append(item)
         rows.append({"label": row.label, "bars": bars})
     row_index = view.row_index()
     arrows = [
@@ -173,19 +175,30 @@ function draw() {
       const xa = xOf(Math.max(b.s, t0), w), xb = xOf(Math.min(b.e, t1), w);
       const inset = Math.min(b.d, 3) * 2;
       ctx.fillStyle = DATA.states[b.k].color;
+      ctx.globalAlpha = b.o !== undefined ? b.o : 1;
       ctx.fillRect(xa, y + (ROW_H - BAR_H) / 2 + inset,
                    Math.max(xb - xa, 0.8), BAR_H - 2 * inset);
+      ctx.globalAlpha = 1;
     }
   });
-  ctx.strokeStyle = "#0b0b0b"; ctx.globalAlpha = 0.65;
+  ctx.strokeStyle = "#0b0b0b"; ctx.fillStyle = "#0b0b0b"; ctx.globalAlpha = 0.65;
   for (const a of DATA.arrows) {
     if (a.rt < t0 || a.st > t1) continue;
     const x1 = xOf(Math.max(a.st, t0), w), x2 = xOf(Math.min(a.rt, t1), w);
     const y1 = AXIS_H + a.sr * ROW_H + ROW_H / 2,
           y2 = AXIS_H + a.dr * ROW_H + ROW_H / 2;
     ctx.beginPath(); ctx.moveTo(x1, y1); ctx.lineTo(x2, y2); ctx.stroke();
-    ctx.beginPath(); ctx.moveTo(x2, y2);
-    ctx.lineTo(x2 - 6, y2 - 3); ctx.lineTo(x2 - 6, y2 + 3); ctx.fill();
+    if (a.rt > t1) {
+      // Clipped in flight: cut-off stub, no head (a head would claim
+      // delivery inside the window).
+      ctx.beginPath(); ctx.moveTo(x2, y2 - 4); ctx.lineTo(x2, y2 + 4); ctx.stroke();
+    } else {
+      ctx.beginPath(); ctx.moveTo(x2, y2);
+      ctx.lineTo(x2 - 6, y2 - 3); ctx.lineTo(x2 - 6, y2 + 3); ctx.fill();
+    }
+    if (a.st < t0) {
+      ctx.beginPath(); ctx.moveTo(x1, y1 - 4); ctx.lineTo(x1, y1 + 4); ctx.stroke();
+    }
   }
   ctx.globalAlpha = 1;
   drawPreview();

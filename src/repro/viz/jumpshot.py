@@ -31,6 +31,7 @@ from repro.viz.views import (
     thread_activity_view,
     thread_processor_view,
     type_activity_view,
+    utilization_view,
     view_svg_string,
 )
 
@@ -42,6 +43,23 @@ VIEW_KINDS = (
     "processor-thread",
     "type",
 )
+
+#: View kinds with an aggregate (utilization) rendering path; the others
+#: always draw exact record bars.
+AGGREGATE_KINDS = ("thread", "thread-connected", "processor")
+
+#: Records per horizontal pixel above which a window renders from the
+#: utilization hierarchy instead of individual records (the
+#: drill-down-below-a-density-threshold discipline): past ~4 records per
+#: pixel individual bars are sub-pixel smears, and the aggregate answer
+#: is both faithful and O(pixels).
+DENSITY_THRESHOLD = 4.0
+
+#: Resolution cap (bins per lane) for aggregate heat strips.  A strip cell
+#: narrower than ~3px reads as noise, and the render cost of a whole-run
+#: view scales with lanes x bins — capping below the plot width keeps the
+#: aggregate path's latency flat regardless of trace size.
+AGGREGATE_MAX_BINS = 192
 
 
 class Jumpshot:
@@ -58,6 +76,9 @@ class Jumpshot:
         # the viewer owns it either way.
         self.slog = slog if slog is not None else SlogFile(slog_path, cache_frames=cache_frames)
         self.preview = Preview.from_slog(self.slog)
+        #: Whether the last view_svg_* call answered from the utilization
+        #: hierarchy (True) or exact record bars (False).
+        self.last_view_aggregate = False
 
     def reload_preview(self) -> None:
         """Rebuild the preview from the reader's current counters (a live
@@ -99,22 +120,32 @@ class Jumpshot:
         return self.slog.read_frame(frame)
 
     def build_view(
-        self, records: list[IntervalRecord], kind: str = "thread", *, with_arrows: bool = True
+        self,
+        records: list[IntervalRecord],
+        kind: str = "thread",
+        *,
+        with_arrows: bool = True,
+        window: tuple[int, int] | None = None,
     ) -> TimelineView:
-        """Build one of the four time-space diagrams over ``records``."""
+        """Build one of the four time-space diagrams over ``records``.
+
+        ``window`` tells the connected view where the display edge is, so
+        states still open there extend to it instead of stopping at their
+        last piece."""
         profile = self.slog.profile
         table = self.slog.thread_table
         cpus = self._cpus_per_node()
         if kind == "thread":
             arrows = match_arrows(records) if with_arrows else []
             return thread_activity_view(
-                records, table, profile.record_name, self.slog.markers, arrows=arrows
+                records, table, profile.record_name, self.slog.markers,
+                arrows=arrows, window=window,
             )
         if kind == "thread-connected":
             arrows = match_arrows(records) if with_arrows else []
             return thread_activity_view(
                 records, table, profile.record_name, self.slog.markers,
-                connected=True, arrows=arrows,
+                connected=True, arrows=arrows, window=window,
             )
         if kind == "processor":
             return processor_activity_view(
@@ -179,15 +210,68 @@ class Jumpshot:
         ]
 
     def view_svg_at(
-        self, t_seconds: float, *, kind: str = "thread", width: int = 1100
+        self, t_seconds: float, *, kind: str = "thread", width: int = 1100,
+        index=None,
     ) -> str:
         """The frame display as an SVG string (no file) — what the serving
-        daemon streams for ``/api/view/{kind}?t=...``."""
+        daemon streams for ``/api/view/{kind}?t=...``.
+
+        With a sidecar ``index`` carrying a utilization hierarchy, a frame
+        denser than :data:`DENSITY_THRESHOLD` records per pixel renders
+        from aggregates instead of individual records."""
         frame = self.locate(t_seconds)
-        view = self.build_view(self.frame_records(frame), kind)
+        return self._render_window(
+            (frame.start_time, frame.end_time), [frame], kind, width, index
+        )
+
+    def view_svg_window(
+        self, t0_seconds: float, t1_seconds: float, *, kind: str = "thread",
+        width: int = 1100, index=None,
+    ) -> str:
+        """A view over an arbitrary time window (seconds) as an SVG string.
+
+        Below the density threshold this decodes every overlapping frame
+        (exact drill-down); above it — any wide window of a big trace —
+        the utilization hierarchy answers without touching the data."""
+        tps = self.slog.ticks_per_sec
+        w0, w1 = int(t0_seconds * tps), int(t1_seconds * tps)
+        if w1 <= w0:
+            raise FormatError(f"empty window {t0_seconds}..{t1_seconds}s")
+        frames = [
+            f for f in self.slog.frames
+            if f.end_time > w0 and f.start_time < w1
+        ]
+        return self._render_window((w0, w1), frames, kind, width, index)
+
+    def _render_window(
+        self,
+        window: tuple[int, int],
+        frames: list[SlogFrameEntry],
+        kind: str,
+        width: int,
+        index,
+    ) -> str:
+        self.last_view_aggregate = False
+        util = getattr(index, "utilization", None)
+        if util is not None and kind in AGGREGATE_KINDS:
+            n_records = sum(f.n_records for f in frames)
+            plot_px = max(width - 220, 1)
+            if n_records / plot_px > DENSITY_THRESHOLD:
+                self.last_view_aggregate = True
+                lane_kind = "cpu" if kind == "processor" else "thread"
+                view = utilization_view(
+                    util, lane_kind, self.slog.thread_table,
+                    self.slog.profile.record_name,
+                    window=window, max_bins=min(plot_px, AGGREGATE_MAX_BINS),
+                )
+                return view_svg_string(
+                    view, width=width, window=window,
+                    ticks_per_sec=self.slog.ticks_per_sec,
+                )
+        records = [r for f in frames for r in self.frame_records(f)]
+        view = self.build_view(records, kind, window=window)
         return view_svg_string(
-            view, width=width,
-            window=(frame.start_time, frame.end_time),
+            view, width=width, window=window,
             ticks_per_sec=self.slog.ticks_per_sec,
         )
 

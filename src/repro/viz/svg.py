@@ -62,6 +62,21 @@ class SvgCanvas:
         else:
             self._parts.append(f"<rect {attrs}/>")
 
+    def path(
+        self,
+        d: str,
+        *,
+        fill: str,
+        opacity: float | None = None,
+    ) -> None:
+        """Add a filled path from a prebuilt ``d`` string.
+
+        One ``<path>`` can carry thousands of rectangular subpaths, which
+        is how dense heat strips stay cheap: the per-element attribute
+        escaping happens once per path, not once per cell."""
+        op = f' opacity="{opacity}"' if opacity is not None else ""
+        self._parts.append(f'<path d="{d}" fill={quoteattr(fill)}{op}/>')
+
     def line(
         self,
         x1: float,

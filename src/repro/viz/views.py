@@ -21,6 +21,7 @@ Views are plain data (:class:`TimelineView`) renderable to SVG via
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -33,13 +34,18 @@ from repro.viz.svg import AXIS, GRID, SvgCanvas, TEXT_PRIMARY, TEXT_SECONDARY
 
 @dataclass(frozen=True)
 class TimelineBar:
-    """One bar on a timeline: [start, end] with a color key and tooltip."""
+    """One bar on a timeline: [start, end] with a color key and tooltip.
+
+    ``opacity`` < 1 renders a partially transparent bar — the aggregate
+    (utilization) view maps each bin's busy fraction onto it, so a
+    half-idle bin reads as a lighter wash of its dominant state."""
 
     start: int
     end: int
     key: object
     depth: int = 0
     tooltip: str = ""
+    opacity: float = 1.0
 
 
 @dataclass
@@ -119,6 +125,7 @@ def thread_activity_view(
     *,
     connected: bool = False,
     arrows: list[MessageArrow] | None = None,
+    window: tuple[int, int] | None = None,
 ) -> TimelineView:
     """Thread-activity view: one timeline per (node, thread).
 
@@ -126,7 +133,10 @@ def thread_activity_view(
     are unified into a single spanning bar and nesting depth is tracked so
     inner states draw over outer ones (zero-duration pseudo-intervals
     contribute span information, which is why mid-file windows still show
-    enclosing states).
+    enclosing states).  States still open at the edge extend to the
+    ``window`` end (or the records' span end), tooltip-marked "(open)" —
+    a state that has not ended is busy right up to the edge, not idle
+    after its last piece.
     """
     markers = markers or {}
     recs = [r for r in records if r.itype != IntervalType.CLOCKPAIR]
@@ -175,13 +185,21 @@ def thread_activity_view(
             row.bars.append(
                 TimelineBar(start, r.end, key, depth, f"{names[key]} {start}-{r.end}")
             )
-    # Close any states left open at the view edge.
-    for row_key, open_map in open_states.items():
-        for bar in open_map.values():
-            rows[row_key].bars.append(bar)
     ordered = [rows[k] for k in sorted(rows)]
     flat = [r for r in recs]
     t0, t1 = _span(flat)
+    edge = window[1] if window is not None else t1
+    # Close any states left open at the view edge: they run to the edge
+    # (nothing ended them), so the bar extends there instead of stopping
+    # at the last observed piece.
+    for row_key, open_map in open_states.items():
+        for bar in open_map.values():
+            rows[row_key].bars.append(
+                TimelineBar(
+                    bar.start, max(bar.end, edge), bar.key, bar.depth,
+                    (bar.tooltip + " (open)") if bar.tooltip else "(open)",
+                )
+            )
     return TimelineView(
         "Thread-activity view" + (" (connected)" if connected else ""),
         ordered,
@@ -303,6 +321,107 @@ def processor_thread_view(
     )
 
 
+#: Busy-fraction quantization for aggregate heat bars.  Opacity only needs
+#: to *suggest* intensity; snapping it to eighths lets adjacent cells with
+#: near-identical utilization merge into one run, which is what keeps the
+#: element count tracking the trace's structure instead of its pixel width.
+_OPACITY_BUCKETS = 8
+
+
+def _utilization_bar(run: list, names: dict) -> TimelineBar:
+    """One heat bar from a merged cell run ``[start, end, state, count,
+    bucket, clipped busy]``."""
+    lo, hi, state, count, bucket, busy = run
+    frac = min(busy / max(hi - lo, 1), 1.0)
+    return TimelineBar(
+        lo, hi, state, 0,
+        f"{names[state]} ~{frac:.0%} busy, {count} records",
+        opacity=max((bucket + 1) / _OPACITY_BUCKETS, 0.15),
+    )
+
+
+def utilization_view(
+    util,
+    kind: str,
+    thread_table: ThreadTable,
+    record_name: Callable[[int], str],
+    *,
+    window: tuple[int, int] | None = None,
+    max_bins: int = 1024,
+) -> TimelineView:
+    """Aggregate-driven time-space diagram from a
+    :class:`~repro.query.utilization.UtilizationIndex` — no record decodes.
+
+    Each lane renders its utilization cells as heat bars: color is the
+    bin's dominant state, opacity its busy fraction.  ``kind`` picks the
+    lane family (``"thread"`` rows per (node, thread), ``"cpu"`` rows per
+    (node, cpu)); ``window`` restricts the time range (defaults to the
+    indexed span) and ``max_bins`` caps the level resolution so the
+    lookup stays O(pixels) at any zoom."""
+    from repro.query.utilization import split_thread_key
+
+    t0, t1 = window if window is not None else (util.t_min, util.t_max)
+    t1 = max(t1, t0 + 1)
+    shift, lanes = util.query(kind, t0, t1, max_bins)
+
+    def name_of(state: int) -> str:
+        try:
+            return record_name(state)
+        except Exception:
+            return f"type-{state}"
+    rows: list[TimelineRow] = []
+    names: dict[object, str] = {}
+    # Every indexed lane gets a row — lanes idle in this window render as
+    # empty timelines, matching the exact views' convention.
+    for key in sorted(util.lanes(kind)):
+        node, sub = split_thread_key(key)
+        if kind == "thread":
+            label = _thread_label(thread_table, node, sub)
+        else:
+            label = f"node {node} CPU {sub}"
+        row = TimelineRow(label, (node, sub))
+        # Adjacent cells with the same dominant state and the same quantized
+        # busy fraction merge into one run: the rendered strip is visually
+        # the same, but the element count tracks the trace's *structure*
+        # (state changes) rather than its pixel width.
+        run = None  # [start, end, state, count, bucket, busy]
+        for bin_t0, bin_t1, count, busy, states in lanes.get(key, []):
+            if len(states) == 1:
+                (state,) = states
+            else:
+                state = min(states, key=lambda s: (-states[s], s))
+            if state not in names:
+                names[state] = name_of(state)
+            lo, hi = max(bin_t0, t0), min(bin_t1, t1)
+            clipped = busy * (hi - lo) // (bin_t1 - bin_t0)
+            bucket = min(
+                int(clipped * _OPACITY_BUCKETS // max(hi - lo, 1)),
+                _OPACITY_BUCKETS - 1,
+            )
+            if (
+                run is not None
+                and run[2] == state
+                and run[1] == lo
+                and run[4] == bucket
+            ):
+                run[1] = hi
+                run[3] += count
+                run[5] += clipped
+                continue
+            if run is not None:
+                row.bars.append(_utilization_bar(run, names))
+            run = [lo, hi, state, count, bucket, clipped]
+        if run is not None:
+            row.bars.append(_utilization_bar(run, names))
+        rows.append(row)
+    title = (
+        "Thread utilization view (aggregate)"
+        if kind == "thread"
+        else "Processor utilization view (aggregate)"
+    )
+    return TimelineView(title, rows, t0, t1, names)
+
+
 # ---------------------------------------------------------------- rendering
 
 ROW_HEIGHT = 22
@@ -311,6 +430,49 @@ MARGIN_LEFT = 190
 MARGIN_TOP = 48
 MARGIN_BOTTOM = 56
 MARGIN_RIGHT = 24
+#: Rows with more bars than this render as grouped ``<path>`` elements —
+#: one per (color, opacity) — instead of individual tooltipped rects.  At
+#: that density each bar spans only a few pixels, hover targets are
+#: useless, and per-rect attribute escaping would dominate render latency.
+_BATCH_BARS = 48
+
+
+def _render_bars_batched(canvas, bars, cmap, x_of, y: float, t0: int, t1: int) -> None:
+    """Emit a dense row's bars as one filled ``<path>`` per (color,
+    opacity) group, each path carrying every bar of that style as a
+    rectangular subpath."""
+    x_base = x_of(t0)
+    scale = (x_of(t1) - x_base) / (t1 - t0)
+    y_base = y + (ROW_HEIGHT - BAR_HEIGHT) / 2
+    color_of = cmap.color_of
+    groups: dict[tuple, list[str]] = {}
+    for bar in bars:
+        s, e = bar.start, bar.end
+        if e < t0 or s > t1:
+            continue
+        if s < t0:
+            s = t0
+        if e > t1:
+            e = t1
+        x_a = x_base + (s - t0) * scale
+        w = (e - s) * scale
+        if w < 0.75:
+            w = 0.75
+        inset = min(bar.depth, 3) * 2.0
+        part = (
+            f"M{x_a:.1f} {y_base + inset:.1f}"
+            f"h{w:.1f}v{BAR_HEIGHT - 2 * inset:.1f}h-{w:.1f}z"
+        )
+        group = groups.get((color_of(bar.key), bar.opacity, inset))
+        if group is None:
+            groups[(color_of(bar.key), bar.opacity, inset)] = [part]
+        else:
+            group.append(part)
+    for (fill, opacity, _), parts in groups.items():
+        canvas.path(
+            "".join(parts), fill=fill,
+            opacity=round(opacity, 3) if opacity < 1.0 else None,
+        )
 
 
 def render_view_svg(
@@ -375,7 +537,8 @@ def _view_canvas(
         canvas.line(x, MARGIN_TOP - 4, x, MARGIN_TOP + n_rows * ROW_HEIGHT, stroke=GRID)
         canvas.text(
             x, MARGIN_TOP + n_rows * ROW_HEIGHT + 16,
-            _fmt_time(t, ticks_per_sec), size=10, fill=TEXT_SECONDARY, anchor="middle",
+            _fmt_time(t, ticks_per_sec, span=(t1 - t0) // n_ticks),
+            size=10, fill=TEXT_SECONDARY, anchor="middle",
         )
     canvas.text(
         MARGIN_LEFT + plot_w / 2, MARGIN_TOP + n_rows * ROW_HEIGHT + 34,
@@ -392,17 +555,22 @@ def _view_canvas(
             MARGIN_LEFT, y + (ROW_HEIGHT - BAR_HEIGHT) / 2, plot_w, BAR_HEIGHT,
             fill=IDLE_COLOR,
         )
-        for bar in sorted(row.bars, key=lambda b: (b.depth, b.start)):
-            if bar.end < t0 or bar.start > t1:
-                continue
-            x_a = x_of(max(bar.start, t0))
-            x_b = x_of(min(bar.end, t1))
-            inset = min(bar.depth, 3) * 2.0
-            canvas.rect(
-                x_a, y + (ROW_HEIGHT - BAR_HEIGHT) / 2 + inset,
-                max(x_b - x_a, 0.75), BAR_HEIGHT - 2 * inset,
-                fill=cmap.color_of(bar.key), rx=1.5, title=bar.tooltip or None,
-            )
+        bars = sorted(row.bars, key=lambda b: (b.depth, b.start))
+        if len(bars) > _BATCH_BARS:
+            _render_bars_batched(canvas, bars, cmap, x_of, y, t0, t1)
+        else:
+            for bar in bars:
+                if bar.end < t0 or bar.start > t1:
+                    continue
+                x_a = x_of(max(bar.start, t0))
+                x_b = x_of(min(bar.end, t1))
+                inset = min(bar.depth, 3) * 2.0
+                canvas.rect(
+                    x_a, y + (ROW_HEIGHT - BAR_HEIGHT) / 2 + inset,
+                    max(x_b - x_a, 0.75), BAR_HEIGHT - 2 * inset,
+                    fill=cmap.color_of(bar.key), rx=1.5, title=bar.tooltip or None,
+                    opacity=bar.opacity if bar.opacity < 1.0 else None,
+                )
         canvas.line(
             MARGIN_LEFT, y + ROW_HEIGHT, MARGIN_LEFT + plot_w, y + ROW_HEIGHT,
             stroke=GRID, stroke_width=0.5,
@@ -445,16 +613,39 @@ def _render_arrows(canvas: SvgCanvas, view: TimelineView, x_of, t0: int, t1: int
             continue
         if arrow.send_time > t1 or arrow.recv_time < t0:
             continue
+        recv_clipped = arrow.recv_time > t1
+        send_clipped = arrow.send_time < t0
         x1 = x_of(max(arrow.send_time, t0))
         y1 = MARGIN_TOP + src * ROW_HEIGHT + ROW_HEIGHT / 2
         x2 = x_of(min(arrow.recv_time, t1))
         y2 = MARGIN_TOP + dst * ROW_HEIGHT + ROW_HEIGHT / 2
         canvas.line(x1, y1, x2, y2, stroke=TEXT_PRIMARY, stroke_width=1.0, opacity=0.65)
-        # Arrowhead at the receive end.
-        canvas.polygon(
-            [(x2, y2), (x2 - 6, y2 - 3), (x2 - 6, y2 + 3)], fill=TEXT_PRIMARY
-        )
+        if recv_clipped:
+            # The message is still in flight at the window edge: a cut-off
+            # stub (no head — a head would claim delivery inside the
+            # window).
+            canvas.line(x2, y2 - 4, x2, y2 + 4, stroke=TEXT_PRIMARY,
+                        stroke_width=1.0, opacity=0.65)
+        else:
+            # Arrowhead at the receive end.
+            canvas.polygon(
+                [(x2, y2), (x2 - 6, y2 - 3), (x2 - 6, y2 + 3)], fill=TEXT_PRIMARY
+            )
+        if send_clipped:
+            canvas.line(x1, y1 - 4, x1, y1 + 4, stroke=TEXT_PRIMARY,
+                        stroke_width=1.0, opacity=0.65)
 
 
-def _fmt_time(ticks: int, ticks_per_sec: float) -> str:
-    return f"{ticks / ticks_per_sec:.4g}"
+def _fmt_time(ticks: int, ticks_per_sec: float, span: int | None = None) -> str:
+    """Format an axis tick in seconds.
+
+    ``span`` is the tick spacing in ticks; precision is derived from it so
+    adjacent ticks always render distinct labels (``%.4g`` alone collapses
+    neighbours once the window is deep inside a long run — four significant
+    digits of a large absolute time cannot resolve a microsecond step)."""
+    value = ticks / ticks_per_sec
+    if not span or span <= 0 or ticks_per_sec <= 0:
+        return f"{value:.4g}"
+    step = span / ticks_per_sec
+    decimals = min(max(1 - math.floor(math.log10(step)), 0), 12)
+    return f"{value:.{decimals}f}"

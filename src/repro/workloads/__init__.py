@@ -15,12 +15,16 @@ These programs generate the traces the paper's evaluation visualizes:
   (the quickstart example).
 * :mod:`repro.workloads.stencil` — 2-D five-point halo exchange using
   nonblocking operations.
+* :mod:`repro.workloads.bigtrace` — direct-to-SLOG scale generator
+  (thousands of threads, millions of records, no MPI simulation) for the
+  aggregate-view and index benchmarks.
 
 Each module exposes a ``*_body`` factory returning a rank program for
 :meth:`repro.mpi.MpiRuntime.launch`, plus a ``run_*`` convenience that
 builds the cluster, traces the run, and returns the raw trace paths.
 """
 
+from repro.workloads.bigtrace import BigTraceResult, write_big_slog
 from repro.workloads.harness import TracedRun, run_traced_workload
 from repro.workloads.sppm import sppm_body, run_sppm
 from repro.workloads.flash import flash_body, run_flash
@@ -44,4 +48,6 @@ __all__ = [
     "run_stencil",
     "ioheavy_body",
     "run_ioheavy",
+    "BigTraceResult",
+    "write_big_slog",
 ]

@@ -1,0 +1,211 @@
+"""Direct-to-SLOG scale generator for view and index benchmarks.
+
+The simulated-MPI workloads (:mod:`repro.workloads.sppm` and friends) buy
+fidelity — real send/recv matching, clock skew, thread dispatch — at the
+price of simulating every event.  Scalability work needs the opposite
+trade: *thousands of threads and millions of records* written as fast as
+the disk accepts them, so the aggregate-driven view path can be pinned
+against traces far past what the simulator produces in reasonable time.
+
+:func:`write_big_slog` streams records straight through
+:class:`repro.utils.slog.SlogWriter`: per-thread deterministic busy/gap
+walks, merged into the writer's required global end-time order with a heap
+over one generator per thread.  Memory stays O(threads); time O(records).
+Everything is seeded — the same arguments always produce the same bytes,
+so benchmark runs are comparable across machines and sessions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core import standard_profile
+from repro.core.fields import MASK_ALL_PER_NODE
+from repro.core.profilefmt import Profile
+from repro.core.records import BeBits, IntervalRecord, IntervalType
+from repro.core.threadtable import ThreadEntry, ThreadTable
+from repro.errors import FormatError
+from repro.utils.slog import SlogWriter
+
+#: Ceiling on ``threads_per_node`` — the generator exists to stress the
+#: *view* axis (rows x density), and past this point extra lanes only grow
+#: the thread table without exercising anything new.
+MAX_THREADS_PER_NODE = 512
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class BigTraceResult:
+    """What :func:`write_big_slog` produced."""
+
+    path: Path
+    n_records: int
+    n_nodes: int
+    threads_per_node: int
+    t_max: int
+
+
+def _lcg(seed: int) -> Iterator[int]:
+    """A 64-bit LCG yielding 31-bit values — deterministic, import-free."""
+    state = (seed & _MASK64) or 1
+    while True:
+        state = (state * _LCG_MUL + _LCG_ADD) & _MASK64
+        yield state >> 33
+
+
+def _thread_stream(
+    node: int,
+    cpu: int,
+    tid: int,
+    n: int,
+    seed: int,
+    marker_every: int,
+) -> Iterator[IntervalRecord]:
+    """One thread's records: a busy/gap walk from a staggered origin.
+
+    Within a single thread, end times are strictly increasing, which is
+    what lets :func:`heapq.merge` produce the global order cheaply."""
+    rng = _lcg(seed)
+    t = next(rng) % 50_000
+    for i in range(n):
+        busy = 20_000 + next(rng) % 80_000
+        if marker_every and i % marker_every == marker_every - 1:
+            itype, extra = IntervalType.MARKER, {"markerId": 1}
+        else:
+            itype, extra = IntervalType.RUNNING, {}
+        yield IntervalRecord(itype, BeBits.COMPLETE, t, busy, node, cpu, tid, extra)
+        t += busy + next(rng) % 40_000
+
+
+def write_big_slog(
+    path: str | Path,
+    *,
+    n_nodes: int = 4,
+    threads_per_node: int = 64,
+    n_records: int = 100_000,
+    cpus_per_node: int = 16,
+    frame_bytes: int = 64 * 1024,
+    marker_every: int = 16,
+    seed: int = 7,
+    profile: Profile | None = None,
+) -> BigTraceResult:
+    """Write a deterministic SLOG file of ``n_records`` records spread
+    round-robin over ``n_nodes * threads_per_node`` threads."""
+    if not 1 <= threads_per_node <= MAX_THREADS_PER_NODE:
+        raise FormatError(
+            f"threads_per_node must be 1..{MAX_THREADS_PER_NODE}, "
+            f"got {threads_per_node}"
+        )
+    if n_nodes < 1 or n_records < 1:
+        raise FormatError("need at least one node and one record")
+    profile = profile or standard_profile()
+    n_threads = n_nodes * threads_per_node
+    entries = [
+        ThreadEntry(
+            node * threads_per_node + tid,
+            1000 + node,
+            10_000 + node * threads_per_node + tid,
+            node,
+            tid,
+            0,
+            f"n{node}t{tid}",
+        )
+        for node in range(n_nodes)
+        for tid in range(threads_per_node)
+    ]
+    per_thread = [n_records // n_threads] * n_threads
+    for i in range(n_records % n_threads):
+        per_thread[i] += 1
+    # Mean time step per record is ~80k ticks; pad the preview range so the
+    # tail never clips (out-of-range records are clamped, not lost).
+    est_span = max(per_thread) * 120_000 + 100_000
+    streams = [
+        _thread_stream(
+            node,
+            tid % cpus_per_node,
+            tid,
+            per_thread[node * threads_per_node + tid],
+            seed * 1_000_003 + node * threads_per_node + tid,
+            marker_every,
+        )
+        for node in range(n_nodes)
+        for tid in range(threads_per_node)
+        if per_thread[node * threads_per_node + tid]
+    ]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    writer = SlogWriter(
+        path,
+        profile,
+        ThreadTable(entries),
+        markers={1: "bigtrace:phase"},
+        node_cpus={node: cpus_per_node for node in range(n_nodes)},
+        field_mask=MASK_ALL_PER_NODE,
+        frame_bytes=frame_bytes,
+        time_range=(0, est_span),
+    )
+    t_max = 0
+    written = 0
+    try:
+        for record in heapq.merge(*streams, key=lambda r: r.end):
+            writer.write(record)
+            t_max = max(t_max, record.end)
+            written += 1
+    except BaseException:
+        writer.abort()
+        raise
+    writer.close()
+    return BigTraceResult(
+        path=path,
+        n_records=written,
+        n_nodes=n_nodes,
+        threads_per_node=threads_per_node,
+        t_max=t_max,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.workloads.bigtrace OUT.slog [--records N] ...``"""
+    parser = argparse.ArgumentParser(
+        "bigtrace",
+        description="Generate a deterministic large SLOG file directly "
+        "(no MPI simulation) for scalability benchmarks.",
+    )
+    parser.add_argument("out", help="output SLOG path")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=64,
+                        help=f"threads per node (max {MAX_THREADS_PER_NODE})")
+    parser.add_argument("--records", type=int, default=100_000)
+    parser.add_argument("--cpus", type=int, default=16, help="CPUs per node")
+    parser.add_argument("--frame-bytes", type=int, default=64 * 1024)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    try:
+        result = write_big_slog(
+            args.out,
+            n_nodes=args.nodes,
+            threads_per_node=args.threads,
+            n_records=args.records,
+            cpus_per_node=args.cpus,
+            frame_bytes=args.frame_bytes,
+            seed=args.seed,
+        )
+    except FormatError as exc:
+        parser.error(str(exc))
+    print(
+        f"{result.path}: {result.n_records} records, "
+        f"{result.n_nodes * result.threads_per_node} threads, "
+        f"t_max={result.t_max}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

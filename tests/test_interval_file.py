@@ -134,6 +134,20 @@ class TestFramesAndDirectories:
             assert a.next_offset == b.offset
             assert b.prev_offset == a.offset
 
+    def test_directory_chain_parsed_once(self, tmp_path):
+        records = [running(i * 10, 5) for i in range(300)]
+        path = write_file(tmp_path / "dc.ute", records, frame_bytes=256, frames_per_dir=2)
+        reader = IntervalReader(path, PROFILE)
+        first = list(reader.directories())
+        second = list(reader.directories())
+        # The strict chain is cached after one complete walk — random access
+        # (find_frame) must not re-decode every directory per lookup.
+        assert [id(d) for d in first] == [id(d) for d in second]
+        # An abandoned walk must not freeze a partial chain.
+        fresh = IntervalReader(path, PROFILE)
+        next(fresh.directories())
+        assert len(list(fresh.directories())) == len(first)
+
     def test_frame_entries_describe_their_frames(self, tmp_path):
         records = [running(i * 10, 5) for i in range(200)]
         path = write_file(tmp_path / "fe.ute", records)
